@@ -1,0 +1,86 @@
+"""Experiment E12: abstraction quality — regular vs arbitrary graphs.
+
+Section 7 of the paper deliberately shows no abstraction numbers on
+arbitrary graphs: "Results for arbitrary graphs would not be good and
+regular graphs can be constructed for which the abstraction returns
+small graphs with a perfectly accurate prediction of performance."
+This bench *measures* that claim: the relative error of structurally
+discovered abstractions on (a) the regular families — small and shrinking
+— versus (b) random irregular graphs — large and erratic (when a valid
+grouping exists at all).
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.conservativity import verify_abstraction
+from repro.core.grouping import discover_abstraction
+from repro.errors import NoAbstractionFoundError, NotAbstractableError
+from repro.graphs.random_sdf import random_live_hsdf
+from repro.graphs.synthetic import (
+    regular_prefetch,
+    regular_prefetch_abstraction,
+    remote_memory_abstraction,
+    remote_memory_access,
+)
+
+
+def test_regular_graphs_tight(report):
+    report("Abstraction quality on regular graphs (relative cycle-time error)")
+    report(f"{'family':<18} {'n':>5} {'error':>10}")
+    for n in (8, 32, 128):
+        cert = verify_abstraction(regular_prefetch(n), regular_prefetch_abstraction(n))
+        report(f"{'prefetch':<18} {n:>5} {float(cert.relative_error):>10.4f}")
+        assert cert.relative_error < Fraction(1, 4)
+    for n in (8, 32, 128):
+        cert = verify_abstraction(
+            remote_memory_access(n),
+            remote_memory_abstraction(n),
+            check_dominance=(n <= 32),
+        )
+        report(f"{'remote-memory':<18} {n:>5} {float(cert.relative_error):>10.4f}")
+        assert cert.relative_error == 0
+    report.save("abstraction_regular")
+
+
+def test_arbitrary_graphs_poor(report):
+    report("Abstraction quality on arbitrary graphs (structural discovery)")
+    report(f"{'seed':>5} {'groups':>7} {'error':>12}")
+    errors = []
+    attempted = 0
+    for seed in range(30):
+        rng = random.Random(seed)
+        g = random_live_hsdf(rng, n_actors=8, extra_edges=6, max_time=9)
+        attempted += 1
+        try:
+            abstraction = discover_abstraction(g, strategy="structural")
+            cert = verify_abstraction(g, abstraction)
+        except (NoAbstractionFoundError, NotAbstractableError):
+            report(f"{seed:>5} {'—':>7} {'(no grouping)':>12}")
+            continue
+        assert cert.conservative  # Theorem 1 always holds...
+        if cert.relative_error is None:
+            report(f"{seed:>5} {len(abstraction.groups()):>7} {'(deadlocked)':>12}")
+            errors.append(None)
+            continue
+        errors.append(cert.relative_error)
+        report(
+            f"{seed:>5} {len(abstraction.groups()):>7} "
+            f"{float(cert.relative_error):>12.4f}"
+        )
+    useful = [e for e in errors if e is not None]
+    if useful:
+        worst = max(useful)
+        report(f"worst error over {attempted} random graphs: {float(worst):.3f} "
+               "(paper: 'results for arbitrary graphs would not be good')")
+    report.save("abstraction_arbitrary")
+
+
+@pytest.mark.parametrize("n", [32, 128])
+def test_verification_runtime_regular(benchmark, n):
+    g = regular_prefetch(n)
+    abstraction = regular_prefetch_abstraction(n)
+    cert = benchmark(verify_abstraction, g, abstraction)
+    assert cert.conservative

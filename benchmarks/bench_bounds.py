@@ -1,0 +1,61 @@
+"""Experiment E6: the Section 6 size bounds of the new conversion.
+
+"The resulting graph has at most N(N+2) actors, N(2N+1) edges and N
+initial tokens."  Swept over random consistent SDF graphs and the
+benchmark suite; also reports how far below the bound the realised sizes
+stay (the matrix sparsity the paper's Figure 4 grays out).
+"""
+
+import random
+
+import pytest
+
+from repro.core.hsdf_conversion import convert_to_hsdf
+from repro.graphs import TABLE1_CASES
+from repro.graphs.random_sdf import random_consistent_sdf
+
+
+def test_bounds_on_random_graphs(report):
+    report("Section 6 bounds on random consistent SDF graphs")
+    report(f"{'seed':>5} {'N':>4} {'actors':>7} {'bound':>7} {'edges':>6} {'bound':>7} {'tokens':>7}")
+    for seed in range(20):
+        rng = random.Random(seed)
+        g = random_consistent_sdf(
+            rng,
+            n_actors=rng.randint(2, 8),
+            extra_edges=rng.randint(0, 6),
+            max_repetition=rng.randint(1, 6),
+        )
+        conv = convert_to_hsdf(g)
+        n = len(conv.token_ids)
+        assert conv.actor_count <= n * (n + 2)
+        assert conv.edge_count <= n * (2 * n + 1)
+        assert conv.token_count <= n
+        report(
+            f"{seed:>5} {n:>4} {conv.actor_count:>7} {n * (n + 2):>7} "
+            f"{conv.edge_count:>6} {n * (2 * n + 1):>7} {conv.token_count:>7}"
+        )
+    report.save("bounds_random")
+
+
+def test_bounds_on_benchmarks(report):
+    report("Section 6 bounds on the Table 1 applications")
+    report(f"{'case':<24} {'N':>4} {'actors':>7} {'N(N+2)':>7} {'fill %':>7}")
+    for case in TABLE1_CASES:
+        conv = convert_to_hsdf(case.build())
+        n = len(conv.token_ids)
+        bound = n * (n + 2)
+        assert conv.within_paper_bounds()
+        report(
+            f"{case.name:<24} {n:>4} {conv.actor_count:>7} {bound:>7} "
+            f"{100 * conv.actor_count / bound:>6.1f}%"
+        )
+    report.save("bounds_benchmarks")
+
+
+@pytest.mark.parametrize("seed", [0, 7, 13])
+def test_conversion_runtime_random(benchmark, seed):
+    rng = random.Random(seed)
+    g = random_consistent_sdf(rng, n_actors=6, extra_edges=4, max_repetition=6)
+    conv = benchmark(convert_to_hsdf, g)
+    assert conv.within_paper_bounds()

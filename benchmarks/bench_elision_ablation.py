@@ -1,0 +1,48 @@
+"""Ablation: the Figure-4 structural optimisations of the new conversion.
+
+Two design choices keep the compact HSDF small:
+
+* exploiting matrix *sparsity* (the gray actors of Figure 4 are simply
+  not created for ε entries) — always on, quantified here against the
+  dense N(N+2) worst case;
+* *eliding* (de)multiplexers for tokens with a single producer or
+  consumer — toggleable, ablated here.
+
+Both variants must agree on the cycle time (they realise the same
+max-plus matrix).
+"""
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.core.hsdf_conversion import convert_to_hsdf
+from repro.graphs import TABLE1_CASES
+
+
+def test_elision_ablation_table(report):
+    report("Mux/demux elision ablation (actor counts)")
+    report(f"{'case':<24} {'N':>4} {'dense bound':>11} {'no elision':>10} {'elided':>7} {'saved':>6}")
+    for case in TABLE1_CASES:
+        g = case.build()
+        lean = convert_to_hsdf(g, elide_multiplexers=True)
+        full = convert_to_hsdf(g, elide_multiplexers=False)
+        n = len(lean.token_ids)
+        assert (
+            throughput(lean.graph, method="hsdf").cycle_time
+            == throughput(full.graph, method="hsdf").cycle_time
+        )
+        report(
+            f"{case.name:<24} {n:>4} {n * (n + 2):>11} {full.actor_count:>10} "
+            f"{lean.actor_count:>7} {full.actor_count - lean.actor_count:>6}"
+        )
+    report.save("elision_ablation")
+
+
+@pytest.mark.parametrize("elide", [True, False], ids=["elided", "full"])
+@pytest.mark.parametrize(
+    "case", [c for c in TABLE1_CASES if c.index in (3, 8)], ids=lambda c: c.name
+)
+def test_conversion_runtime_by_variant(benchmark, case, elide):
+    g = case.build()
+    conv = benchmark(convert_to_hsdf, g, None, elide)
+    assert conv.within_paper_bounds()

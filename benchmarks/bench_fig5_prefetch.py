@@ -1,0 +1,67 @@
+"""Experiment E5: the Figure 5 remote-memory-access model from [16].
+
+1584 block computations per video frame, pre-fetched through CA actors
+over a network-on-chip.  The paper's claim: the obvious abstraction has
+"exactly the same throughput as the original graph".  The benchmark also
+shows the payoff — analysing the 3-actor abstract model vs the
+4752-actor original.
+"""
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.core.abstraction import abstract_graph
+from repro.core.conservativity import verify_abstraction
+from repro.core.pruning import prune_redundant_edges
+from repro.graphs.synthetic import remote_memory_abstraction, remote_memory_access
+
+FULL_SIZE = 1584  # computations per frame in [16]
+
+
+def test_figure5_exactness(report):
+    report("Figure 5: remote memory access model (full-search block matching)")
+    report(f"{'blocks':>7} {'actors':>7} {'frame period':>13} {'abstract bound':>15} {'exact?':>7}")
+    for n in (8, 64, 512, FULL_SIZE):
+        cert = verify_abstraction(
+            remote_memory_access(n),
+            remote_memory_abstraction(n),
+            check_dominance=(n <= 64),  # unpruned unfolding is O(|D|·n)
+        )
+        exact = cert.relative_error == 0
+        report(
+            f"{n:>7} {3 * n:>7} {str(cert.original_cycle_time):>13} "
+            f"{str(cert.bound_cycle_time):>15} {str(exact):>7}"
+        )
+        assert cert.conservative
+        assert exact
+    report.save("figure5")
+
+
+def test_model_size_reduction(report):
+    g = remote_memory_access(FULL_SIZE)
+    abstract = prune_redundant_edges(
+        abstract_graph(g, remote_memory_abstraction(FULL_SIZE))
+    )
+    report("model size: original vs abstract (Figure 5 left vs right)")
+    report(f"original: {g.actor_count()} actors, {g.edge_count()} edges")
+    report(f"abstract: {abstract.actor_count()} actors, {abstract.edge_count()} edges")
+    assert abstract.actor_count() == 3
+    report.save("figure5_size")
+
+
+def test_full_model_throughput_runtime(benchmark):
+    g = remote_memory_access(FULL_SIZE)
+    result = benchmark(throughput, g)
+    assert result.cycle_time == FULL_SIZE * 100
+
+
+def test_abstract_model_throughput_runtime(benchmark):
+    g = remote_memory_access(FULL_SIZE)
+    abstraction = remote_memory_abstraction(FULL_SIZE)
+
+    def reduced_analysis():
+        abstract = prune_redundant_edges(abstract_graph(g, abstraction))
+        return throughput(abstract)
+
+    result = benchmark(reduced_analysis)
+    assert FULL_SIZE * result.cycle_time == FULL_SIZE * 100

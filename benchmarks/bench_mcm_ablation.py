@@ -1,0 +1,60 @@
+"""Experiment E9: MCM/MCR solver ablation.
+
+The analysis back-end can use any of four exact solvers (the family
+surveyed in the paper's reference [5], Dasdan-Irani-Gupta).  This bench
+times them head to head on the cycle-ratio instances that actually arise
+in this library: the compact HSDFs of the Table-1 applications and the
+precedence graphs of their iteration matrices.
+"""
+
+import pytest
+
+from repro.analysis.throughput import hsdf_cycle_ratio_graph
+from repro.core.hsdf_conversion import convert_to_hsdf
+from repro.graphs import TABLE1_CASES
+from repro.maxplus.spectral import precedence_graph
+from repro.mcm import brute_force_mcr, howard_mcr, karp_mcm, lawler_mcr, yto_mcm
+
+#: The instances: compact-HSDF cycle-ratio graphs per application.
+INSTANCES = {}
+MATRICES = {}
+for _case in TABLE1_CASES:
+    _conv = convert_to_hsdf(_case.build())
+    INSTANCES[_case.name] = hsdf_cycle_ratio_graph(_conv.graph)
+    MATRICES[_case.name] = precedence_graph(_conv.matrix)
+
+RATIO_SOLVERS = {"howard": howard_mcr, "lawler": lawler_mcr}
+MEAN_SOLVERS = {"karp": karp_mcm, "yto": yto_mcm, "howard": howard_mcr}
+
+
+def test_solver_agreement(report):
+    report("MCR solver agreement on the compact HSDF instances")
+    report(f"{'case':<24} {'howard':>10} {'lawler':>10}")
+    for name, graph in INSTANCES.items():
+        values = {label: solver(graph).value for label, solver in RATIO_SOLVERS.items()}
+        assert len(set(values.values())) == 1
+        report(f"{name:<24} {str(values['howard']):>10} {str(values['lawler']):>10}")
+    report.save("mcm_agreement")
+
+
+def test_mean_solver_agreement(report):
+    report("MCM solver agreement on the iteration-matrix precedence graphs")
+    for name, graph in MATRICES.items():
+        values = {label: solver(graph).value for label, solver in MEAN_SOLVERS.items()}
+        assert len(set(values.values())) == 1
+        report(f"{name:<24} λ = {values['karp']}")
+    report.save("mcm_mean_agreement")
+
+
+@pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name)
+@pytest.mark.parametrize("solver", sorted(RATIO_SOLVERS), ids=str)
+def test_ratio_solver_runtime(benchmark, solver, case):
+    graph = INSTANCES[case.name]
+    benchmark(RATIO_SOLVERS[solver], graph)
+
+
+@pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name)
+@pytest.mark.parametrize("solver", sorted(MEAN_SOLVERS), ids=str)
+def test_mean_solver_runtime(benchmark, solver, case):
+    graph = MATRICES[case.name]
+    benchmark(MEAN_SOLVERS[solver], graph)

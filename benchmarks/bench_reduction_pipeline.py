@@ -1,0 +1,60 @@
+"""Experiment E10 (extension): the full reduction pipeline on mapped systems.
+
+The paper's motivation in one benchmark: binding an application onto
+processors requires firing-granular graphs (the traditional expansion —
+huge), and the compact conversion collapses them back to token-sized
+graphs while preserving the guaranteed period exactly.  This measures
+sizes and analysis times along the pipeline
+
+    application --bind--> firing-granular bound graph --convert--> compact HSDF
+"""
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.core.hsdf_conversion import convert_to_hsdf
+from repro.graphs import TABLE1_CASES
+from repro.mapping import greedy_load_balance, mapped_throughput
+from repro.mapping.binding import bind
+
+CASES = [c for c in TABLE1_CASES if c.paper_traditional <= 1200]
+
+
+def test_pipeline_sizes(report):
+    report("Reduction pipeline on mapped applications (2 processors)")
+    report(f"{'case':<24} {'app':>5} {'bound':>6} {'compact':>8} {'period':>10}")
+    for case in CASES:
+        g = case.build()
+        mapping = greedy_load_balance(g, 2)
+        bound = bind(g, mapping)
+        compact = convert_to_hsdf(bound)
+        lam = throughput(compact.graph, method="hsdf").cycle_time
+        assert lam == throughput(bound, method="hsdf").cycle_time
+        report(
+            f"{case.name:<24} {g.actor_count():>5} {bound.actor_count():>6} "
+            f"{compact.actor_count:>8} {str(lam):>10}"
+        )
+    report.save("reduction_pipeline")
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_bound_analysis_via_compact_runtime(benchmark, case):
+    """Analyse the mapped system through the compact conversion."""
+    g = case.build()
+    bound = bind(g, greedy_load_balance(g, 2))
+
+    def reduced_analysis():
+        compact = convert_to_hsdf(bound)
+        return throughput(compact.graph, method="hsdf")
+
+    result = benchmark(reduced_analysis)
+    assert not result.unbounded
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_bound_analysis_direct_runtime(benchmark, case):
+    """Baseline: analyse the firing-granular bound graph directly."""
+    g = case.build()
+    bound = bind(g, greedy_load_balance(g, 2))
+    result = benchmark(throughput, bound, "hsdf")
+    assert not result.unbounded

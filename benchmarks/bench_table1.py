@@ -1,0 +1,80 @@
+"""Experiment E1/E7: Table 1 and Figure 6 — HSDF transformations compared.
+
+For each of the paper's eight applications: the traditional conversion's
+actor count (exactly Σγ — matched exactly by the reconstructions), the
+new conversion's actor count, and their ratio; Figure 6 is the same data
+as a log-scale series.  pytest-benchmark times the new conversion — the
+paper reports "a few milliseconds".
+"""
+
+import pytest
+
+from repro.core.hsdf_conversion import convert_to_hsdf
+from repro.graphs import TABLE1_CASES
+from repro.sdf.repetition import iteration_length
+from repro.sdf.transform import traditional_hsdf
+
+
+def test_table1_rows(report):
+    report("Table 1: HSDF Transformations Compared")
+    report(f"{'test case':<26} {'traditional':>11} {'new':>6} {'ratio':>8}"
+           f" {'paper trad.':>11} {'paper new':>9} {'paper ratio':>11}")
+    for case in TABLE1_CASES:
+        g = case.build()
+        traditional = iteration_length(g)
+        compact = convert_to_hsdf(g)
+        ratio = traditional / compact.actor_count
+        report(
+            f"{f'{case.index}. {case.name}':<26} {traditional:>11} "
+            f"{compact.actor_count:>6} {ratio:>8.2f} "
+            f"{case.paper_traditional:>11} {case.paper_new:>9} {case.paper_ratio:>11.2f}"
+        )
+        # The traditional column must match the paper exactly.
+        assert traditional == case.paper_traditional
+        # The new column must preserve the paper's verdict per row.
+        if case.paper_new < case.paper_traditional:
+            assert compact.actor_count < traditional
+        else:
+            assert compact.actor_count > traditional
+    report.save("table1")
+
+
+def test_figure6_series(report):
+    import math
+
+    report("Figure 6: actor counts per test case (log scale, T=traditional, N=new)")
+    report(f"{'case':>5} {'traditional':>12} {'new':>6}   1        10       100      1000     10000")
+    for case in TABLE1_CASES:
+        g = case.build()
+        traditional = iteration_length(g)
+        compact = convert_to_hsdf(g).actor_count
+
+        def column(value: int) -> int:
+            return round(math.log10(max(value, 1)) * 9)
+
+        width = column(20000) + 1
+        lane = [" "] * width
+        lane[column(traditional)] = "T"
+        lane[column(compact)] = "N" if lane[column(compact)] == " " else "*"
+        report(f"{case.index:>5} {traditional:>12} {compact:>6}   |{''.join(lane)}|")
+    report.save("figure6")
+
+
+@pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name)
+def test_new_conversion_runtime(benchmark, case):
+    """E7: 'The run-time of the algorithms is a few milliseconds.'"""
+    g = case.build()
+    result = benchmark(convert_to_hsdf, g)
+    assert result.within_paper_bounds()
+
+
+@pytest.mark.parametrize(
+    "case",
+    [c for c in TABLE1_CASES if c.paper_traditional <= 1200],
+    ids=lambda c: c.name,
+)
+def test_traditional_conversion_runtime(benchmark, case):
+    """Baseline timing: the traditional expansion on the smaller cases."""
+    g = case.build()
+    result = benchmark(traditional_hsdf, g)
+    assert result.actor_count() == case.paper_traditional

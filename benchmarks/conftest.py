@@ -1,0 +1,37 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it prints
+the rows/series to stdout (run with ``pytest benchmarks/ -s`` to watch)
+and appends them to ``benchmarks/results/<experiment>.txt`` so
+EXPERIMENTS.md can quote them.  pytest-benchmark handles the wall-clock
+measurements (run with ``--benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """A tiny sink: collects lines, prints them, writes them to results/."""
+
+    class Report:
+        def __init__(self):
+            self.lines: list[str] = []
+            self.name: str | None = None
+
+        def __call__(self, line: str = "") -> None:
+            self.lines.append(line)
+            print(line)
+
+        def save(self, name: str) -> None:
+            self.name = name
+            RESULTS_DIR.mkdir(exist_ok=True)
+            (RESULTS_DIR / f"{name}.txt").write_text("\n".join(self.lines) + "\n")
+
+    return Report()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Scenario-aware worst case: a video decoder with I- and P-frames.
+
+The machinery behind the paper's Algorithm 1 (its reference [7],
+"Synchronous dataflow scenarios"): each frame type is an SDF scenario
+over the same persistent pipeline tokens, a protocol FSM constrains
+frame orders (at least three P-frames between I-frames, say), and the
+guaranteed decoder rate is the worst case over all admissible infinite
+frame sequences — which can be *better* than assuming the worst frame
+every time, and *worse* than either frame type alone when eigenvectors
+mismatch.
+
+Run:  python examples/scenario_worst_case.py
+"""
+
+from repro import SDFGraph, throughput
+from repro.scenarios import (
+    Scenario,
+    ScenarioFSM,
+    sequence_cycle_time,
+    worst_case_cycle_time,
+)
+
+
+def frame_scenario(name: str, parse_time: int, decode_time: int, render_time: int) -> Scenario:
+    """A 3-stage decode pipeline; tokens persist across frames."""
+    g = SDFGraph(name)
+    g.add_actor("parse", parse_time)
+    g.add_actor("decode", decode_time)
+    g.add_actor("render", render_time)
+    g.add_edge("parse", "parse", tokens=1, name="t_parse")
+    g.add_edge("parse", "decode", name="pd")
+    g.add_edge("decode", "decode", tokens=1, name="t_decode")
+    g.add_edge("decode", "render", name="dr")
+    g.add_edge("render", "render", tokens=1, name="t_render")
+    g.add_edge("render", "parse", tokens=2, name="frame_buffer")
+    return Scenario(name, g)
+
+
+def main() -> None:
+    scenarios = {
+        # I-frames: heavy parse/decode; P-frames: light but render-bound.
+        "I": frame_scenario("I", parse_time=7, decode_time=9, render_time=2),
+        "P": frame_scenario("P", parse_time=2, decode_time=3, render_time=4),
+    }
+    for name, scenario in scenarios.items():
+        ct = throughput(scenario.graph).cycle_time
+        print(f"scenario {name}: period {ct} if repeated forever")
+
+    print("\nprotocol: an I-frame, then at least three P-frames")
+    fsm = ScenarioFSM("i")
+    fsm.add_transition("i", "I", "p1")
+    fsm.add_transition("p1", "P", "p2")
+    fsm.add_transition("p2", "P", "p3")
+    fsm.add_transition("p3", "P", "p*")
+    fsm.add_transition("p*", "P", "p*")
+    fsm.add_transition("p*", "I", "p1")
+
+    result = worst_case_cycle_time(scenarios, fsm)
+    print(f"worst-case period per frame: {result.cycle_time} "
+          f"(throughput {result.throughput})")
+    print(f"witness frame pattern: {' '.join(result.witness)} "
+          f"(explored {result.explored} states)")
+
+    print("\nsanity: a few concrete periodic patterns")
+    for pattern in (("I", "P", "P", "P"), ("I", "P", "P", "P", "P", "P"), ("P",)):
+        print(f"  {' '.join(pattern):<14} -> {sequence_cycle_time(scenarios, pattern)}")
+
+    print("\nthe naive bound (every frame as slow as the slowest mode) "
+          f"would claim {max(throughput(s.graph).cycle_time for s in scenarios.values())};"
+          "\nthe scenario analysis proves the protocol sustains "
+          f"{result.cycle_time} per frame.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Step-by-step symbolic execution — the Figure 3 walkthrough of the paper.
+
+Reproduces the narration of Section 6 literally: every initial token
+starts as a symbolic stamp t_k; firing an actor takes the max of the
+consumed stamps plus its execution time; after one iteration each token
+slot holds an expression max_j (t_j + g_jk) — one column of the max-plus
+iteration matrix.
+
+Run:  python examples/symbolic_execution.py
+"""
+
+from repro.core.symbolic import symbolic_iteration
+from repro.graphs.examples import figure3_graph
+from repro.maxplus.algebra import EPSILON
+from repro.maxplus.spectral import eigenvalue
+
+
+#: Pretty names matching the paper's t1..t4 (our canonical enumeration
+#: orders the two R→L tokens first, then L's and R's self-loop tokens).
+PAPER_NAMES = {0: "t1", 1: "t3", 2: "t2", 3: "t4"}
+
+
+def render(stamp) -> str:
+    terms = []
+    for index, value in enumerate(stamp):
+        if value == EPSILON:
+            continue
+        name = PAPER_NAMES[index]
+        terms.append(name if value == 0 else f"{name}+{value}")
+    return "max(" + ", ".join(terms) + ")" if len(terms) > 1 else terms[0]
+
+
+def main() -> None:
+    g = figure3_graph()
+    print(f"graph: {g} — iteration = two firings of L, one of R\n")
+
+    iteration = symbolic_iteration(g, schedule=["L", "L", "R"])
+    for (actor, k), start in iteration.firing_starts.items():
+        end = iteration.firing_completions[(actor, k)]
+        print(f"firing {actor}#{k}: starts at {render(start)}")
+        print(f"            ends  at {render(end)}")
+    print()
+
+    print("after one iteration, the token slots hold:")
+    for k, token in enumerate(iteration.token_ids):
+        print(f"  {PAPER_NAMES[k]}' = {render(iteration.matrix.row(k))}")
+    print()
+
+    lam = eigenvalue(iteration.matrix)
+    print(f"max-plus eigenvalue of the iteration matrix: {lam}")
+    print(f"=> iteration period {lam}, throughput of L = 2/{lam}, of R = 1/{lam}")
+    print("(paper: 'the left actor fires consuming tokens labelled t1 and t2' —")
+    print(" its firing ends at max(t1+3, t2+3), the second at max(t1+6, t2+6, t3+3))")
+
+
+if __name__ == "__main__":
+    main()

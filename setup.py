@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml because this offline environment lacks the
+``wheel`` package that PEP 660 editable installs require; with setup.py
+present, ``pip install -e .`` falls back to the legacy editable path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — reproduction of "Reduction Techniques for Synchronous Dataflow Graphs".
+
+This package reimplements, from scratch, the system described in
+
+    M. Geilen, "Reduction Techniques for Synchronous Dataflow Graphs",
+    Proc. 46th Design Automation Conference (DAC'09), pp. 911-916, 2009.
+
+It contains a complete timed-SDF analysis substrate (repetition vectors,
+scheduling, self-timed simulation, the classical SDF-to-HSDF conversion,
+max-plus algebra and maximum cycle mean/ratio solvers) plus the paper's two
+contributions:
+
+* the conservative *abstraction* transformation (Sections 4-5 of the
+  paper): :mod:`repro.core.abstraction`, :mod:`repro.core.unfolding` and
+  :mod:`repro.core.conservativity`;
+* the *symbolic* SDF-to-HSDF conversion (Section 6, Algorithm 1):
+  :mod:`repro.core.symbolic` and :mod:`repro.core.hsdf_conversion`.
+
+Quickstart::
+
+    from repro import SDFGraph, throughput, convert_to_hsdf
+
+    g = SDFGraph("example")
+    g.add_actor("A", execution_time=3)
+    g.add_actor("B", execution_time=1)
+    g.add_edge("A", "B", production=1, consumption=2, tokens=2)
+    g.add_edge("B", "A", production=2, consumption=1, tokens=2)
+
+    print(throughput(g).per_actor["A"])   # exact Fraction, firings/time
+    h = convert_to_hsdf(g)                # compact HSDF (Algorithm 1)
+"""
+
+from repro.sdf.graph import Actor, Edge, SDFGraph
+from repro.sdf.repetition import repetition_vector, is_consistent
+from repro.sdf.schedule import sequential_schedule
+from repro.sdf.transform import traditional_hsdf
+from repro.analysis.throughput import throughput, ThroughputResult
+from repro.analysis.latency import latency
+from repro.analysis.bottleneck import bottleneck
+from repro.analysis.transient import transient_analysis
+from repro.analysis.periodic_schedule import rate_optimal_schedule
+from repro.core.abstraction import Abstraction, abstract_graph
+from repro.core.unfolding import unfold
+from repro.core.conservativity import dominates
+from repro.core.hsdf_conversion import convert_to_hsdf, sdf_to_maxplus_matrix
+from repro.core.pruning import prune_redundant_edges
+from repro.core.grouping import discover_abstraction
+
+__all__ = [
+    "Actor",
+    "Edge",
+    "SDFGraph",
+    "repetition_vector",
+    "is_consistent",
+    "sequential_schedule",
+    "traditional_hsdf",
+    "throughput",
+    "ThroughputResult",
+    "latency",
+    "bottleneck",
+    "transient_analysis",
+    "rate_optimal_schedule",
+    "Abstraction",
+    "abstract_graph",
+    "unfold",
+    "dominates",
+    "convert_to_hsdf",
+    "sdf_to_maxplus_matrix",
+    "prune_redundant_edges",
+    "discover_abstraction",
+]
+
+__version__ = "1.0.0"

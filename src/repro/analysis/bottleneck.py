@@ -1,0 +1,88 @@
+"""Critical-cycle (bottleneck) reporting.
+
+Throughput analyses answer "how fast"; designers next ask "*what* is in
+the way".  The critical cycle of the iteration matrix names the initial
+tokens whose recurrent dependency chain attains the eigenvalue; mapping
+them back to channels (and their endpoint actors) points at the part of
+the model to optimise — add pipeline slack (tokens), speed up the actors
+on the chain, or re-map them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.core.symbolic import SymbolicIteration, TokenId, symbolic_iteration
+from repro.maxplus.spectral import critical_indices
+from repro.sdf.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """The recurrence-critical part of a timed SDF graph.
+
+    ``cycle_time`` is the iteration period λ; ``tokens`` the critical
+    initial tokens in cycle order; ``channels`` their channels;
+    ``actors`` the endpoint actors of those channels (a superset of the
+    firing chain that realises the cycle); ``slack_per_token`` says how
+    much one extra pipeline token on each critical channel could help at
+    most (λ is a max over cycle *ratios*: weight over token count).
+    """
+
+    cycle_time: Optional[Fraction]
+    tokens: Tuple[TokenId, ...]
+    channels: Tuple[str, ...]
+    actors: Tuple[str, ...]
+
+    @property
+    def bounded(self) -> bool:
+        return self.cycle_time is not None
+
+    @property
+    def slack_per_token(self) -> Optional[Fraction]:
+        """λ·|cycle|/(|cycle|+1): the period if one extra token were
+        spread onto the critical token cycle (a lower bound on what any
+        single added pipeline register can achieve)."""
+        if self.cycle_time is None or not self.tokens:
+            return None
+        length = len(self.tokens)
+        return self.cycle_time * length / (length + 1)
+
+    def describe(self) -> str:
+        if not self.bounded:
+            return "no recurrent constraint: throughput unbounded"
+        token_list = ", ".join(str(t) for t in self.tokens)
+        actor_list = ", ".join(self.actors)
+        return (
+            f"iteration period {self.cycle_time}; critical tokens: "
+            f"{token_list}; actors on the critical channels: {actor_list}"
+        )
+
+
+def bottleneck(
+    graph: SDFGraph, iteration: Optional[SymbolicIteration] = None
+) -> BottleneckReport:
+    """Locate the critical cycle of ``graph``'s iteration matrix."""
+    if iteration is None:
+        iteration = symbolic_iteration(graph)
+    lam, indices = critical_indices(iteration.matrix)
+    if lam is None:
+        return BottleneckReport(None, (), (), ())
+    tokens = tuple(iteration.token_ids[i] for i in indices)
+    channels: List[str] = []
+    actors: List[str] = []
+    for token in tokens:
+        if token.edge not in channels:
+            channels.append(token.edge)
+        edge = graph.edge(token.edge)
+        for actor in (edge.source, edge.target):
+            if actor not in actors:
+                actors.append(actor)
+    return BottleneckReport(
+        cycle_time=Fraction(lam),
+        tokens=tokens,
+        channels=tuple(channels),
+        actors=tuple(actors),
+    )

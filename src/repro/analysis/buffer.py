@@ -1,0 +1,152 @@
+"""Buffer-capacity modelling and sizing.
+
+SDF channels are conceptually unbounded; a finite buffer of capacity
+``β`` on channel ``a → b`` is modelled by a *reverse* edge ``b → a`` with
+``β − d`` initial tokens (space), consumption = the forward production
+rate and production = the forward consumption rate — the standard
+construction used in throughput/buffer trade-off exploration (Stuijk et
+al., reference [18] of the paper; Wiggers et al., reference [19]).
+
+On top of that model this module offers:
+
+* :func:`channel_occupancy_bounds` — exact peak occupancy per channel in
+  the periodic regime of self-timed execution;
+* :func:`minimal_buffer_sizes` — the smallest per-channel capacities that
+  keep the graph deadlock-free (liveness-oriented sizing);
+* :func:`buffer_aware_throughput` — throughput under given capacities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import DeadlockError, ValidationError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.schedule import is_live
+from repro.sdf.simulation import SelfTimedSimulation, simulation_throughput
+
+
+def buffer_aware_graph(
+    graph: SDFGraph, capacities: Dict[str, int], name: Optional[str] = None
+) -> SDFGraph:
+    """A copy of ``graph`` with finite buffers modelled by reverse edges.
+
+    ``capacities`` maps edge names to capacities (in tokens); channels not
+    listed stay unbounded.  A capacity smaller than a channel's initial
+    tokens is rejected — the initial state would already overflow.
+    """
+    result = graph.copy(name or f"{graph.name}-buffered")
+    for edge_name, capacity in capacities.items():
+        edge = graph.edge(edge_name)
+        if capacity < edge.tokens:
+            raise ValidationError(
+                f"capacity {capacity} of {edge_name!r} is below its "
+                f"{edge.tokens} initial tokens"
+            )
+        result.add_edge(
+            edge.target,
+            edge.source,
+            production=edge.consumption,
+            consumption=edge.production,
+            tokens=capacity - edge.tokens,
+            name=f"space_{edge_name}",
+        )
+    return result
+
+
+def buffer_aware_throughput(
+    graph: SDFGraph, capacities: Dict[str, int], method: str = "symbolic"
+):
+    """Throughput of ``graph`` under finite buffer capacities.
+
+    Returns a :class:`repro.analysis.throughput.ThroughputResult`; smaller
+    capacities can only lower throughput (more dependencies — the same
+    monotonicity as Proposition 1 of the paper).
+
+    ``method`` selects the throughput back-end.  The symbolic default is
+    usually fastest, but its cost grows with the *total token count* —
+    which includes the space tokens this model introduces — so for very
+    generous capacities the ``"hsdf"`` back-end (whose cost depends on
+    the repetition vector instead) can be the better choice.
+    """
+    from repro.analysis.throughput import throughput  # local: avoid cycle
+
+    return throughput(buffer_aware_graph(graph, capacities), method=method)
+
+
+def channel_occupancy_bounds(graph: SDFGraph) -> Dict[str, int]:
+    """Peak token count per channel over the transient and one full period
+    of self-timed execution (an exact bound for the unbounded execution,
+    since the behaviour is periodic afterwards).
+
+    Requires a periodic self-timed execution — in practice a strongly
+    connected graph (or one made so by finite buffers, see
+    :func:`buffer_aware_graph`); raises
+    :class:`repro.errors.ConvergenceError` when tokens build up without
+    bound and no period exists."""
+    measured = simulation_throughput(graph)  # establishes periodicity exists
+    sim = SelfTimedSimulation(graph)
+    peak = {e.name: e.tokens for e in graph.edges}
+    horizon = measured.transient + measured.period
+    while not sim.is_deadlocked and sim.now <= horizon:
+        for edge_name, count in sim.tokens.items():
+            if count > peak[edge_name]:
+                peak[edge_name] = count
+        sim.step()
+    return peak
+
+
+def minimal_buffer_sizes(
+    graph: SDFGraph, max_capacity: int = 10_000
+) -> Dict[str, int]:
+    """Smallest per-channel capacities preserving liveness.
+
+    Greedy per-channel binary search against a liveness check, starting
+    from the structural lower bound ``max(p, c, d)`` for each channel.
+    Channels are processed in insertion order with all *other* channels
+    unbounded, then the combination is verified live (and capacities are
+    bumped jointly if the combination deadlocks — rare, but buffer
+    minimality is not channel-separable in general).
+    """
+    lower: Dict[str, int] = {}
+    for edge in graph.edges:
+        if edge.is_self_loop:
+            continue  # a self-loop already bounds itself
+        lower[edge.name] = max(edge.production, edge.consumption, edge.tokens)
+
+    sizes: Dict[str, int] = {}
+    for edge_name, start in lower.items():
+        lo, hi = start, None
+        probe = start
+        while probe <= max_capacity:
+            if is_live(buffer_aware_graph(graph, {edge_name: probe})):
+                hi = probe
+                break
+            probe *= 2
+        if hi is None:
+            raise DeadlockError(
+                f"channel {edge_name!r} needs more than {max_capacity} tokens "
+                "of buffer space to stay live"
+            )
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if is_live(buffer_aware_graph(graph, {edge_name: mid})):
+                hi = mid
+            else:
+                lo = mid + 1
+        sizes[edge_name] = hi
+
+    # Joint verification: grow capacities together until the combination
+    # is live (monotone, so this terminates).
+    combined = dict(sizes)
+    while not is_live(buffer_aware_graph(graph, combined)):
+        grew = False
+        for edge_name in combined:
+            if combined[edge_name] < max_capacity:
+                combined[edge_name] += 1
+                grew = True
+        if not grew:
+            raise DeadlockError(
+                f"no live buffer assignment within capacity {max_capacity}"
+            )
+    return combined

@@ -1,0 +1,174 @@
+"""Throughput/buffer-size trade-off exploration (references [18, 19]).
+
+Stuijk, Geilen & Basten explore the Pareto space between total buffer
+capacity and throughput; Wiggers et al. compute capacities for a rate
+target.  This module implements the classic storage-distribution
+exploration loop on top of this library's exact analyses:
+
+1. start from the minimal live capacities;
+2. analyse the buffered graph;
+3. probe each channel with one extra token of capacity and keep the
+   single increment that lowers the cycle time the most (when a plateau
+   needs several buffers to grow together, grow them together);
+4. stop when the unbounded-buffer throughput is reached (or capacities
+   hit a budget).
+
+Note a subtlety this design dodges deliberately: one cannot simply grow
+"the channel whose space token lies on the critical cycle", because a
+buffer constraint can bind through a dependency chain that *rests* on
+other tokens entirely (the space tokens are consumed and reproduced
+within one iteration).  Probing sidesteps the attribution problem at the
+cost of one analysis per channel per step — exact and simple.
+
+The points produced are cycle-time-monotone (buffer growth only removes
+dependencies), and the final point provably achieves the graph's own
+maximal throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.buffer import buffer_aware_graph, minimal_buffer_sizes
+from repro.analysis.throughput import throughput
+from repro.errors import DeadlockError, ValidationError
+from repro.sdf.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One explored design point."""
+
+    capacities: Dict[str, int]
+    cycle_time: Fraction
+
+    @property
+    def total_buffer(self) -> int:
+        return sum(self.capacities.values())
+
+    @property
+    def throughput(self) -> Fraction:
+        return 1 / self.cycle_time
+
+
+def _buffered_cycle_time(graph: SDFGraph, capacities: Dict[str, int]) -> Fraction:
+    return throughput(buffer_aware_graph(graph, capacities)).cycle_time
+
+
+def explore_buffer_throughput(
+    graph: SDFGraph,
+    max_total_buffer: int = 100_000,
+    capacities: Optional[Dict[str, int]] = None,
+) -> List[ParetoPoint]:
+    """The buffer/throughput trade-off curve of ``graph``.
+
+    Returns the sequence of explored points, cycle times non-increasing;
+    the last point matches the unbounded-buffer cycle time unless the
+    budget ran out first.  ``capacities`` overrides the starting point
+    (default: the minimal live sizes).
+    """
+    unbounded = throughput(graph)
+    if unbounded.unbounded:
+        raise ValidationError(
+            "the unbounded-buffer throughput is itself unbounded; add "
+            "self-loops (with_self_loops) to make the target well defined"
+        )
+    target = unbounded.cycle_time
+    if capacities is None:
+        capacities = minimal_buffer_sizes(graph)
+    else:
+        capacities = dict(capacities)
+    if not capacities:
+        # Nothing to size (all channels are self-loops): a single point.
+        return [ParetoPoint(capacities={}, cycle_time=target)]
+
+    current = _buffered_cycle_time(graph, capacities)
+    points: List[ParetoPoint] = [ParetoPoint(dict(capacities), current)]
+    while current != target and sum(capacities.values()) < max_total_buffer:
+        # Probe each single-channel increment.
+        best_channel = None
+        best_time = current
+        for channel in capacities:
+            probe = dict(capacities)
+            probe[channel] += 1
+            time = _buffered_cycle_time(graph, probe)
+            if time < best_time:
+                best_time = time
+                best_channel = channel
+        if best_channel is not None:
+            capacities[best_channel] += 1
+            current = best_time
+        else:
+            # Plateau: several buffers must grow together; grow them all.
+            for channel in capacities:
+                capacities[channel] += 1
+            current = _buffered_cycle_time(graph, capacities)
+        points.append(ParetoPoint(dict(capacities), current))
+    return points
+
+
+def capacities_for_throughput(
+    graph: SDFGraph,
+    max_cycle_time: Fraction,
+    max_total_buffer: int = 100_000,
+) -> Dict[str, int]:
+    """Small buffer capacities meeting a throughput constraint.
+
+    The problem of reference [19] (Wiggers et al., DAC'07): find channel
+    capacities such that the buffered graph sustains at least the given
+    rate (cycle time at most ``max_cycle_time``).  Strategy: walk the
+    exploration loop until the constraint holds, then greedily shrink
+    each channel while the constraint still holds — a locally minimal
+    (not necessarily globally minimal: the problem is NP-hard) solution.
+
+    Raises :class:`ValidationError` when the constraint is below the
+    graph's own bound (unreachable with any buffering) and
+    :class:`DeadlockError`-family errors propagate from sizing.
+    """
+    best = throughput(graph)
+    if best.unbounded or best.cycle_time > max_cycle_time:
+        raise ValidationError(
+            f"cycle time {max_cycle_time} is unreachable: the unbounded-buffer "
+            f"bound is {None if best.unbounded else best.cycle_time}"
+        )
+    points = explore_buffer_throughput(graph, max_total_buffer=max_total_buffer)
+    feasible = next(
+        (p for p in points if p.cycle_time <= max_cycle_time), None
+    )
+    if feasible is None:
+        raise ValidationError(
+            f"no capacities within budget {max_total_buffer} meet cycle "
+            f"time {max_cycle_time}"
+        )
+    capacities = dict(feasible.capacities)
+
+    # Greedy shrink: channels in decreasing capacity, repeatedly.
+    improved = True
+    while improved:
+        improved = False
+        for channel in sorted(capacities, key=lambda c: -capacities[c]):
+            while capacities[channel] > 0:
+                probe = dict(capacities)
+                probe[channel] -= 1
+                try:
+                    time = _buffered_cycle_time(graph, probe)
+                except (DeadlockError, ValidationError):
+                    break  # deadlocked or below initial tokens: stop here
+                if time <= max_cycle_time:
+                    capacities = probe
+                    improved = True
+                else:
+                    break
+    return capacities
+
+
+def pareto_frontier(points: List[ParetoPoint]) -> List[ParetoPoint]:
+    """Filter explored points down to the non-dominated frontier
+    (smaller total buffer, smaller cycle time)."""
+    frontier: List[ParetoPoint] = []
+    for point in sorted(points, key=lambda p: (p.total_buffer, p.cycle_time)):
+        if all(point.cycle_time < kept.cycle_time for kept in frontier):
+            frontier.append(point)
+    return frontier

@@ -1,0 +1,123 @@
+"""Sensitivity of the iteration period to actor execution times.
+
+For a timed SDF graph with period λ, each actor ``a`` has an exact
+directional derivative ``dλ/dT(a)``: if the critical cycle of the
+(traditional-HSDF) cycle-ratio view contains ``m`` firings of ``a`` over
+``t`` tokens, then slowing every firing of ``a`` by δ increases the
+critical cycle's ratio by ``(m/t)·δ`` — and λ by exactly that, for small
+enough δ.  Actors off every critical cycle have derivative 0 and a
+positive *slack*: the largest slowdown that leaves λ unchanged.
+
+This is the "what should I optimise" companion to
+:mod:`repro.analysis.bottleneck`: sensitivity says how much each actor's
+speed matters, slack says how much head-room non-critical actors have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.analysis.throughput import hsdf_cycle_ratio_graph, throughput
+from repro.errors import ValidationError
+from repro.mcm.howard import howard_mcr
+from repro.sdf.graph import SDFGraph
+from repro.sdf.transform import traditional_hsdf
+
+
+def _copy_owner(copy_name: str) -> str:
+    """Original actor of an HSDF copy name ('a#3' → 'a')."""
+    base, _, _ = copy_name.rpartition("#")
+    return base or copy_name
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Exact first-order sensitivities of the iteration period."""
+
+    cycle_time: Fraction
+    #: dλ/dT(a) per actor (0 for actors off every critical cycle).
+    derivative: Dict[str, Fraction]
+
+    def critical_actors(self) -> list:
+        return [a for a, d in self.derivative.items() if d > 0]
+
+
+def sensitivity(graph: SDFGraph) -> SensitivityReport:
+    """Exact dλ/dT(a) for every actor of a consistent live graph.
+
+    Computed from one critical cycle of the firing-granular cycle-ratio
+    view: the derivative of a cycle's ratio w.r.t. T(a) is (number of
+    a-firings on the cycle)/(tokens on the cycle).  When several cycles
+    are simultaneously critical the reported values are those of the one
+    found — a valid subgradient (the true dλ/dT is their maximum).
+    """
+    expanded = graph if graph.is_homogeneous() else traditional_hsdf(graph)
+    result = howard_mcr(hsdf_cycle_ratio_graph(expanded))
+    if result.value is None:
+        raise ValidationError("acyclic graph: the period is unbounded below")
+    tokens = sum(e.transit for e in result.cycle)
+    counts: Dict[str, int] = {}
+    for edge in result.cycle:
+        # Edge weights carry the *source* actor's execution time.
+        owner = _copy_owner(str(edge.source)) if not graph.is_homogeneous() else edge.source
+        counts[owner] = counts.get(owner, 0) + 1
+    derivative = {
+        a: Fraction(counts.get(a, 0), tokens) for a in graph.actor_names
+    }
+    return SensitivityReport(cycle_time=Fraction(result.value), derivative=derivative)
+
+
+def slack(graph: SDFGraph, actor: str, max_slack: int = 10**9) -> Fraction:
+    """How much ``actor`` may slow down (per firing) without changing λ.
+
+    0 for critical actors; exact value found by analysing the graph with
+    the actor's time replaced symbolically — concretely, by re-running
+    the analysis at candidate times and bisecting on the exact rationals
+    (the map T(a) → λ is piecewise linear and non-decreasing).
+    """
+    graph.actor(actor)
+    base = throughput(graph, method="hsdf").cycle_time
+
+    def period_with(extra: Fraction) -> Fraction:
+        probe = graph.copy()
+        probe.set_execution_time(actor, graph.execution_time(actor) + extra)
+        return throughput(probe, method="hsdf").cycle_time
+
+    if period_with(Fraction(0)) != base:  # pragma: no cover - sanity
+        raise AssertionError("non-deterministic analysis")
+
+    # Exponential search for an upper bound where λ changes.
+    high = Fraction(1)
+    while period_with(high) == base:
+        high *= 2
+        if high > max_slack:
+            return Fraction(max_slack)
+    low = Fraction(0)
+    # λ(T) is piecewise linear with breakpoints at rationals whose
+    # denominators divide some cycle's token count; bisect until the
+    # bracket pins the unique breakpoint, then return the lower end.
+    token_bound = max(
+        1, sum(e.tokens for e in (graph if graph.is_homogeneous() else traditional_hsdf(graph)).edges)
+    )
+    gap = Fraction(1, token_bound * token_bound)
+    while high - low > gap:
+        mid = (low + high) / 2
+        if period_with(mid) == base:
+            low = mid
+        else:
+            high = mid
+    # The breakpoint is the largest t with λ(t) == base in [low, high];
+    # scan the few candidate rationals with denominator <= token_bound.
+    from fractions import Fraction as F
+
+    best = low
+    for denominator in range(1, token_bound + 1):
+        numerator = int(high * denominator)
+        for num in (numerator - 1, numerator, numerator + 1):
+            candidate = F(num, denominator)
+            if low <= candidate <= high and period_with(candidate) == base:
+                if candidate > best:
+                    best = candidate
+    return best

@@ -1,0 +1,154 @@
+"""Throughput analysis of timed SDF graphs.
+
+The throughput of actor ``a`` is its guaranteed sustainable firing rate
+under self-timed execution: γ(a)/λ firings per time unit, where λ is the
+*iteration period* — the asymptotic time between successive iterations.
+Three independent back-ends compute λ exactly:
+
+``symbolic`` (default)
+    Execute one iteration symbolically (Algorithm 1's engine); λ is the
+    max-plus eigenvalue of the iteration matrix, found as the maximum
+    cycle mean of its precedence graph with Karp's algorithm.  This is
+    the method the paper's conversion is built on and is usually the
+    fastest by far.
+
+``simulation``
+    Explicit self-timed state-space exploration until a recurrent state
+    (Ghamarian et al., reference [8]); λ is period/iterations over the
+    recurrence window.
+
+``hsdf``
+    Expand to the traditional HSDF and take the maximum cycle ratio
+    (execution time over tokens) — the classical approach whose size
+    explosion motivates Section 6 of the paper.
+
+For graphs that are not strongly connected the guaranteed rate is still
+γ(a)/λ with λ the global worst cycle; actors not dominated by the
+critical cycle may run faster in simulation, which measures actual rather
+than guaranteed rates (documented difference, covered by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.errors import ValidationError
+from repro.maxplus.spectral import eigenvalue
+from repro.mcm.graphlib import RatioGraph
+from repro.mcm.howard import howard_mcr
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.simulation import simulation_throughput
+from repro.sdf.transform import traditional_hsdf
+from repro.core.symbolic import symbolic_iteration
+
+
+@dataclass
+class ThroughputResult:
+    """Exact throughput of a timed SDF graph.
+
+    ``cycle_time`` is the iteration period λ (``None`` when no cycle
+    constrains the execution: iterations overlap without bound and every
+    rate below is infinite — represented by omitting the actor from
+    ``per_actor``... never silently: ``unbounded`` is set instead).
+    """
+
+    cycle_time: Optional[Fraction]
+    repetition: Dict[str, int]
+    method: str
+
+    @property
+    def unbounded(self) -> bool:
+        return self.cycle_time is None or self.cycle_time == 0
+
+    @property
+    def per_actor(self) -> Dict[str, Fraction]:
+        """Guaranteed firings per time unit for every actor: γ(a)/λ."""
+        if self.unbounded:
+            raise ValidationError(
+                "throughput is unbounded (no recurrent timing constraint); "
+                "check .unbounded before reading rates"
+            )
+        return {
+            a: Fraction(g, 1) / self.cycle_time for a, g in self.repetition.items()
+        }
+
+    def of(self, actor: str) -> Fraction:
+        return self.per_actor[actor]
+
+
+def hsdf_cycle_ratio_graph(graph: SDFGraph) -> RatioGraph:
+    """The cycle-ratio view of an HSDF graph.
+
+    Edge ``a → b`` with ``d`` tokens becomes a ratio edge of weight
+    ``T(a)`` and transit ``d``; the maximum cycle ratio is the iteration
+    period.  (Completion of ``a`` feeds ``b``, so the source's execution
+    time is the edge weight — the standard MCM formulation of HSDF
+    throughput, cf. reference [5] of the paper.)
+    """
+    if not graph.is_homogeneous():
+        raise ValidationError(
+            "cycle-ratio throughput needs a homogeneous graph; convert first"
+        )
+    ratio = RatioGraph()
+    for actor in graph.actor_names:
+        ratio.add_node(actor)
+    for edge in graph.edges:
+        ratio.add_edge(
+            edge.source,
+            edge.target,
+            Fraction(graph.execution_time(edge.source)),
+            edge.tokens,
+            key=edge.name,
+        )
+    return ratio
+
+
+def throughput(graph: SDFGraph, method: str = "symbolic") -> ThroughputResult:
+    """Compute the exact throughput of ``graph`` (see module docstring).
+
+    Raises :class:`DeadlockError` for deadlocked graphs,
+    :class:`InconsistentGraphError` for inconsistent ones and
+    :class:`UnboundedThroughputError` when an actor has no incoming edges.
+    """
+    gamma = repetition_vector(graph)
+    if method == "symbolic":
+        iteration = symbolic_iteration(graph)
+        lam = eigenvalue(iteration.matrix)
+        return ThroughputResult(cycle_time=lam, repetition=gamma, method=method)
+    if method == "simulation":
+        measured = simulation_throughput(graph)
+        # Iterations per period: firings(a)/γ(a) is equal for all actors
+        # in the periodic phase of a consistent graph.
+        any_actor = next(iter(gamma))
+        iterations = Fraction(measured.firings_per_period[any_actor], gamma[any_actor])
+        for actor, count in measured.firings_per_period.items():
+            if Fraction(count, gamma[actor]) != iterations:
+                # Actors ahead of the critical cycle: report the slowest
+                # (guaranteed) rate, consistent with the other methods.
+                iterations = min(iterations, Fraction(count, gamma[actor]))
+        if iterations == 0:
+            raise ValidationError(
+                "periodic phase contains no complete iteration; "
+                "graph is not consistent with periodic execution"
+            )
+        lam = measured.period / iterations
+        return ThroughputResult(cycle_time=lam, repetition=gamma, method=method)
+    if method == "hsdf":
+        from repro.errors import DeadlockError
+        from repro.mcm.graphlib import ZeroTransitCycleError
+
+        expanded = graph if graph.is_homogeneous() else traditional_hsdf(graph)
+        try:
+            result = howard_mcr(hsdf_cycle_ratio_graph(expanded))
+        except ZeroTransitCycleError as error:
+            # A token-free dependency cycle is a deadlock; report it in
+            # the same vocabulary as the other back-ends.
+            raise DeadlockError(
+                f"graph {graph.name!r} deadlocks: token-free cycle "
+                f"{' -> '.join(str(n) for n in error.cycle[:6])}..."
+            ) from error
+        return ThroughputResult(cycle_time=result.value, repetition=gamma, method=method)
+    raise ValueError(f"unknown method {method!r}; use symbolic, simulation or hsdf")

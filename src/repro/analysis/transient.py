@@ -1,0 +1,88 @@
+"""Transient analysis: the start-up behaviour before the periodic regime.
+
+Self-timed executions of timed SDF graphs converge to a periodic regime
+with rate 1/λ, but the first iterations can be faster or slower — the
+transient matters for latency-critical start-up (first video frame,
+codec priming).  With the iteration matrix M, the token availability
+times after k iterations are ``x(k) = M^k ⊗ 0``, and the max-plus
+recurrence solver gives the whole trajectory in closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.core.symbolic import SymbolicIteration, symbolic_iteration
+from repro.maxplus.recurrence import Recurrence, solve_recurrence
+from repro.sdf.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class TransientAnalysis:
+    """Start-up profile of a timed SDF graph.
+
+    ``iteration_completions[k]`` is the time by which the tokens of
+    iteration k are all available (iteration 0 = the initial tokens at
+    time 0).  ``transient_iterations`` is the number of iterations before
+    the inter-iteration gap settles to the period pattern; ``period`` is
+    λ (time per iteration, averaged over one cyclicity window).
+    """
+
+    recurrence: Recurrence
+    iteration_completions: Tuple[Fraction, ...]
+    transient_iterations: int
+    period: Fraction
+
+    def completion(self, k: int) -> Fraction:
+        """Completion time of iteration ``k`` (any k, closed form)."""
+        if k < len(self.iteration_completions):
+            return self.iteration_completions[k]
+        return Fraction(self.recurrence.completion_time(k))
+
+    def gaps(self, count: int) -> List[Fraction]:
+        """The first ``count`` inter-iteration gaps."""
+        return [
+            Fraction(self.completion(k + 1)) - Fraction(self.completion(k))
+            for k in range(count)
+        ]
+
+
+def transient_analysis(
+    graph: SDFGraph,
+    horizon: int = 64,
+    iteration: Optional[SymbolicIteration] = None,
+) -> TransientAnalysis:
+    """Closed-form start-up profile of ``graph``.
+
+    ``horizon`` bounds how many explicit iteration completions are
+    tabulated (the closed form continues beyond it).
+    """
+    if iteration is None:
+        iteration = symbolic_iteration(graph)
+    recurrence = solve_recurrence(iteration.matrix)
+    explicit = max(horizon, recurrence.transient + 2 * recurrence.cyclicity)
+    completions = tuple(
+        Fraction(recurrence.completion_time(k)) for k in range(explicit + 1)
+    )
+    period = recurrence.rate
+    # Find when the gap sequence becomes periodic with the cyclicity:
+    gaps = [completions[k + 1] - completions[k] for k in range(explicit)]
+    cyc = recurrence.cyclicity
+    settle = recurrence.transient
+    while settle > 0:
+        candidate = settle - 1
+        if candidate + cyc < len(gaps) and all(
+            gaps[candidate + i] == gaps[candidate + i + cyc]
+            for i in range(min(cyc, len(gaps) - candidate - cyc))
+        ):
+            settle = candidate
+        else:
+            break
+    return TransientAnalysis(
+        recurrence=recurrence,
+        iteration_completions=completions,
+        transient_iterations=settle,
+        period=period,
+    )

@@ -1,0 +1,419 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Gives the library's analyses a design-flow-friendly surface::
+
+    python -m repro info graph.json
+    python -m repro throughput graph.xml --method symbolic
+    python -m repro convert graph.json -o compact.json
+    python -m repro convert graph.json --traditional -o expanded.xml
+    python -m repro abstract graph.json --strategy name -o abstract.json
+    python -m repro bottleneck graph.json
+    python -m repro schedule graph.json
+    python -m repro gantt builtin:figure1 --horizon 46
+    python -m repro lint graph.json
+    python -m repro csdf csdf-graph.json
+    python -m repro dot builtin:modem -o modem.dot
+    python -m repro table1
+
+Graphs are read from ``.json`` (the library's dict format) or ``.xml``
+(SDF3-style); the built-in benchmark suite is reachable as
+``builtin:<name>`` (see ``python -m repro builtins``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from fractions import Fraction
+
+from repro.analysis.latency import latency
+from repro.analysis.throughput import throughput
+from repro.core.abstraction import abstract_graph
+from repro.core.conservativity import verify_abstraction
+from repro.core.grouping import discover_abstraction
+from repro.core.hsdf_conversion import convert_to_hsdf
+from repro.core.pruning import prune_redundant_edges
+from repro.errors import ReproError
+from repro.graphs import TABLE1_CASES
+from repro.graphs.examples import figure2_graph, figure3_graph, section41_example
+from repro.graphs.synthetic import regular_prefetch, remote_memory_access
+from repro.sdf import io as sdf_io
+from repro.sdf.dot import to_dot
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import is_consistent, iteration_length, repetition_vector
+from repro.sdf.schedule import is_live
+from repro.sdf.transform import traditional_hsdf
+
+#: Graphs reachable as ``builtin:<name>`` from the command line.
+BUILTIN_GRAPHS = {
+    "figure1": section41_example,
+    "figure2": figure2_graph,
+    "figure3": figure3_graph,
+    "prefetch": regular_prefetch,
+    "remote-memory": lambda: remote_memory_access(64),
+    **{case.name.replace(" ", "-").replace(".", ""): case.factory for case in TABLE1_CASES},
+}
+
+
+def load_graph(spec: str) -> SDFGraph:
+    """Load a graph from a file path or a ``builtin:<name>`` spec."""
+    if spec.startswith("builtin:"):
+        name = spec[len("builtin:"):]
+        factory = BUILTIN_GRAPHS.get(name)
+        if factory is None:
+            raise ReproError(
+                f"unknown builtin {name!r}; available: {', '.join(sorted(BUILTIN_GRAPHS))}"
+            )
+        return factory()
+    path = pathlib.Path(spec)
+    text = path.read_text()
+    if path.suffix == ".xml":
+        return sdf_io.from_sdf3_xml(text)
+    return sdf_io.from_json(text)
+
+
+def save_graph(graph: SDFGraph, path_spec: str) -> None:
+    path = pathlib.Path(path_spec)
+    if path.suffix == ".xml":
+        path.write_text(sdf_io.to_sdf3_xml(graph))
+    elif path.suffix == ".dot":
+        path.write_text(to_dot(graph))
+    else:
+        path.write_text(sdf_io.to_json(graph))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, Fraction) and value.denominator != 1:
+        return f"{value} (~{float(value):.6g})"
+    return str(value)
+
+
+def cmd_info(args) -> int:
+    g = load_graph(args.graph)
+    print(f"graph:      {g.name}")
+    print(f"actors:     {g.actor_count()}")
+    print(f"edges:      {g.edge_count()}")
+    print(f"tokens:     {g.total_tokens()}")
+    print(f"homogeneous: {g.is_homogeneous()}")
+    print(f"strongly connected: {g.is_strongly_connected()}")
+    consistent = is_consistent(g)
+    print(f"consistent: {consistent}")
+    if consistent:
+        gamma = repetition_vector(g)
+        print(f"iteration length (sum of repetition vector): {sum(gamma.values())}")
+        if args.verbose:
+            for actor in g.actor_names:
+                print(f"  gamma({actor}) = {gamma[actor]}")
+        print(f"live:       {is_live(g)}")
+    return 0
+
+
+def cmd_throughput(args) -> int:
+    g = load_graph(args.graph)
+    result = throughput(g, method=args.method)
+    if result.unbounded:
+        print("throughput: unbounded (no recurrent timing constraint)")
+        return 0
+    print(f"iteration period: {_fmt(result.cycle_time)}")
+    for actor, rate in result.per_actor.items():
+        print(f"  rate({actor}) = {_fmt(rate)}")
+    return 0
+
+
+def cmd_latency(args) -> int:
+    g = load_graph(args.graph)
+    result = latency(g)
+    print(f"iteration makespan: {_fmt(result.makespan)}")
+    for actor, value in result.first_completion.items():
+        print(f"  first completion({actor}) = {_fmt(value)}")
+    return 0
+
+
+def cmd_convert(args) -> int:
+    g = load_graph(args.graph)
+    if args.traditional:
+        converted = traditional_hsdf(g)
+        print(f"traditional HSDF: {converted.actor_count()} actors, "
+              f"{converted.edge_count()} edges (= sum of repetition vector)")
+    else:
+        conversion = convert_to_hsdf(g)
+        converted = conversion.graph
+        n = len(conversion.token_ids)
+        print(f"compact HSDF: {conversion.actor_count} actors "
+              f"(bound N(N+2) = {n * (n + 2)}), {conversion.edge_count} edges, "
+              f"{conversion.token_count} tokens")
+    if args.output:
+        save_graph(converted, args.output)
+        print(f"written to {args.output}")
+    return 0
+
+
+def cmd_abstract(args) -> int:
+    g = load_graph(args.graph)
+    abstraction = discover_abstraction(g, strategy=args.strategy)
+    groups = abstraction.groups()
+    print(f"discovered {len(groups)} groups over {g.actor_count()} actors "
+          f"(N = {abstraction.phase_count} phases)")
+    for name, members in sorted(groups.items()):
+        preview = ", ".join(members[:4]) + (", …" if len(members) > 4 else "")
+        print(f"  {name}: {len(members)} actors ({preview})")
+    abstract = prune_redundant_edges(abstract_graph(g, abstraction))
+    print(f"abstract graph: {abstract.actor_count()} actors, {abstract.edge_count()} edges")
+    if args.verify:
+        cert = verify_abstraction(g, abstraction, check_dominance=not args.no_dominance)
+        print(f"exact cycle time:  {_fmt(cert.original_cycle_time)}")
+        print(f"abstract bound:    {_fmt(cert.bound_cycle_time)}")
+        print(f"conservative:      {cert.conservative}")
+        if cert.relative_error is not None:
+            print(f"relative error:    {_fmt(cert.relative_error)}")
+    if args.output:
+        save_graph(abstract, args.output)
+        print(f"written to {args.output}")
+    return 0
+
+
+def cmd_bottleneck(args) -> int:
+    from repro.analysis.bottleneck import bottleneck
+
+    g = load_graph(args.graph)
+    report = bottleneck(g)
+    print(report.describe())
+    if report.bounded and report.slack_per_token is not None:
+        print(f"best case with one extra critical token: period "
+              f"{_fmt(report.slack_per_token)}")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    from repro.analysis.periodic_schedule import rate_optimal_schedule
+
+    g = load_graph(args.graph)
+    schedule = rate_optimal_schedule(g)
+    print(f"rate-optimal static periodic schedule, period {_fmt(schedule.period)}")
+    for (actor, index), offset in sorted(
+        schedule.offsets.items(), key=lambda kv: (kv[1], kv[0])
+    ):
+        print(f"  t = {str(offset):>8}  {actor}#{index}")
+    return 0
+
+
+def load_csdf(spec: str):
+    import pathlib as _pathlib
+
+    from repro.csdf.io import from_json as csdf_from_json
+
+    return csdf_from_json(_pathlib.Path(spec).read_text())
+
+
+def cmd_csdf(args) -> int:
+    from repro.analysis.throughput import throughput as sdf_throughput
+    from repro.csdf import (
+        csdf_repetition_vector,
+        csdf_throughput,
+        csdf_to_hsdf,
+        is_csdf_live,
+    )
+    from repro.csdf.analysis import is_csdf_consistent
+
+    g = load_csdf(args.graph)
+    print(f"CSDF graph: {g.name}: {g.actor_count()} actors, "
+          f"{g.edge_count()} edges, {g.total_tokens()} tokens")
+    if not is_csdf_consistent(g):
+        print("inconsistent: no repetition vector exists")
+        return 1
+    gamma = csdf_repetition_vector(g)
+    print(f"repetition vector (firings): {gamma}")
+    if not is_csdf_live(g):
+        print("deadlocked: no iteration completes")
+        return 1
+    result = csdf_throughput(g)
+    print(f"iteration period: {_fmt(result.cycle_time)}")
+    for actor, rate in result.per_actor.items():
+        print(f"  rate({actor}) = {_fmt(rate)}")
+    conversion = csdf_to_hsdf(g)
+    print(f"compact HSDF: {conversion.actor_count} actors "
+          f"(phase expansion: {sum(gamma.values())})")
+    if args.output:
+        save_graph(conversion.graph, args.output)
+        print(f"written to {args.output}")
+    return 0
+
+
+def cmd_map(args) -> int:
+    from repro.mapping import (
+        greedy_load_balance,
+        mapped_throughput,
+        processor_utilisation,
+        sweep_processor_counts,
+    )
+
+    g = load_graph(args.graph)
+    if args.processors:
+        mapping = greedy_load_balance(g, args.processors)
+        result = mapped_throughput(g, mapping)
+        print(f"{args.processors} processors: guaranteed period {_fmt(result.cycle_time)}")
+        for processor, value in sorted(processor_utilisation(g, mapping).items()):
+            actors = sorted(a for a, p in mapping.assignment.items() if p == processor)
+            print(f"  {processor}: utilisation {float(value):.2f}  ({', '.join(actors)})")
+        return 0
+    print(f"{'procs':>6} {'guaranteed period':>18} {'speedup':>8}")
+    points = sweep_processor_counts(g, max_processors=args.max_processors)
+    base = points[0].cycle_time
+    for point in points:
+        print(f"{point.processors:>6} {str(point.cycle_time):>18} "
+              f"{float(base / point.cycle_time):>7.2f}x")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.sdf.validation import validate_graph
+
+    g = load_graph(args.graph)
+    report = validate_graph(g)
+    print(report)
+    return 0 if report.ok else 1
+
+
+def cmd_gantt(args) -> int:
+    from fractions import Fraction
+
+    from repro.sdf.gantt import gantt
+
+    g = load_graph(args.graph)
+    print(gantt(g, Fraction(args.horizon), width=args.width))
+    return 0
+
+
+def cmd_dot(args) -> int:
+    g = load_graph(args.graph)
+    text = to_dot(g)
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    print(f"{'test case':<26} {'traditional':>11} {'new':>6} {'ratio':>8}")
+    for case in TABLE1_CASES:
+        g = case.build()
+        traditional = iteration_length(g)
+        compact = convert_to_hsdf(g)
+        print(f"{f'{case.index}. {case.name}':<26} {traditional:>11} "
+              f"{compact.actor_count:>6} {traditional / compact.actor_count:>8.2f}")
+    return 0
+
+
+def cmd_builtins(args) -> int:
+    for name in sorted(BUILTIN_GRAPHS):
+        print(f"builtin:{name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SDF graph reduction and analysis (Geilen, DAC 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="structural facts and consistency")
+    p.add_argument("graph")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("throughput", help="exact throughput analysis")
+    p.add_argument("graph")
+    p.add_argument("--method", choices=("symbolic", "simulation", "hsdf"),
+                   default="symbolic")
+    p.set_defaults(func=cmd_throughput)
+
+    p = sub.add_parser("latency", help="single-iteration latency")
+    p.add_argument("graph")
+    p.set_defaults(func=cmd_latency)
+
+    p = sub.add_parser("convert", help="SDF-to-HSDF conversion")
+    p.add_argument("graph")
+    p.add_argument("--traditional", action="store_true",
+                   help="classical expansion instead of the compact conversion")
+    p.add_argument("-o", "--output", help=".json, .xml or .dot file to write")
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser("abstract", help="discover and apply an abstraction")
+    p.add_argument("graph")
+    p.add_argument("--strategy", choices=("name", "structural"), default="name")
+    p.add_argument("--verify", action="store_true",
+                   help="verify conservativity (Theorem 1) numerically")
+    p.add_argument("--no-dominance", action="store_true",
+                   help="skip the Proposition-1 dominance check (large graphs)")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_abstract)
+
+    p = sub.add_parser("map", help="multiprocessor mapping sweep / analysis")
+    p.add_argument("graph")
+    p.add_argument("--processors", type=int, default=0,
+                   help="analyse one greedy mapping at this processor count")
+    p.add_argument("--max-processors", type=int, default=4,
+                   help="sweep 1..N processors (default 4)")
+    p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser("csdf", help="analyse a cyclo-static (CSDF) JSON graph")
+    p.add_argument("graph")
+    p.add_argument("-o", "--output",
+                   help="write the compact HSDF equivalent (.json/.xml/.dot)")
+    p.set_defaults(func=cmd_csdf)
+
+    p = sub.add_parser("lint", help="semantic validation report")
+    p.add_argument("graph")
+    p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("gantt", help="ASCII Gantt chart of self-timed execution")
+    p.add_argument("graph")
+    p.add_argument("--horizon", type=int, default=50,
+                   help="simulate until this time (default 50)")
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(func=cmd_gantt)
+
+    p = sub.add_parser("bottleneck", help="locate the critical cycle")
+    p.add_argument("graph")
+    p.set_defaults(func=cmd_bottleneck)
+
+    p = sub.add_parser("schedule", help="rate-optimal static periodic schedule")
+    p.add_argument("graph")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("dot", help="Graphviz DOT export")
+    p.add_argument("graph")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser("table1", help="regenerate Table 1 of the paper")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("builtins", help="list built-in graphs")
+    p.set_defaults(func=cmd_builtins)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. `head`).
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""Executable conservativity checks (Section 5 of the paper).
+
+Proposition 1 gives a *syntactic* dominance criterion between two timed
+SDF graphs: if graph ``B`` contains (an image of) every actor of ``A``
+with at-least-as-large execution times, and for every edge of ``A`` a
+matching edge with at most as many initial tokens, then ``B`` is slower —
+its throughput lower-bounds ``A``'s.  :func:`dominates` checks exactly
+these conditions.
+
+Theorem 1 composes Propositions 1-4: the N-fold unfolding of the abstract
+graph dominates the original graph under the phase map σ(a) = α(a)_{I(a)},
+so τ(a) ≥ τ'(α(a))/N.  :func:`verify_abstraction` performs the entire
+chain mechanically — the syntactic check *and* the numeric throughput
+comparison — turning the paper's proof sketch into a regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.abstraction import Abstraction, abstract_graph
+from repro.core.unfolding import phase_name, unfold
+from repro.sdf.graph import SDFGraph
+
+
+def dominates(
+    conservative: SDFGraph,
+    original: SDFGraph,
+    actor_map: Optional[Dict[str, str]] = None,
+    explain: bool = False,
+):
+    """Does ``conservative`` dominate ``original`` per Proposition 1?
+
+    ``actor_map`` maps each actor of ``original`` to its image in
+    ``conservative`` (default: identity on names).  Dominance requires:
+
+    * every original actor has an image, and images are distinct;
+    * image execution times are at least the original ones;
+    * for every original edge ``(a, b, p, c, d)`` there is an edge
+      ``(σ(a), σ(b), p, c, d')`` with ``d' ≤ d``.
+
+    With ``explain=True`` returns ``(bool, [reasons])``; otherwise a bool.
+    A ``True`` answer certifies τ_original(a) ≥ τ_conservative(σ(a)) for
+    every actor ``a``.
+    """
+    if actor_map is None:
+        actor_map = {a: a for a in original.actor_names}
+
+    reasons: List[str] = []
+    images = {}
+    for actor in original.actor_names:
+        image = actor_map.get(actor)
+        if image is None:
+            reasons.append(f"actor {actor!r} has no image")
+            continue
+        if not conservative.has_actor(image):
+            reasons.append(f"image {image!r} of {actor!r} is not in the graph")
+            continue
+        if image in images:
+            reasons.append(
+                f"actors {images[image]!r} and {actor!r} share image {image!r} "
+                "(the embedding must be injective)"
+            )
+            continue
+        images[image] = actor
+        if conservative.execution_time(image) < original.execution_time(actor):
+            reasons.append(
+                f"image {image!r} is faster than {actor!r} "
+                f"({conservative.execution_time(image)} < "
+                f"{original.execution_time(actor)})"
+            )
+
+    for edge in original.edges:
+        src = actor_map.get(edge.source)
+        dst = actor_map.get(edge.target)
+        if src is None or dst is None:
+            continue  # already reported above
+        candidates = [
+            e
+            for e in conservative.out_edges(src)
+            if e.target == dst
+            and e.production == edge.production
+            and e.consumption == edge.consumption
+            and e.tokens <= edge.tokens
+        ]
+        if not candidates:
+            reasons.append(
+                f"edge {edge.name} ({edge.source}->{edge.target}, d={edge.tokens}) "
+                f"has no counterpart {src}->{dst} with at most {edge.tokens} tokens"
+            )
+
+    ok = not reasons
+    return (ok, reasons) if explain else ok
+
+
+def sigma_map(abstraction: Abstraction) -> Dict[str, str]:
+    """The embedding σ of Section 5: actor ``a`` → unfolded phase copy
+    ``α(a)@I(a)``."""
+    return {
+        actor: phase_name(abstraction.mapping[actor], abstraction.index[actor])
+        for actor in abstraction.mapping
+    }
+
+
+@dataclass
+class AbstractionCertificate:
+    """Everything :func:`verify_abstraction` established.
+
+    The certificate carries the abstract graph, its unfolding, the
+    embedding σ, the syntactic dominance verdict, and (when throughput
+    was computed) the exact cycle times on both sides.
+    """
+
+    abstract: SDFGraph
+    unfolded: Optional[SDFGraph]
+    sigma: Dict[str, str]
+    dominance: bool
+    dominance_reasons: List[str]
+    original_cycle_time: Optional[Fraction] = None
+    bound_cycle_time: Optional[Fraction] = None
+    #: A valid abstraction may still deadlock (delays shuffled between
+    #: phases); Theorem 1 then holds vacuously — the bound is zero
+    #: throughput, conservative for any original behaviour.
+    abstract_deadlocked: bool = False
+
+    @property
+    def conservative(self) -> Optional[bool]:
+        """True iff the abstract bound is indeed no faster than reality
+        (``None`` when throughput was not evaluated)."""
+        if self.abstract_deadlocked:
+            return True
+        if self.original_cycle_time is None or self.bound_cycle_time is None:
+            return None
+        return self.bound_cycle_time >= self.original_cycle_time
+
+    @property
+    def relative_error(self) -> Optional[Fraction]:
+        """(bound − exact) / exact on cycle times; 0 means the abstraction
+        is lossless for throughput (``None`` for a deadlocked, i.e.
+        infinitely pessimistic, bound)."""
+        if not self.conservative and self.conservative is not None:
+            raise AssertionError("bound is not conservative; no error to report")
+        if self.abstract_deadlocked:
+            return None
+        if self.original_cycle_time in (None, 0) or self.bound_cycle_time is None:
+            return None
+        return (
+            self.bound_cycle_time - self.original_cycle_time
+        ) / self.original_cycle_time
+
+
+def verify_abstraction(
+    graph: SDFGraph,
+    abstraction: Abstraction,
+    check_throughput: bool = True,
+    check_dominance: bool = True,
+) -> AbstractionCertificate:
+    """Run the full Section-5 argument on a concrete graph and abstraction.
+
+    1. Build the abstract graph (Definition 4) and its N-fold unfolding
+       (Definition 5).
+    2. Check that the unfolding dominates the original graph under σ
+       (Propositions 3 and 4 feeding Proposition 1).  The check runs on
+       the *unpruned* abstract graph: every original edge has its exact
+       phase-pair counterpart there (with equal delay — the content of
+       Proposition 4), whereas pruning merges parallel edges of
+       different delays onto different phase pairs.
+    3. Optionally compare exact cycle times: the abstract graph's
+       iteration period, scaled by N (Proposition 2 / Theorem 1), must be
+       conservative.  This uses the *pruned* abstract graph — pruning
+       preserves throughput and keeps the analysis small even when a
+       regular graph maps thousands of edges onto one abstract pair.
+
+    ``check_dominance=False`` skips step 2 (useful for very large graphs
+    whose unpruned unfolding would hold |D|·N edges; the counterpart
+    property is exact by construction and covered by the test suite).
+
+    Raises :class:`AssertionError` if any step fails — by Theorem 1, a
+    failure indicates a bug, not a property of the input.
+    """
+    from repro.analysis.throughput import throughput  # local: avoid cycle
+    from repro.core.pruning import prune_redundant_edges
+
+    raw_abstract = abstract_graph(graph, abstraction)
+    abstract = prune_redundant_edges(raw_abstract, name=f"{graph.name}-abstract")
+    n = abstraction.phase_count
+    sigma = sigma_map(abstraction)
+
+    unfolded = None
+    reasons: List[str] = []
+    if check_dominance:
+        unfolded = unfold(raw_abstract, n)
+        ok, reasons = dominates(unfolded, graph, sigma, explain=True)
+        if not ok:
+            raise AssertionError(
+                "unfolded abstract graph does not dominate the original: "
+                + "; ".join(reasons)
+            )
+
+    certificate = AbstractionCertificate(
+        abstract=abstract,
+        unfolded=unfolded,
+        sigma=sigma,
+        dominance=check_dominance,
+        dominance_reasons=reasons,
+    )
+    if check_throughput:
+        from repro.errors import DeadlockError
+
+        original = throughput(graph)
+        try:
+            bound = throughput(abstract)
+        except DeadlockError:
+            certificate.original_cycle_time = original.cycle_time
+            certificate.abstract_deadlocked = True
+            return certificate
+        certificate.original_cycle_time = original.cycle_time
+        # Theorem 1: τ(a) ≥ τ'(α(a))/N.  With homogeneous graphs
+        # (τ = 1/cycle_time on both sides) this reads
+        # cycle_time(original) ≤ N · cycle_time(abstract).
+        certificate.bound_cycle_time = (
+            None if bound.cycle_time is None else n * bound.cycle_time
+        )
+        if not certificate.conservative:
+            raise AssertionError(
+                f"abstraction bound violated Theorem 1: original cycle time "
+                f"{certificate.original_cycle_time}, bound "
+                f"{certificate.bound_cycle_time}"
+            )
+    return certificate

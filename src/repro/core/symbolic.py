@@ -1,0 +1,156 @@
+"""Symbolic execution of one SDF iteration over max-plus time stamps.
+
+This is the engine behind Algorithm 1 of the paper (Section 6).  Every
+initial token ``t_k`` starts with the symbolic stamp ``ī_k`` (the k-th
+max-plus unit vector).  Executing a sequential schedule propagates stamps:
+a firing that consumes stamps ``ḡ_1 … ḡ_n`` starts at their pointwise
+maximum and finishes (and stamps all produced tokens) ``T(a)`` later.
+After one full iteration the channels hold their initial token counts
+again and the final stamp of slot ``k`` is a vector ``[g_{j,k}]_j`` with
+
+    t'_k = max_j ( t_j + g_{j,k} ),
+
+i.e. one row of the max-plus *iteration matrix* M with ``M[k][j] = g_{j,k}``
+(so new stamps are ``M ⊗ old``).  The matrix drives both the compact
+HSDF construction (:mod:`repro.core.hsdf_conversion`) and exact
+throughput/latency analysis (:mod:`repro.analysis`).
+
+Figure 3 of the paper is reproduced verbatim in the test suite: the
+two-firing walk of the left actor produces the stamps
+``max(t1+3, t2+3)`` and ``max(t1+6, t2+6, t3+3)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import UnboundedThroughputError, ValidationError
+from repro.maxplus.matrix import MaxPlusMatrix, MaxPlusVector
+from repro.sdf.graph import SDFGraph
+from repro.sdf.schedule import sequential_schedule
+
+
+@dataclass(frozen=True)
+class TokenId:
+    """Identity of an initial token: its channel and FIFO position."""
+
+    edge: str
+    position: int
+
+    def __str__(self) -> str:
+        return f"{self.edge}[{self.position}]"
+
+
+@dataclass
+class SymbolicIteration:
+    """Outcome of symbolically executing one iteration.
+
+    ``matrix`` maps old initial-token stamps to new ones (``new = M ⊗ old``);
+    ``token_ids`` fixes the coordinate order; ``firing_completions`` holds
+    the symbolic completion stamp of each firing ``(actor, i)`` in the
+    iteration, and ``firing_starts`` the corresponding start stamps.
+    """
+
+    matrix: MaxPlusMatrix
+    token_ids: Tuple[TokenId, ...]
+    schedule: List[str]
+    firing_starts: Dict[Tuple[str, int], MaxPlusVector]
+    firing_completions: Dict[Tuple[str, int], MaxPlusVector]
+
+    @property
+    def token_count(self) -> int:
+        return len(self.token_ids)
+
+    def token_index(self, token: TokenId) -> int:
+        return self.token_ids.index(token)
+
+
+def initial_token_ids(graph: SDFGraph) -> Tuple[TokenId, ...]:
+    """Enumerate the initial tokens of ``graph`` in canonical order
+    (edge insertion order, FIFO position within each channel)."""
+    ids: List[TokenId] = []
+    for edge in graph.edges:
+        for position in range(edge.tokens):
+            ids.append(TokenId(edge.name, position))
+    return tuple(ids)
+
+
+def symbolic_iteration(
+    graph: SDFGraph, schedule: Optional[List[str]] = None
+) -> SymbolicIteration:
+    """Execute one iteration of ``graph`` symbolically (Algorithm 1, lines 2-11).
+
+    ``schedule`` defaults to an arbitrary admissible sequential schedule;
+    any admissible schedule yields the same matrix (token FIFO positions
+    pin every dependency).  Raises
+
+    * :class:`DeadlockError` (via scheduling) when no iteration completes,
+    * :class:`UnboundedThroughputError` when an actor has no incoming
+      edges (its firing times would be unconstrained).
+    """
+    for actor in graph.actor_names:
+        if not graph.in_edges(actor):
+            raise UnboundedThroughputError(
+                f"actor {actor!r} has no incoming edges; its firings are "
+                "unconstrained within an iteration. Add a self-edge with one "
+                "initial token (see SDFGraph.with_self_loops) to make the "
+                "graph token-bound",
+                actor=actor,
+            )
+    if schedule is None:
+        schedule = sequential_schedule(graph)
+
+    token_ids = initial_token_ids(graph)
+    size = len(token_ids)
+    channels: Dict[str, deque] = {e.name: deque() for e in graph.edges}
+    for index, token in enumerate(token_ids):
+        channels[token.edge].append(MaxPlusVector.unit(size, index))
+
+    firing_starts: Dict[Tuple[str, int], MaxPlusVector] = {}
+    firing_completions: Dict[Tuple[str, int], MaxPlusVector] = {}
+    firing_counts: Dict[str, int] = {a: 0 for a in graph.actor_names}
+
+    for actor in schedule:
+        consumed: List[MaxPlusVector] = []
+        for edge in graph.in_edges(actor):
+            channel = channels[edge.name]
+            if len(channel) < edge.consumption:
+                raise ValidationError(
+                    f"schedule is not admissible: firing {actor!r} needs "
+                    f"{edge.consumption} tokens on {edge.name!r}, "
+                    f"found {len(channel)}"
+                )
+            for _ in range(edge.consumption):
+                consumed.append(channel.popleft())
+        start = consumed[0]
+        for stamp in consumed[1:]:
+            start = start.max_with(stamp)
+        finish = start.add_scalar(graph.execution_time(actor))
+        for edge in graph.out_edges(actor):
+            for _ in range(edge.production):
+                channels[edge.name].append(finish)
+        index = firing_counts[actor]
+        firing_starts[(actor, index)] = start
+        firing_completions[(actor, index)] = finish
+        firing_counts[actor] = index + 1
+
+    rows: List[MaxPlusVector] = []
+    for edge in graph.edges:
+        channel = channels[edge.name]
+        if len(channel) != edge.tokens:
+            raise ValidationError(
+                f"schedule was not a whole iteration: channel {edge.name!r} "
+                f"ended with {len(channel)} tokens, expected {edge.tokens}"
+            )
+        rows.extend(channel)
+
+    matrix = MaxPlusMatrix([row.entries for row in rows]) if size else MaxPlusMatrix([])
+    return SymbolicIteration(
+        matrix=matrix,
+        token_ids=token_ids,
+        schedule=list(schedule),
+        firing_starts=firing_starts,
+        firing_completions=firing_completions,
+    )

@@ -1,0 +1,53 @@
+"""N-fold unfolding of a timed SDF graph (Definition 5 of the paper).
+
+The unfolding splits every actor ``a`` into N phase copies ``a_0 … a_{N-1}``
+such that the i-th firing of ``a`` in the original graph corresponds to
+the (i div N)-th firing of copy ``a_{i mod N}``; their throughputs relate
+exactly by the factor N (Proposition 2).  Section 5 uses the unfolding of
+the *abstract* graph to compare it against the original graph actor by
+actor (via Proposition 1), which is how Theorem 1's conservativity is
+proved — and how this library *checks* it mechanically
+(:func:`repro.core.conservativity.verify_abstraction`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ValidationError
+from repro.sdf.graph import SDFGraph
+
+
+def phase_name(actor: str, phase: int) -> str:
+    """Name of the ``phase``-th copy of ``actor`` in an unfolding."""
+    return f"{actor}@{phase}"
+
+
+def unfold(graph: SDFGraph, n: int, name: Optional[str] = None) -> SDFGraph:
+    """The N-fold unfolding unf(A, D, T, N) of Definition 5.
+
+    * actors: ``a_i`` for every actor ``a`` and phase ``0 ≤ i < N``, all
+      inheriting T(a);
+    * edges: every edge ``(a, b, p, c, d)`` yields N edges: for each
+      phase i, with ``j = (i + d) mod N``, an edge ``a_i → b_j`` carrying
+      ``d div N`` tokens, plus one extra token when the phase wraps
+      (``j < i``).
+    """
+    if n < 1:
+        raise ValidationError(f"unfolding factor must be positive, got {n}")
+    result = SDFGraph(name or f"{graph.name}-unfold{n}")
+    for actor in graph.actors:
+        for phase in range(n):
+            result.add_actor(phase_name(actor.name, phase), actor.execution_time)
+    for edge in graph.edges:
+        for i in range(n):
+            j = (i + edge.tokens) % n
+            wrap = 1 if j < i else 0
+            result.add_edge(
+                phase_name(edge.source, i),
+                phase_name(edge.target, j),
+                edge.production,
+                edge.consumption,
+                edge.tokens // n + wrap,
+            )
+    return result

@@ -1,0 +1,40 @@
+"""Cyclo-static dataflow (CSDF): the paper's techniques beyond plain SDF.
+
+CSDF (Bilsen et al., 1996; analysed for buffer trade-offs by the paper's
+reference [18]) generalises SDF: an actor cycles through a fixed sequence
+of *phases*, each with its own production/consumption rates and execution
+time.  The paper's symbolic machinery carries over unchanged — one
+iteration of a consistent CSDF graph is still a max-plus matrix over the
+initial tokens — so both reductions extend naturally:
+
+* :func:`repro.csdf.conversion.csdf_to_hsdf` reuses the Figure-4
+  realisation (:func:`repro.core.hsdf_conversion.realise_iteration_matrix`)
+  verbatim, with the same N(N+2) bound;
+* throughput/latency analysis runs on the same eigenvalue computation.
+
+This subpackage is an *extension* beyond the paper's letter (which
+treats SDF), demonstrating the generality its Section 6 machinery claims.
+"""
+
+from repro.csdf.graph import CSDFActor, CSDFEdge, CSDFGraph
+from repro.csdf.analysis import (
+    csdf_repetition_vector,
+    csdf_sequential_schedule,
+    csdf_symbolic_iteration,
+    csdf_throughput,
+    is_csdf_live,
+)
+from repro.csdf.conversion import csdf_to_hsdf, csdf_to_sdf_approximation
+
+__all__ = [
+    "CSDFActor",
+    "CSDFEdge",
+    "CSDFGraph",
+    "csdf_repetition_vector",
+    "csdf_sequential_schedule",
+    "csdf_symbolic_iteration",
+    "csdf_throughput",
+    "is_csdf_live",
+    "csdf_to_hsdf",
+    "csdf_to_sdf_approximation",
+]

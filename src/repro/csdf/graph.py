@@ -1,0 +1,223 @@
+"""The cyclo-static dataflow graph model.
+
+A CSDF actor ``a`` has ``P(a)`` phases; firing ``i`` executes phase
+``i mod P(a)``.  Each edge carries a production *sequence* (indexed by
+the source's phase) and a consumption *sequence* (indexed by the
+target's phase); execution times are per phase too.  SDF is the special
+case where every sequence has length one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Rational
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+
+def _check_sequence(label: str, values: Sequence[int], allow_zero: bool) -> Tuple[int, ...]:
+    values = tuple(values)
+    if not values:
+        raise ValidationError(f"{label} must have at least one phase")
+    floor = 0 if allow_zero else 1
+    for v in values:
+        if not isinstance(v, int) or isinstance(v, bool) or v < floor:
+            raise ValidationError(
+                f"{label} entries must be ints >= {floor}, got {values!r}"
+            )
+    if allow_zero and sum(values) == 0:
+        raise ValidationError(f"{label} must move at least one token per cycle")
+    return values
+
+
+@dataclass(frozen=True)
+class CSDFActor:
+    """A cyclo-static actor: per-phase execution times."""
+
+    name: str
+    execution_times: Tuple[Rational, ...]
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("actor name must be a non-empty string")
+        times = tuple(self.execution_times)
+        if not times:
+            raise ValidationError("actor needs at least one phase")
+        for t in times:
+            if isinstance(t, bool) or not isinstance(t, Rational) or t < 0:
+                raise ValidationError(
+                    f"execution times must be non-negative rationals, got {times!r}"
+                )
+        object.__setattr__(self, "execution_times", times)
+
+    @property
+    def phase_count(self) -> int:
+        return len(self.execution_times)
+
+
+@dataclass(frozen=True)
+class CSDFEdge:
+    """A CSDF channel with per-phase rate sequences.
+
+    ``production[i]`` tokens are produced by the source's phase ``i``
+    (length = source phase count); ``consumption[j]`` consumed by the
+    target's phase ``j``.  Zero entries are allowed (a phase that does
+    not touch this channel) as long as a full cycle moves some tokens.
+    """
+
+    name: str
+    source: str
+    target: str
+    production: Tuple[int, ...]
+    consumption: Tuple[int, ...]
+    tokens: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "production", _check_sequence("production", self.production, True)
+        )
+        object.__setattr__(
+            self,
+            "consumption",
+            _check_sequence("consumption", self.consumption, True),
+        )
+        if not isinstance(self.tokens, int) or isinstance(self.tokens, bool) or self.tokens < 0:
+            raise ValidationError(f"tokens must be a non-negative int, got {self.tokens!r}")
+
+    @property
+    def cycle_production(self) -> int:
+        return sum(self.production)
+
+    @property
+    def cycle_consumption(self) -> int:
+        return sum(self.consumption)
+
+
+class CSDFGraph:
+    """A cyclo-static dataflow multigraph (builder-style, like SDFGraph)."""
+
+    def __init__(self, name: str = "csdf"):
+        self.name = name
+        self._actors: Dict[str, CSDFActor] = {}
+        self._edges: Dict[str, CSDFEdge] = {}
+        self._out: Dict[str, List[str]] = {}
+        self._in: Dict[str, List[str]] = {}
+        self._edge_counter = 0
+
+    def add_actor(self, name: str, execution_times: Sequence[Rational]) -> CSDFActor:
+        if name in self._actors:
+            raise ValidationError(f"duplicate actor name {name!r}")
+        actor = CSDFActor(name, tuple(execution_times))
+        self._actors[name] = actor
+        self._out[name] = []
+        self._in[name] = []
+        return actor
+
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        production: Sequence[int],
+        consumption: Sequence[int],
+        tokens: int = 0,
+        name: Optional[str] = None,
+    ) -> CSDFEdge:
+        for endpoint in (source, target):
+            if endpoint not in self._actors:
+                raise ValidationError(f"unknown actor {endpoint!r}")
+        if name is None:
+            while True:
+                name = f"c{self._edge_counter}"
+                self._edge_counter += 1
+                if name not in self._edges:
+                    break
+        elif name in self._edges:
+            raise ValidationError(f"duplicate edge name {name!r}")
+        edge = CSDFEdge(name, source, target, tuple(production), tuple(consumption), tokens)
+        if len(edge.production) != self._actors[source].phase_count:
+            raise ValidationError(
+                f"edge {name!r}: production sequence has {len(edge.production)} "
+                f"entries but {source!r} has {self._actors[source].phase_count} phases"
+            )
+        if len(edge.consumption) != self._actors[target].phase_count:
+            raise ValidationError(
+                f"edge {name!r}: consumption sequence has {len(edge.consumption)} "
+                f"entries but {target!r} has {self._actors[target].phase_count} phases"
+            )
+        self._edges[name] = edge
+        self._out[source].append(name)
+        self._in[target].append(name)
+        return edge
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def actors(self) -> List[CSDFActor]:
+        return list(self._actors.values())
+
+    @property
+    def actor_names(self) -> List[str]:
+        return list(self._actors)
+
+    @property
+    def edges(self) -> List[CSDFEdge]:
+        return list(self._edges.values())
+
+    def actor(self, name: str) -> CSDFActor:
+        if name not in self._actors:
+            raise ValidationError(f"unknown actor {name!r}")
+        return self._actors[name]
+
+    def edge(self, name: str) -> CSDFEdge:
+        if name not in self._edges:
+            raise ValidationError(f"no edge named {name!r}")
+        return self._edges[name]
+
+    def out_edges(self, actor: str) -> List[CSDFEdge]:
+        return [self._edges[e] for e in self._out[actor]]
+
+    def in_edges(self, actor: str) -> List[CSDFEdge]:
+        return [self._edges[e] for e in self._in[actor]]
+
+    def actor_count(self) -> int:
+        return len(self._actors)
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def total_tokens(self) -> int:
+        return sum(e.tokens for e in self._edges.values())
+
+    def phase_count(self, actor: str) -> int:
+        return self.actor(actor).phase_count
+
+    def is_plain_sdf(self) -> bool:
+        """True iff every actor has a single phase (degenerate CSDF)."""
+        return all(a.phase_count == 1 for a in self._actors.values())
+
+    def undirected_components(self) -> List[List[str]]:
+        seen: set = set()
+        components: List[List[str]] = []
+        for start in self._actors:
+            if start in seen:
+                continue
+            stack, component = [start], []
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                neighbours = [self._edges[e].target for e in self._out[node]]
+                neighbours += [self._edges[e].source for e in self._in[node]]
+                for other in neighbours:
+                    if other not in seen:
+                        seen.add(other)
+                        stack.append(other)
+            components.append(component)
+        return components
+
+    def __repr__(self) -> str:
+        return (
+            f"CSDFGraph({self.name!r}, actors={self.actor_count()}, "
+            f"edges={self.edge_count()}, tokens={self.total_tokens()})"
+        )

@@ -1,0 +1,82 @@
+"""Serialisation of CSDF graphs (JSON-friendly dicts).
+
+Mirrors :mod:`repro.sdf.io`: phase sequences are plain lists, execution
+times are ints or ``{"numerator": .., "denominator": ..}`` objects.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Dict
+
+from repro.errors import ValidationError
+from repro.csdf.graph import CSDFGraph
+
+
+def _time_to_json(value):
+    if isinstance(value, int):
+        return value
+    return {"numerator": value.numerator, "denominator": value.denominator}
+
+
+def _time_from_json(value):
+    if isinstance(value, int):
+        return value
+    if isinstance(value, dict):
+        return Fraction(value["numerator"], value["denominator"])
+    raise ValidationError(f"cannot parse execution time {value!r}")
+
+
+def to_dict(graph: CSDFGraph) -> Dict:
+    return {
+        "name": graph.name,
+        "type": "csdf",
+        "actors": [
+            {
+                "name": a.name,
+                "execution_times": [_time_to_json(t) for t in a.execution_times],
+            }
+            for a in graph.actors
+        ],
+        "edges": [
+            {
+                "name": e.name,
+                "source": e.source,
+                "target": e.target,
+                "production": list(e.production),
+                "consumption": list(e.consumption),
+                "tokens": e.tokens,
+            }
+            for e in graph.edges
+        ],
+    }
+
+
+def from_dict(data: Dict) -> CSDFGraph:
+    if data.get("type") not in (None, "csdf"):
+        raise ValidationError(f"not a CSDF document (type={data.get('type')!r})")
+    graph = CSDFGraph(data.get("name", "csdf"))
+    for actor in data["actors"]:
+        graph.add_actor(
+            actor["name"],
+            [_time_from_json(t) for t in actor["execution_times"]],
+        )
+    for edge in data["edges"]:
+        graph.add_edge(
+            edge["source"],
+            edge["target"],
+            production=edge["production"],
+            consumption=edge["consumption"],
+            tokens=edge.get("tokens", 0),
+            name=edge.get("name"),
+        )
+    return graph
+
+
+def to_json(graph: CSDFGraph, indent: int = 2) -> str:
+    return json.dumps(to_dict(graph), indent=indent)
+
+
+def from_json(text: str) -> CSDFGraph:
+    return from_dict(json.loads(text))

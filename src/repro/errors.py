@@ -1,0 +1,69 @@
+"""Exception hierarchy of the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with one clause.  Analysis errors keep
+a *witness* (an edge, a cycle, an actor) whenever one exists, because a
+diagnosis without a counterexample is of little use in a design flow.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all :mod:`repro` exceptions."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A graph violates a structural well-formedness rule."""
+
+
+class InconsistentGraphError(ReproError, ValueError):
+    """The balance equations of an SDF graph have no non-trivial solution.
+
+    An inconsistent graph cannot execute periodically in bounded memory
+    (Lee & Messerschmitt, 1987); no repetition vector exists.
+    """
+
+    def __init__(self, message: str, witness_edge=None):
+        super().__init__(message)
+        self.witness_edge = witness_edge
+
+
+class DeadlockError(ReproError, RuntimeError):
+    """The graph cannot complete a single iteration.
+
+    ``blocked`` maps each actor to its number of outstanding firings when
+    execution got stuck.
+    """
+
+    def __init__(self, message: str, blocked=None):
+        super().__init__(message)
+        self.blocked = dict(blocked or {})
+
+
+class UnboundedThroughputError(ReproError, RuntimeError):
+    """An actor is not constrained by any dependency within an iteration.
+
+    Self-timed semantics would let it fire infinitely often at time zero
+    (typically an actor without incoming edges).  Add a self-edge with one
+    initial token to model non-auto-concurrent execution, as is standard
+    SDF modelling practice.
+    """
+
+    def __init__(self, message: str, actor=None):
+        super().__init__(message)
+        self.actor = actor
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative analysis exceeded its step budget without converging."""
+
+
+class NotAbstractableError(ReproError, ValueError):
+    """A proposed actor grouping violates the abstraction conditions of
+    Definition 3 of the paper (equal repetition entries, injective indices
+    per group, index-monotone zero-delay edges)."""
+
+
+class NoAbstractionFoundError(ReproError, ValueError):
+    """Automatic abstraction discovery produced no valid non-trivial grouping."""

@@ -1,0 +1,78 @@
+"""Cyclo-static application models.
+
+Realistic CSDF shapes for the extension subpackage, mirroring how the
+CSDF literature refines the classic SDF benchmarks:
+
+* :func:`polyphase_cd2dat` — the CD-to-DAT converter with its first
+  rate-changing stage expressed as a polyphase filter: instead of one
+  actor consuming 3 and producing 2, a 3-phase actor consumes one
+  sample per phase and emits on two of the three phases.  Same
+  aggregate rates, finer-grained timing, smaller buffers.
+* :func:`ip_frame_decoder` — a frame decoder whose parser alternates
+  through a group-of-pictures pattern (one I-frame phase, ``p_frames``
+  P-frame phases) with per-phase execution times; the CSDF analogue of
+  the scenario model in :mod:`repro.scenarios` when the pattern is
+  fixed rather than FSM-controlled.
+"""
+
+from __future__ import annotations
+
+from repro.csdf.graph import CSDFGraph
+
+
+def _self_edge(graph: CSDFGraph, actor: str) -> None:
+    phases = graph.phase_count(actor)
+    graph.add_edge(actor, actor, [1] * phases, [1] * phases, 1, name=f"self_{actor}")
+
+
+def polyphase_cd2dat() -> CSDFGraph:
+    """CD (44.1 kHz) to DAT (48 kHz), first stage 2:3 as a polyphase filter.
+
+    Actors: ``cd`` source (1 phase), ``poly`` 3-phase polyphase stage
+    (consumes 1 per phase, produces [1, 0, 1] — two outputs per three
+    inputs, i.e. the 2/3 stage), ``s2`` 2:7 stage, ``dat`` sink.  The
+    cycle-level rates match the SDF converter's first stages, so the
+    repetition vector scales the same way.
+    """
+    g = CSDFGraph("polyphase-cd2dat")
+    g.add_actor("cd", [1])
+    g.add_actor("poly", [2, 1, 2])     # heavier on the output phases
+    g.add_actor("s2", [3])
+    g.add_actor("dat", [1])
+    for actor in ("cd", "poly", "s2", "dat"):
+        _self_edge(g, actor)
+    g.add_edge("cd", "poly", production=[1], consumption=[1, 1, 1], name="in")
+    g.add_edge("poly", "s2", production=[1, 0, 1], consumption=[7], name="mid")
+    g.add_edge("s2", "dat", production=[2], consumption=[3], name="out")
+    return g
+
+
+def ip_frame_decoder(p_frames: int = 3) -> CSDFGraph:
+    """A GOP-patterned decoder: I-frame phase then ``p_frames`` P-phases.
+
+    The parser cycles through ``1 + p_frames`` phases; the I phase is
+    slow and emits a full reference frame's worth of data (4 blocks),
+    P phases are fast and emit 1 block.  A single-phase renderer
+    consumes blocks; a frame-buffer feedback paces the pipeline.
+    """
+    if p_frames < 1:
+        raise ValueError("need at least one P-frame per GOP")
+    phases = 1 + p_frames
+    g = CSDFGraph(f"ip-decoder-{p_frames}p")
+    g.add_actor("parse", [9] + [2] * p_frames)
+    g.add_actor("render", [3])
+    _self_edge(g, "parse")
+    _self_edge(g, "render")
+    blocks = [4] + [1] * p_frames
+    g.add_edge("parse", "render", production=blocks, consumption=[1], name="blocks")
+    # Frame buffer: the renderer returns display slots, enough for a GOP.
+    total = sum(blocks)
+    g.add_edge(
+        "render",
+        "parse",
+        production=[1],
+        consumption=[4] + [1] * p_frames,
+        tokens=total,
+        name="framebuffer",
+    )
+    return g

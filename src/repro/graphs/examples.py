@@ -1,0 +1,95 @@
+"""The paper's small illustrative graphs.
+
+* :func:`section41_example` — Figure 1(a) with the Section 4.1 execution
+  times (n = 6); its single-iteration makespan is 23 and its throughput
+  1/23, as the paper computes by hand.
+* :func:`figure2_graph` — a graph with the features of Figure 2(a): two
+  groups of ring-ordered actors with per-actor self-loops, so that the
+  abstraction produces the redundant three-token self-edge the paper uses
+  to motivate pruning.  (The figure's edge set is not fully enumerated in
+  the text; this reconstruction keeps every behaviour the running text
+  relies on.)
+* :func:`figure3_graph` — the two-actor multirate graph of the symbolic
+  execution example (Figure 3): four initial tokens, an iteration of
+  three firings, and the stamps max(t1+3, t2+3) and
+  max(t1+6, t2+6, t3+3) after the two firings of the left actor.
+"""
+
+from __future__ import annotations
+
+from repro.core.abstraction import Abstraction
+from repro.graphs.synthetic import regular_prefetch, regular_prefetch_abstraction
+from repro.sdf.graph import SDFGraph
+
+
+def section41_example() -> SDFGraph:
+    """Figure 1(a) with the paper's execution times (n = 6)."""
+    return regular_prefetch(6)
+
+
+def section41_abstraction() -> Abstraction:
+    """The grouping used in Section 4.1 (Ai → A, Bi → B)."""
+    return regular_prefetch_abstraction(6)
+
+
+def figure2_graph() -> SDFGraph:
+    """A Figure 2(a)-style graph: a 3-ring of A's and a 2-chain of B's.
+
+    * ``A1 → A2 → A3 → A1`` (one token on the back edge) with a one-token
+      self-loop on every ``Ai`` — under the abstraction (Ai → A at phase
+      i−1, N = 3) the self-loops map to a self-edge on ``A`` with
+      ``0 + 3·1 = 3`` tokens, which is redundant next to the ring's
+      ``0 − 2 + 3·1 = 1``-token self-edge, exactly the pruning example of
+      Section 4.2;
+    * ``B1 → B2`` plus feedback ``B2 → B1`` with one token (B gets a
+      dummy third phase since N = 3);
+    * cross edges ``A1 → B1`` and ``B2 → A3``.
+    """
+    g = SDFGraph("figure2")
+    for i, time in zip((1, 2, 3), (2, 1, 3)):
+        g.add_actor(f"A{i}", time)
+    for i, time in zip((1, 2), (2, 2)):
+        g.add_actor(f"B{i}", time)
+
+    g.add_edge("A1", "A2")
+    g.add_edge("A2", "A3")
+    g.add_edge("A3", "A1", tokens=1)
+    for i in (1, 2, 3):
+        g.add_edge(f"A{i}", f"A{i}", tokens=1, name=f"self_A{i}")
+    g.add_edge("B1", "B2")
+    g.add_edge("B2", "B1", tokens=1)
+    g.add_edge("A1", "B1")
+    g.add_edge("B2", "A3", tokens=1)
+    return g
+
+
+def figure2_abstraction() -> Abstraction:
+    """Group the A's (phases 0-2) and B's (phases 0-1, dummy phase 2)."""
+    return Abstraction(
+        mapping={"A1": "A", "A2": "A", "A3": "A", "B1": "B", "B2": "B"},
+        index={"A1": 0, "A2": 1, "A3": 2, "B1": 0, "B2": 1},
+    )
+
+
+def figure3_graph(left_time: int = 3, right_time: int = 1) -> SDFGraph:
+    """The Figure 3 symbolic-execution example.
+
+    Actors ``L`` (the left actor, execution time 3) and ``R``; channels:
+
+    * ``R → L``: production 2, consumption 1, two initial tokens
+      (the paper's t1 and t3);
+    * self-loop on ``L`` with one token (t2);
+    * ``L → R``: production 1, consumption 2;
+    * self-loop on ``R`` with one token (t4).
+
+    The repetition vector is (L: 2, R: 1) — "an iteration consists of
+    three firings, two of the left and one of the right actor".
+    """
+    g = SDFGraph("figure3")
+    g.add_actor("L", left_time)
+    g.add_actor("R", right_time)
+    g.add_edge("R", "L", production=2, consumption=1, tokens=2, name="t1_t3")
+    g.add_edge("L", "L", tokens=1, name="t2")
+    g.add_edge("L", "R", production=1, consumption=2, name="data")
+    g.add_edge("R", "R", tokens=1, name="t4")
+    return g

@@ -1,0 +1,175 @@
+"""Multimedia application graphs of Table 1: H.263 and MP3 variants.
+
+Reconstructions matching the published repetition vectors (see DESIGN.md,
+"Substitutions"); the traditional-conversion sizes of Table 1 — which
+equal Σγ — are matched exactly:
+
+* H.263 decoder: (1, 594, 594, 1), Σγ = 1190 (one QCIF frame is 99
+  macroblocks = 594 blocks);
+* H.263 encoder: (1, 99, 99, 1, 1), Σγ = 201 (macroblock-level motion
+  estimation and coding);
+* MP3 decoder, block parallelisation: Σγ = 911;
+* MP3 decoder, granule parallelisation: Σγ = 27;
+* MP3 playback (decoder + sample-rate conversion + DAC): Σγ = 10601.
+"""
+
+from __future__ import annotations
+
+from repro.sdf.graph import SDFGraph
+
+
+def h263_decoder() -> SDFGraph:
+    """H.263 QCIF decoder: VLD → IQ/IDCT (per block) → motion comp → frame.
+
+    Repetition vector (vld: 1, idct: 594, mc: 594, frame: 1); the frame
+    feedback (reference frame for motion compensation) carries one token,
+    and the block-level actors are serialised with self-loops (a single
+    accelerator instance each).
+    """
+    g = SDFGraph("h263-decoder")
+    g.add_actor("vld", 26018)
+    g.add_actor("idct", 559)
+    g.add_actor("mc", 486)
+    g.add_actor("frame", 10958)
+
+    g.add_edge("vld", "idct", production=594, consumption=1)
+    g.add_edge("idct", "mc")
+    g.add_edge("mc", "frame", production=1, consumption=594)
+    g.add_edge("frame", "vld", tokens=1, name="reference_frame")
+    g.add_edge("idct", "idct", tokens=1, name="self_idct")
+    g.add_edge("mc", "mc", tokens=1, name="self_mc")
+    return g
+
+
+def h263_encoder() -> SDFGraph:
+    """H.263 QCIF encoder: per-macroblock motion estimation and coding.
+
+    Repetition vector (camera: 1, me: 99, dct_q: 99, vlc: 1, rec: 1);
+    rate 99 = macroblocks per QCIF frame.  The reconstructed-frame
+    feedback carries one token; macroblock actors are serialised.
+    """
+    g = SDFGraph("h263-encoder")
+    g.add_actor("camera", 1000)
+    g.add_actor("me", 590)
+    g.add_actor("dct_q", 460)
+    g.add_actor("vlc", 26000)
+    g.add_actor("rec", 11000)
+
+    g.add_edge("camera", "me", production=99, consumption=1)
+    g.add_edge("me", "dct_q")
+    g.add_edge("dct_q", "vlc", production=1, consumption=99)
+    g.add_edge("vlc", "rec")
+    g.add_edge("rec", "camera", tokens=1, name="reconstructed_frame")
+    g.add_edge("me", "me", tokens=1, name="self_me")
+    g.add_edge("dct_q", "dct_q", tokens=1, name="self_dct_q")
+    return g
+
+
+def mp3_decoder_block_parallel() -> SDFGraph:
+    """MP3 decoder exposing block-level parallelism, Σγ = 911.
+
+    Repetition vector (huffman: 1, requant: 2, reorder: 2, alias: 12,
+    imdct: 576, freqinv: 288, synth: 18, subband: 11, pcm: 1): one frame
+    is two granules, the hybrid filterbank runs per frequency line, and
+    synthesis aggregates.  Exactly two initial tokens (frame feedback
+    and the Huffman self-loop) — the compact conversion of this graph is
+    a full 2x2 matrix plus (de)multiplexers: 8 actors, as in Table 1.
+    """
+    g = SDFGraph("mp3-block")
+    spec = [
+        ("huffman", 1, 400),
+        ("requant", 2, 110),
+        ("reorder", 2, 70),
+        ("alias", 12, 30),
+        ("imdct", 576, 20),
+        ("freqinv", 288, 10),
+        ("synth", 18, 120),
+        ("subband", 11, 95),
+        ("pcm", 1, 80),
+    ]
+    for name, _, time in spec:
+        g.add_actor(name, time)
+    chain = [
+        ("huffman", "requant", 2, 1),
+        ("requant", "reorder", 1, 1),
+        ("reorder", "alias", 6, 1),
+        ("alias", "imdct", 48, 1),
+        ("imdct", "freqinv", 1, 2),
+        ("freqinv", "synth", 1, 16),
+        ("synth", "subband", 11, 18),
+        ("subband", "pcm", 1, 11),
+    ]
+    for a, b, p, c in chain:
+        g.add_edge(a, b, production=p, consumption=c)
+    g.add_edge("pcm", "huffman", tokens=1, name="frame_feedback")
+    g.add_edge("huffman", "huffman", tokens=1, name="self_huffman")
+    return g
+
+
+def mp3_decoder_granule_parallel() -> SDFGraph:
+    """MP3 decoder at granule granularity, Σγ = 27.
+
+    A coarse pipeline: frame decode (γ=1), twelve granule-level stages
+    (γ=2 each), merge and output (γ=1 each): 15 actors, Σγ = 27.  Two
+    initial tokens as in the block-parallel variant.
+    """
+    g = SDFGraph("mp3-granule")
+    g.add_actor("frame", 400)
+    stage_times = [110, 70, 30, 20, 10, 120, 95, 80, 60, 50, 40, 30]
+    for i, time in enumerate(stage_times, start=1):
+        g.add_actor(f"granule{i}", time)
+    g.add_actor("merge", 35)
+    g.add_actor("out", 25)
+
+    g.add_edge("frame", "granule1", production=2, consumption=1)
+    for i in range(1, 12):
+        g.add_edge(f"granule{i}", f"granule{i + 1}")
+    g.add_edge("granule12", "merge", production=1, consumption=2)
+    g.add_edge("merge", "out")
+    g.add_edge("out", "frame", tokens=1, name="frame_feedback")
+    g.add_edge("frame", "frame", tokens=1, name="self_frame")
+    return g
+
+
+def mp3_playback() -> SDFGraph:
+    """MP3 playback: decoder, 44.1→48 kHz sample-rate converter, DAC.
+
+    Σγ = 10601: the block-parallel decoder front end (Σ = 911), a
+    CD-to-DAT-style converter scaled to the playback block size
+    (γ = 1470, 1470, 980, 280, 320, 1600; Σ = 6120) and a 3-stage DAC
+    back end (γ = 3200, 320, 50; Σ = 3570).  Six initial tokens: the two
+    decoder tokens plus self-loops on the converter head, the DAC head
+    and the DAC output, and one pipelining token between decoder and
+    converter.
+    """
+    g = mp3_decoder_block_parallel()
+    g.name = "mp3-playback"
+
+    src_spec = [
+        ("src1", 1470, 2),
+        ("src2", 1470, 2),
+        ("src3", 980, 3),
+        ("src4", 280, 5),
+        ("src5", 320, 3),
+        ("src6", 1600, 1),
+    ]
+    for name, _, time in src_spec:
+        g.add_actor(name, time)
+    # pcm (γ=1) releases 1470 samples per frame into the converter.
+    g.add_edge("pcm", "src1", production=1470, consumption=1, tokens=1, name="pcm_buffer")
+    g.add_edge("src1", "src2")
+    g.add_edge("src2", "src3", production=2, consumption=3)
+    g.add_edge("src3", "src4", production=2, consumption=7)
+    g.add_edge("src4", "src5", production=8, consumption=7)
+    g.add_edge("src5", "src6", production=5, consumption=1)
+    g.add_edge("src1", "src1", tokens=1, name="self_src1")
+
+    dac_spec = [("dac1", 3200, 1), ("dac2", 320, 4), ("dac3", 50, 30)]
+    for name, _, time in dac_spec:
+        g.add_actor(name, time)
+    g.add_edge("src6", "dac1", production=2, consumption=1)
+    g.add_edge("dac1", "dac2", production=1, consumption=10)
+    g.add_edge("dac2", "dac3", production=5, consumption=32)
+    g.add_edge("dac1", "dac1", tokens=1, name="self_dac1")
+    g.add_edge("dac3", "dac3", tokens=1, name="self_dac3")
+    return g

@@ -1,0 +1,192 @@
+"""Random graph generators for property-based testing.
+
+All generators take a :class:`random.Random` instance so hypothesis (or a
+seed) fully controls them, and construct graphs that are *correct by
+construction*: consistent (rates derived from a chosen repetition
+vector), live (tokens placed to complete one iteration) and token-bound
+(every actor gets an incoming edge).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from math import gcd
+from typing import Optional
+
+from repro.mcm.graphlib import RatioGraph
+from repro.sdf.graph import SDFGraph
+
+
+def random_consistent_sdf(
+    rng: random.Random,
+    n_actors: int = 6,
+    extra_edges: int = 3,
+    max_repetition: int = 6,
+    max_time: int = 10,
+) -> SDFGraph:
+    """A random consistent, live, token-bound SDF graph.
+
+    Construction: draw a repetition vector, arrange the actors in a
+    random pipeline order, connect consecutive actors with the minimal
+    consistent rates (``p = γ_b/g, c = γ_a/g``), close the loop with a
+    feedback edge carrying exactly the tokens its head needs for one
+    iteration, sprinkle ``extra_edges`` random forward/backward edges
+    (backward ones get a full iteration of tokens), and add a self-loop
+    to every actor.
+    """
+    names = [f"a{i}" for i in range(n_actors)]
+    order = names[:]
+    rng.shuffle(order)
+    gamma = {a: rng.randint(1, max_repetition) for a in names}
+
+    g = SDFGraph(f"random-{rng.randrange(10**6)}")
+    for a in names:
+        g.add_actor(a, rng.randint(1, max_time))
+        g.add_edge(a, a, tokens=1, name=f"self_{a}")
+
+    def consistent_rates(a: str, b: str) -> tuple:
+        div = gcd(gamma[a], gamma[b])
+        return gamma[b] // div, gamma[a] // div
+
+    def add(a: str, b: str, backward: bool) -> None:
+        p, c = consistent_rates(a, b)
+        # A backward edge needs one iteration's worth of tokens to not
+        # constrain the (already live) forward schedule.
+        tokens = gamma[b] * c if backward else 0
+        g.add_edge(a, b, production=p, consumption=c, tokens=tokens)
+
+    for a, b in zip(order, order[1:]):
+        add(a, b, backward=False)
+    if n_actors > 1:
+        add(order[-1], order[0], backward=True)
+
+    position = {a: i for i, a in enumerate(order)}
+    for _ in range(extra_edges):
+        a, b = rng.sample(names, 2) if n_actors > 1 else (names[0], names[0])
+        add(a, b, backward=position[a] >= position[b])
+    return g
+
+
+def random_live_hsdf(
+    rng: random.Random,
+    n_actors: int = 8,
+    extra_edges: int = 6,
+    max_time: int = 10,
+    max_tokens: int = 3,
+) -> SDFGraph:
+    """A random live HSDF graph (every cycle carries at least one token).
+
+    A random topological order is drawn; forward edges are token-free,
+    backward edges carry 1..max_tokens tokens, so the zero-token
+    subgraph is a DAG and the graph is live.  Self-loops bound every
+    actor.
+    """
+    names = [f"h{i}" for i in range(n_actors)]
+    order = names[:]
+    rng.shuffle(order)
+    position = {a: i for i, a in enumerate(order)}
+
+    g = SDFGraph(f"random-hsdf-{rng.randrange(10**6)}")
+    for a in names:
+        g.add_actor(a, rng.randint(0, max_time))
+        g.add_edge(a, a, tokens=1, name=f"self_{a}")
+    for a, b in zip(order, order[1:]):
+        g.add_edge(a, b)
+    if n_actors > 1:
+        g.add_edge(order[-1], order[0], tokens=rng.randint(1, max_tokens))
+    for _ in range(extra_edges):
+        if n_actors < 2:
+            break
+        a, b = rng.sample(names, 2)
+        backward = position[a] >= position[b]
+        g.add_edge(a, b, tokens=rng.randint(1, max_tokens) if backward else 0)
+    return g
+
+
+def random_live_csdf(
+    rng: random.Random,
+    n_actors: int = 4,
+    max_phases: int = 4,
+    max_rate: int = 3,
+    max_time: int = 8,
+):
+    """A random consistent, live, token-bound CSDF graph.
+
+    A pipeline with feedback, like :func:`random_consistent_sdf`, but
+    with per-phase rate/time sequences; consecutive actors exchange the
+    same number of tokens per cycle (cycle-balanced by construction, so
+    all cycle repetition factors are 1) and the feedback edge carries a
+    full iteration of tokens.
+    """
+    from repro.csdf.graph import CSDFGraph
+
+    names = [f"c{i}" for i in range(n_actors)]
+    order = names[:]
+    rng.shuffle(order)
+    phases = {a: rng.randint(1, max_phases) for a in names}
+    # Tokens moved per full cycle on every channel: a common multiple so
+    # every per-phase split is expressible.
+    per_cycle = max_rate * max(phases.values())
+
+    def split(total: int, parts: int):
+        cuts = sorted(rng.randint(0, total) for _ in range(parts - 1))
+        previous = 0
+        out = []
+        for cut in cuts:
+            out.append(cut - previous)
+            previous = cut
+        out.append(total - previous)
+        return out
+
+    g = CSDFGraph(f"random-csdf-{rng.randrange(10**6)}")
+    for a in names:
+        g.add_actor(a, [rng.randint(0, max_time) for _ in range(phases[a])])
+        g.add_edge(a, a, [1] * phases[a], [1] * phases[a], 1, name=f"self_{a}")
+
+    for a, b in zip(order, order[1:]):
+        g.add_edge(
+            a,
+            b,
+            production=split(per_cycle, phases[a]),
+            consumption=split(per_cycle, phases[b]),
+        )
+    if n_actors > 1:
+        g.add_edge(
+            order[-1],
+            order[0],
+            production=split(per_cycle, phases[order[-1]]),
+            consumption=split(per_cycle, phases[order[0]]),
+            tokens=per_cycle,
+        )
+    return g
+
+
+def random_ratio_graph(
+    rng: random.Random,
+    n_nodes: int = 6,
+    n_edges: int = 12,
+    max_weight: int = 20,
+    max_transit: int = 3,
+    allow_negative: bool = False,
+) -> RatioGraph:
+    """A random cycle-ratio instance with no zero-transit cycles.
+
+    Nodes get a random order; forward edges may have transit 0, backward
+    edges (including self-loops) have transit >= 1, so every cycle has
+    positive total transit — the precondition of the MCR solvers.
+    """
+    graph = RatioGraph()
+    order = list(range(n_nodes))
+    rng.shuffle(order)
+    position = {node: i for i, node in enumerate(order)}
+    for node in range(n_nodes):
+        graph.add_node(node)
+    low = -max_weight if allow_negative else 0
+    for _ in range(n_edges):
+        a = rng.randrange(n_nodes)
+        b = rng.randrange(n_nodes)
+        backward = position[a] >= position[b]
+        transit = rng.randint(1, max_transit) if backward else rng.randint(0, max_transit)
+        graph.add_edge(a, b, Fraction(rng.randint(low, max_weight)), transit)
+    return graph

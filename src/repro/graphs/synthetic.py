@@ -1,0 +1,175 @@
+"""Parameterised synthetic graph families from the paper.
+
+* :func:`regular_prefetch` — the (almost) regular HSDF graph of
+  Figure 1(a) / Section 4.1: a ring of computation actors ``A1 … An``
+  with pre-fetch helper actors ``B1 … B(n-2)``.  With the paper's
+  execution times its iteration period is ``5n − 7`` (checked
+  numerically in the tests; the paper reports throughput ``1/(5n−7)``
+  and the abstract bound ``1/(5n)``).
+* :func:`remote_memory_access` — the Figure 5 model from [16]: a ring of
+  block computations whose input data is pre-fetched through
+  communication-assist (CA) actors on both sides of a network-on-chip.
+  With communication faster than computation the abstraction is exact.
+* :func:`homogeneous_pipeline` — a plain HSDF pipeline with self-loops,
+  handy as a baseline in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.abstraction import Abstraction
+from repro.errors import ValidationError
+from repro.sdf.graph import SDFGraph
+
+
+def _prefetch_time(i: int, n: int) -> int:
+    """Paper execution times for Ai, generalised over n.
+
+    Section 4.1 (n = 6): A1, A2 take 2; A3, A4 take 5; A5, A6 take 3.
+    The generalisation keeping the reported 1/(5n−7) throughput is:
+    the first two actors take 2, the last two take 3, the middle takes 5.
+    """
+    if i <= 2:
+        return 2
+    if i >= n - 1:
+        return 3
+    return 5
+
+
+def regular_prefetch(
+    n: int = 6,
+    a_times: Optional[Sequence[int]] = None,
+    b_time: int = 4,
+) -> SDFGraph:
+    """The Figure 1(a) graph with ``n`` computation actors.
+
+    Structure (all rates 1):
+
+    * ring ``A1 → A2 → … → An → A1``, one initial token on the back edge;
+    * helper chain ``B1 → … → B(n−2)`` (no back edge — the start/end of a
+      frame breaks the regularity, as the paper highlights);
+    * ``Ai → Bi`` and ``Bi → A(i+2)`` for ``1 ≤ i ≤ n−2``.
+
+    ``a_times`` overrides the per-actor execution times of the A's.
+    """
+    if n < 4:
+        raise ValidationError(f"regular_prefetch needs n >= 4, got {n}")
+    if a_times is None:
+        a_times = [_prefetch_time(i, n) for i in range(1, n + 1)]
+    elif len(a_times) != n:
+        raise ValidationError(f"need {n} A execution times, got {len(a_times)}")
+
+    g = SDFGraph(f"prefetch-{n}")
+    for i in range(1, n + 1):
+        g.add_actor(f"A{i}", a_times[i - 1])
+    for i in range(1, n - 1):
+        g.add_actor(f"B{i}", b_time)
+
+    for i in range(1, n):
+        g.add_edge(f"A{i}", f"A{i + 1}")
+    g.add_edge(f"A{n}", "A1", tokens=1)
+    for i in range(1, n - 2):
+        g.add_edge(f"B{i}", f"B{i + 1}")
+    for i in range(1, n - 1):
+        g.add_edge(f"A{i}", f"B{i}")
+        g.add_edge(f"B{i}", f"A{i + 2}")
+    return g
+
+
+def regular_prefetch_abstraction(n: int = 6) -> Abstraction:
+    """The paper's abstraction for :func:`regular_prefetch`: all ``Ai``
+    collapse to ``A`` and all ``Bi`` to ``B``, with phase ``i − 1``."""
+    mapping = {f"A{i}": "A" for i in range(1, n + 1)}
+    index = {f"A{i}": i - 1 for i in range(1, n + 1)}
+    mapping.update({f"B{i}": "B" for i in range(1, n - 1)})
+    index.update({f"B{i}": i - 1 for i in range(1, n - 1)})
+    return Abstraction(mapping=mapping, index=index)
+
+
+def remote_memory_access(
+    n_blocks: int = 1584,
+    compute_time: int = 100,
+    ca_time: int = 40,
+    prefetch_distance: int = 2,
+) -> SDFGraph:
+    """The Figure 5 remote-memory-access model (from reference [16]).
+
+    Per block ``i`` (1-based, all rates 1):
+
+    * computation actor ``A{i}``, in a sequential ring with one token on
+      the wrap-around edge (one processor executes the blocks in order);
+    * a pre-fetch path ``A{i} → CAl{i} → CAr{i} → A{i + prefetch_distance}``:
+      after computing block ``i`` the communication assists ship the data
+      for the block ``prefetch_distance`` ahead; edges that wrap past the
+      end of the frame carry one initial token (they cross the frame
+      boundary).
+
+    The full-search block-matching workload of [16] performs 1584 such
+    computations per video frame, all with the same execution time.
+    With ``2·ca_time ≤ compute_time`` the network is never the
+    bottleneck and the paper's abstraction is throughput-exact.
+    """
+    if n_blocks < prefetch_distance + 1:
+        raise ValidationError(
+            f"need more than {prefetch_distance} blocks, got {n_blocks}"
+        )
+    g = SDFGraph(f"remote-memory-{n_blocks}")
+    for i in range(1, n_blocks + 1):
+        g.add_actor(f"A{i}", compute_time)
+    for i in range(1, n_blocks + 1):
+        g.add_actor(f"CAl{i}", ca_time)
+        g.add_actor(f"CAr{i}", ca_time)
+
+    for i in range(1, n_blocks):
+        g.add_edge(f"A{i}", f"A{i + 1}")
+    g.add_edge(f"A{n_blocks}", "A1", tokens=1)
+
+    for i in range(1, n_blocks + 1):
+        g.add_edge(f"A{i}", f"CAl{i}")
+        g.add_edge(f"CAl{i}", f"CAr{i}")
+        target = i + prefetch_distance
+        wraps = target > n_blocks
+        target = (target - 1) % n_blocks + 1
+        g.add_edge(f"CAr{i}", f"A{target}", tokens=1 if wraps else 0)
+    return g
+
+
+def remote_memory_abstraction(
+    n_blocks: int = 1584, prefetch_distance: int = 2
+) -> Abstraction:
+    """Group the block ring into ``A`` and the CA columns into ``CAl``/``CAr``."""
+    mapping = {}
+    index = {}
+    for i in range(1, n_blocks + 1):
+        for stem in ("A", "CAl", "CAr"):
+            mapping[f"{stem}{i}"] = stem
+            index[f"{stem}{i}"] = i - 1
+    return Abstraction(mapping=mapping, index=index)
+
+
+def homogeneous_pipeline(
+    stages: int, execution_times: Optional[Sequence[int]] = None, tokens: int = 1
+) -> SDFGraph:
+    """An HSDF pipeline ``P1 → … → Pk`` with a feedback edge and self-loops.
+
+    The feedback edge (``tokens`` initial tokens) bounds the pipelining
+    depth; self-loops serialise each stage.  A simple well-behaved graph
+    for tests: its cycle time is ``max(sum(T)/tokens, max(T))``.
+    """
+    if stages < 1:
+        raise ValidationError("pipeline needs at least one stage")
+    if execution_times is None:
+        execution_times = [1] * stages
+    elif len(execution_times) != stages:
+        raise ValidationError(
+            f"need {stages} execution times, got {len(execution_times)}"
+        )
+    g = SDFGraph(f"pipeline-{stages}")
+    for i in range(1, stages + 1):
+        g.add_actor(f"P{i}", execution_times[i - 1])
+        g.add_edge(f"P{i}", f"P{i}", tokens=1, name=f"self_P{i}")
+    for i in range(1, stages):
+        g.add_edge(f"P{i}", f"P{i + 1}")
+    g.add_edge(f"P{stages}", "P1", tokens=tokens)
+    return g

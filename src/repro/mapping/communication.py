@@ -1,0 +1,119 @@
+"""Communication-aware mapping: channels that cross processors cost time.
+
+The platform model of reference [16] (and the CA actors of Figure 5):
+when a channel's producer and consumer sit on different processors, the
+tokens travel through the interconnect.  This module rewrites such
+channels by splitting them with a *communication actor*:
+
+    a --(p : c, d tokens)--> b
+        becomes
+    a --(p : 1)--> comm --(1 : c, d tokens)--> b
+
+``comm`` fires once per transported token with the given latency, and
+the initial tokens move to the delivery side (they are already at the
+consumer when the system starts).  The interconnect can be ``infinite``
+(every transfer in parallel — a fabric with private links) or
+``shared`` (one token threads all communication actors — a single bus),
+the latter built with the same static-order machinery as processors.
+
+Splitting only adds actors and dependencies, so the analysis stays
+conservative in the Proposition-1 sense relative to an ideal zero-time
+interconnect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ValidationError
+from repro.mapping.binding import Mapping, bind
+from repro.sdf.graph import SDFGraph
+
+
+def communication_actor_name(edge_name: str) -> str:
+    return f"comm_{edge_name}"
+
+
+def insert_communication(
+    graph: SDFGraph,
+    mapping: Mapping,
+    latency,
+    name: Optional[str] = None,
+) -> SDFGraph:
+    """Split every processor-crossing channel with a communication actor.
+
+    Self-loops and intra-processor channels are untouched.  The result
+    is consistent whenever ``graph`` is (the comm actor's repetition is
+    the transported token count per iteration).
+    """
+    mapping.validate(graph)
+    result = SDFGraph(name or f"{graph.name}-comm")
+    for actor in graph.actors:
+        result.add_actor(actor.name, actor.execution_time)
+    for edge in graph.edges:
+        crossing = (
+            not edge.is_self_loop
+            and mapping.assignment[edge.source] != mapping.assignment[edge.target]
+        )
+        if not crossing:
+            result.add_edge(
+                edge.source,
+                edge.target,
+                edge.production,
+                edge.consumption,
+                edge.tokens,
+                name=edge.name,
+            )
+            continue
+        comm = communication_actor_name(edge.name)
+        result.add_actor(comm, latency)
+        # One comm firing per token; a token in flight at a time per
+        # channel (the CA is a sequential engine): self-loop.
+        result.add_edge(comm, comm, tokens=1, name=f"self_{comm}")
+        result.add_edge(
+            edge.source, comm, production=edge.production, consumption=1,
+            name=f"{edge.name}__send",
+        )
+        result.add_edge(
+            comm, edge.target, production=1, consumption=edge.consumption,
+            tokens=edge.tokens, name=edge.name,
+        )
+    return result
+
+
+def communication_mapping(
+    graph_with_comm: SDFGraph, mapping: Mapping, interconnect: str = "infinite"
+) -> Mapping:
+    """Extend ``mapping`` over the communication actors.
+
+    ``infinite``: each comm actor gets its own pseudo-processor (private
+    link); ``shared``: all comm actors share one ``noc`` resource and
+    are serialised by the binding machinery like any processor.
+    """
+    if interconnect not in ("infinite", "shared"):
+        raise ValidationError(
+            f"unknown interconnect {interconnect!r}; use 'infinite' or 'shared'"
+        )
+    assignment: Dict[str, str] = dict(mapping.assignment)
+    for actor in graph_with_comm.actor_names:
+        if actor in assignment:
+            continue
+        if not actor.startswith("comm_"):
+            raise ValidationError(f"actor {actor!r} is not covered by the mapping")
+        assignment[actor] = "noc" if interconnect == "shared" else f"link_{actor}"
+    return Mapping(assignment=assignment, orders=mapping.orders)
+
+
+def bind_with_communication(
+    graph: SDFGraph,
+    mapping: Mapping,
+    latency,
+    interconnect: str = "infinite",
+    name: Optional[str] = None,
+) -> SDFGraph:
+    """Full platform-aware binding: split crossing channels, extend the
+    mapping over the communication actors, and bind at firing
+    granularity (:func:`repro.mapping.binding.bind`)."""
+    with_comm = insert_communication(graph, mapping, latency)
+    full_mapping = communication_mapping(with_comm, mapping, interconnect)
+    return bind(with_comm, full_mapping, name=name or f"{graph.name}-platform")

@@ -1,0 +1,75 @@
+"""A small design-space exploration loop over processor counts.
+
+The automated flow the paper's reductions are meant to accelerate:
+propose mappings, analyse each candidate's guaranteed throughput, keep
+the Pareto sweep.  The mapper here is a deliberately simple greedy
+load balancer — the point of this module is the analysis loop, not
+mapping heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.errors import ValidationError
+from repro.mapping.binding import Mapping, mapped_throughput
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import repetition_vector
+
+
+def greedy_load_balance(graph: SDFGraph, n_processors: int) -> Mapping:
+    """Assign actors to ``n_processors`` by descending load γ(a)·T(a),
+    each to the currently least-loaded processor (LPT heuristic)."""
+    if n_processors < 1:
+        raise ValidationError("need at least one processor")
+    gamma = repetition_vector(graph)
+    load = {f"p{i}": Fraction(0) for i in range(n_processors)}
+    assignment: Dict[str, str] = {}
+    actors = sorted(
+        graph.actor_names,
+        key=lambda a: (gamma[a] * Fraction(graph.execution_time(a)), a),
+        reverse=True,
+    )
+    for actor in actors:
+        processor = min(load, key=lambda p: (load[p], p))
+        assignment[actor] = processor
+        load[processor] += gamma[actor] * Fraction(graph.execution_time(actor))
+    return Mapping(assignment=assignment)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One design point: processor count, mapping and its guaranteed rate."""
+
+    processors: int
+    mapping: Mapping
+    cycle_time: Fraction
+
+    @property
+    def throughput(self) -> Fraction:
+        return 1 / self.cycle_time
+
+
+def sweep_processor_counts(
+    graph: SDFGraph, max_processors: Optional[int] = None
+) -> List[SweepPoint]:
+    """Guaranteed iteration period for 1 … ``max_processors`` processors.
+
+    More processors never hurt the *guarantee* produced by the greedy
+    mapper's own schedule, but the sweep reports whatever the analysis
+    yields — including plateaus once the application's critical cycle,
+    not the platform, is the bottleneck (the interesting designer-facing
+    fact).
+    """
+    if max_processors is None:
+        max_processors = graph.actor_count()
+    points: List[SweepPoint] = []
+    for n in range(1, max_processors + 1):
+        mapping = greedy_load_balance(graph, n)
+        result = mapped_throughput(graph, mapping)
+        points.append(
+            SweepPoint(processors=n, mapping=mapping, cycle_time=result.cycle_time)
+        )
+    return points

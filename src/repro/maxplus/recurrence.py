@@ -1,0 +1,189 @@
+"""The max-plus linear recurrence x(k+1) = M ⊗ x(k) in closed form.
+
+For an SDF graph, ``x(k)`` is the vector of token availability times
+after ``k`` iterations.  Max-plus spectral theory (Baccelli et al.,
+reference [1] of the paper; Cohen et al. for the reducible case) says
+the sequence is *eventually periodic with linear growth*: there is a
+**cycle-time vector** η (one rate per entry — all equal to the
+eigenvalue λ when the matrix is irreducible), a transient ``K`` and a
+cyclicity ``c`` with ``x(k + c) = c·η + x(k)`` entry-wise for ``k ≥ K``.
+This module computes that normal form explicitly (by exact iteration
+against the analytically computed η), plus eigenvectors, and powers the
+transient/latency analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.errors import ConvergenceError
+from repro.maxplus.algebra import EPSILON, mp_times_int
+from repro.maxplus.matrix import MaxPlusMatrix, MaxPlusVector
+from repro.maxplus.spectral import precedence_graph
+from repro.mcm.karp import karp_mcm
+
+
+def cycle_time_vector(matrix: MaxPlusMatrix) -> Tuple[Fraction, ...]:
+    """The per-entry asymptotic growth rates η of ``x(k+1) = M ⊗ x(k)``.
+
+    Entry ``i`` grows like the largest cycle mean among the strongly
+    connected components of the precedence graph that can *influence* it
+    (reach it along dependency edges); entries no cycle reaches turn to
+    ε after the transient and are reported with rate 0.
+    """
+    if matrix.nrows != matrix.ncols:
+        raise ValueError("cycle-time vector requires a square matrix")
+    graph = precedence_graph(matrix)
+    components = graph.strongly_connected_components()
+    component_of = {}
+    for index, members in enumerate(components):
+        for node in members:
+            component_of[node] = index
+
+    means: List[Optional[Fraction]] = []
+    for members in components:
+        subgraph = graph.subgraph(members)
+        if subgraph.has_cycle():
+            means.append(karp_mcm(subgraph).value)
+        else:
+            means.append(None)
+
+    # Tarjan emits successors first; reversed() is a topological order of
+    # the condensation with edge sources before targets.
+    rate: List[Optional[Fraction]] = list(means)
+    for index in reversed(range(len(components))):
+        for node in components[index]:
+            for edge in graph.in_edges(node):
+                upstream = rate[component_of[edge.source]]
+                if upstream is not None and (
+                    rate[index] is None or upstream > rate[index]
+                ):
+                    rate[index] = upstream
+
+    return tuple(
+        rate[component_of[i]] if rate[component_of[i]] is not None else Fraction(0)
+        for i in range(matrix.nrows)
+    )
+
+
+@dataclass(frozen=True)
+class Recurrence:
+    """The eventually-periodic normal form of ``x(k+1) = M ⊗ x(k)``.
+
+    ``prefix`` holds ``x(0) … x(K + c − 1)``; for ``k ≥ K``,
+    ``x(k)`` equals ``prefix[k₀]`` shifted entry-wise by whole periods of
+    the cycle-time vector, with ``k₀ = K + ((k − K) mod c)``.
+    """
+
+    matrix: MaxPlusMatrix
+    start: MaxPlusVector
+    transient: int
+    cyclicity: int
+    rates: Tuple[Fraction, ...]
+    prefix: Tuple[MaxPlusVector, ...]
+
+    @property
+    def rate(self) -> Fraction:
+        """The dominant growth rate (= eigenvalue λ for irreducible M)."""
+        return max(self.rates, default=Fraction(0))
+
+    def state(self, k: int) -> MaxPlusVector:
+        """``x(k)`` for any ``k ≥ 0``, in O(size) after the precomputation."""
+        if k < 0:
+            raise ValueError("iteration index must be non-negative")
+        if k < len(self.prefix):
+            return self.prefix[k]
+        base_index = self.transient + (k - self.transient) % self.cyclicity
+        periods, remainder = divmod(k - base_index, self.cyclicity)
+        assert remainder == 0
+        base = self.prefix[base_index]
+        return MaxPlusVector(
+            mp_times_int(rate * self.cyclicity, periods) + value
+            if value != EPSILON
+            else EPSILON
+            for rate, value in zip(self.rates, base)
+        )
+
+    def completion_time(self, k: int) -> Fraction:
+        """max entry of x(k): when iteration ``k``'s tokens are all ready."""
+        return self.state(k).norm()
+
+
+def solve_recurrence(
+    matrix: MaxPlusMatrix,
+    start: Optional[MaxPlusVector] = None,
+    max_steps: int = 100_000,
+) -> Recurrence:
+    """Iterate to the eventually-periodic regime and package it.
+
+    Detects the smallest ``(K, c)`` with ``x(K + c) = c·η + x(K)``
+    entry-wise, η being the cycle-time vector; exact throughout.  Raises
+    :class:`ConvergenceError` only if no period appears within
+    ``max_steps`` (the theory guarantees one exists; the bound defends
+    against pathological transients).
+    """
+    if matrix.nrows != matrix.ncols:
+        raise ValueError("recurrence requires a square matrix")
+    if start is None:
+        start = MaxPlusVector.zeros(matrix.nrows)
+    rates = cycle_time_vector(matrix)
+
+    def normalise(vector: MaxPlusVector, k: int) -> MaxPlusVector:
+        return MaxPlusVector(
+            value - rate * k if value != EPSILON else EPSILON
+            for rate, value in zip(rates, vector)
+        )
+
+    states: List[MaxPlusVector] = [start]
+    seen = {normalise(start, 0): 0}
+    x = start
+    for k in range(1, max_steps + 1):
+        x = matrix.apply(x)
+        states.append(x)
+        key = normalise(x, k)
+        if key in seen:
+            transient = seen[key]
+            cyclicity = k - transient
+            return Recurrence(
+                matrix=matrix,
+                start=start,
+                transient=transient,
+                cyclicity=cyclicity,
+                rates=rates,
+                prefix=tuple(states[:k]),
+            )
+        seen[key] = k
+    raise ConvergenceError(
+        f"no linear periodic regime within {max_steps} iterations"
+    )
+
+
+def eigenvector(matrix: MaxPlusMatrix) -> Tuple[Fraction, MaxPlusVector]:
+    """An eigenpair: λ and v with ``M ⊗ v = λ + v`` (v has a 0 entry).
+
+    Constructed the classical way: normalise the matrix by λ, take the
+    Kleene star of ``M_λ = (−λ) ⊗ M``, and read off the column of any
+    *critical* node (a node on a cycle of mean λ); that column satisfies
+    the eigenproblem exactly.  Requires at least one cycle.
+    """
+    from repro.maxplus.spectral import critical_indices
+
+    lam, cycle_nodes = critical_indices(matrix)
+    if lam is None:
+        raise ValueError("nilpotent matrix: no eigenvector exists")
+    normalised = MaxPlusMatrix(
+        [
+            (entry - lam if entry != EPSILON else EPSILON)
+            for entry in row
+        ]
+        for row in matrix.rows
+    )
+    star = normalised.star()
+    column = star.column(cycle_nodes[0])
+    check = matrix.apply(column)
+    expected = column.add_scalar(lam)
+    if check != expected:
+        raise AssertionError("critical column is not an eigenvector (bug)")
+    return Fraction(lam), column

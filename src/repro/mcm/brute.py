@@ -1,0 +1,64 @@
+"""Brute-force maximum cycle ratio by simple-cycle enumeration.
+
+Exponential in the graph size — usable only on small graphs, where it
+serves as the *oracle* for the property-based tests of the polynomial
+solvers (Karp, Howard, Lawler, YTO).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterator, Optional
+
+from repro.mcm.graphlib import (
+    CycleRatioResult,
+    RatioEdge,
+    RatioGraph,
+    ZeroTransitCycleError,
+)
+
+
+def simple_cycles(graph: RatioGraph) -> Iterator[list[RatioEdge]]:
+    """Enumerate all simple cycles (as edge lists), multi-edges included.
+
+    Each cycle is rooted at its smallest node in insertion order and only
+    visits larger nodes, so every simple cycle is produced exactly once
+    (up to rotation); parallel edges yield distinct cycles.
+    """
+    order = {node: i for i, node in enumerate(graph.nodes)}
+
+    def dfs(root, node, path_edges, visited):
+        for e in graph.out_edges(node):
+            target = e.target
+            if target == root:
+                yield path_edges + [e]
+            elif order[target] > order[root] and target not in visited:
+                visited.add(target)
+                yield from dfs(root, target, path_edges + [e], visited)
+                visited.remove(target)
+
+    for root in graph.nodes:
+        yield from dfs(root, root, [], {root})
+
+
+def brute_force_mcr(graph: RatioGraph, max_cycles: int = 2_000_000) -> CycleRatioResult:
+    """Maximum cycle ratio by exhaustive enumeration (test oracle).
+
+    Raises :class:`ZeroTransitCycleError` if any cycle is token-free and
+    :class:`RuntimeError` if more than ``max_cycles`` cycles are visited.
+    """
+    best: Optional[Fraction] = None
+    best_cycle = None
+    count = 0
+    for cycle in simple_cycles(graph):
+        count += 1
+        if count > max_cycles:
+            raise RuntimeError(f"more than {max_cycles} simple cycles; graph too large")
+        transit = sum(e.transit for e in cycle)
+        if transit == 0:
+            raise ZeroTransitCycleError(cycle)
+        ratio = Fraction(sum(e.weight for e in cycle), transit)
+        if best is None or ratio > best:
+            best = ratio
+            best_cycle = cycle
+    return CycleRatioResult(best, best_cycle).check()

@@ -1,0 +1,285 @@
+"""A small weighted-digraph container shared by the cycle-ratio solvers.
+
+Every edge carries a *weight* (rational, e.g. accumulated execution time)
+and a *transit time* (non-negative int, e.g. number of initial tokens).
+The quantity of interest is the **maximum cycle ratio**
+
+    MCR(G) = max over cycles C of  ( Σ_{e∈C} weight(e) ) / ( Σ_{e∈C} transit(e) ).
+
+For HSDF throughput analysis, ``weight(u → v)`` is the execution time of
+actor ``u`` and ``transit`` is the number of initial tokens on the channel;
+``1 / MCR`` is then the guaranteed steady-state firing rate.
+
+A cycle with total transit 0 makes the ratio undefined (it corresponds to
+a deadlocked dependency cycle in dataflow terms); solvers raise
+:class:`ZeroTransitCycleError` for such graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Iterable, Iterator, NamedTuple, Optional, Sequence
+
+
+class ZeroTransitCycleError(ValueError):
+    """Raised when a cycle has zero total transit time (a token-free cycle).
+
+    In dataflow terms such a cycle deadlocks: no actor on it can ever fire.
+    """
+
+    def __init__(self, cycle):
+        self.cycle = list(cycle)
+        nodes = " -> ".join(str(e.source) for e in self.cycle)
+        super().__init__(f"cycle with zero total transit time: {nodes} -> ...")
+
+
+class RatioEdge(NamedTuple):
+    """A directed edge with a rational weight and an integer transit time."""
+
+    source: Hashable
+    target: Hashable
+    weight: Fraction
+    transit: int
+    key: Hashable = None
+
+
+@dataclass
+class CycleRatioResult:
+    """Outcome of a cycle-ratio computation.
+
+    ``value`` is the maximum cycle ratio as an exact :class:`Fraction`, or
+    ``None`` when the graph has no cycle at all (the ratio of an empty set
+    is undefined; for throughput purposes an acyclic graph imposes no rate
+    bound).  ``cycle`` is one critical cycle achieving the ratio, as a list
+    of :class:`RatioEdge` in traversal order (may be ``None`` if the solver
+    does not recover cycles).
+    """
+
+    value: Optional[Fraction]
+    cycle: Optional[list] = None
+
+    @property
+    def is_acyclic(self) -> bool:
+        return self.value is None
+
+    def cycle_nodes(self) -> list:
+        if not self.cycle:
+            return []
+        return [e.source for e in self.cycle]
+
+    def check(self) -> "CycleRatioResult":
+        """Assert that the reported cycle really achieves the reported value."""
+        if self.cycle:
+            w = sum(e.weight for e in self.cycle)
+            t = sum(e.transit for e in self.cycle)
+            if t == 0:
+                raise ZeroTransitCycleError(self.cycle)
+            if Fraction(w, t) != self.value:
+                raise AssertionError(
+                    f"critical cycle ratio {Fraction(w, t)} != value {self.value}"
+                )
+        return self
+
+
+class RatioGraph:
+    """Directed multigraph with weighted/timed edges for MCR analysis."""
+
+    def __init__(self):
+        self._nodes: dict = {}
+        self._edges: list[RatioEdge] = []
+        self._succ: dict = {}
+        self._pred: dict = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_node(self, node: Hashable) -> None:
+        if node not in self._nodes:
+            self._nodes[node] = len(self._nodes)
+            self._succ[node] = []
+            self._pred[node] = []
+
+    def add_edge(
+        self,
+        source: Hashable,
+        target: Hashable,
+        weight,
+        transit: int,
+        key: Hashable = None,
+    ) -> RatioEdge:
+        if transit < 0:
+            raise ValueError("transit time must be non-negative")
+        self.add_node(source)
+        self.add_node(target)
+        edge = RatioEdge(source, target, Fraction(weight), int(transit), key)
+        self._edges.append(edge)
+        self._succ[source].append(edge)
+        self._pred[target].append(edge)
+        return edge
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def nodes(self) -> list:
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> list[RatioEdge]:
+        return list(self._edges)
+
+    def out_edges(self, node) -> Sequence[RatioEdge]:
+        return self._succ[node]
+
+    def in_edges(self, node) -> Sequence[RatioEdge]:
+        return self._pred[node]
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, node) -> bool:
+        return node in self._nodes
+
+    # -- structure ------------------------------------------------------
+
+    def strongly_connected_components(self) -> list[list]:
+        """Tarjan's algorithm, iterative (no recursion-depth limit)."""
+        index: dict = {}
+        lowlink: dict = {}
+        on_stack: set = set()
+        stack: list = []
+        components: list[list] = []
+        counter = 0
+
+        for root in self._nodes:
+            if root in index:
+                continue
+            work = [(root, iter(self._succ[root]))]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for edge in successors:
+                    child = edge.target
+                    if child not in index:
+                        index[child] = lowlink[child] = counter
+                        counter += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(self._succ[child])))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.remove(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        return components
+
+    def subgraph(self, nodes: Iterable) -> "RatioGraph":
+        """The induced subgraph on ``nodes`` (edges with both ends inside)."""
+        keep = set(nodes)
+        sub = RatioGraph()
+        for node in self._nodes:
+            if node in keep:
+                sub.add_node(node)
+        for e in self._edges:
+            if e.source in keep and e.target in keep:
+                sub.add_edge(e.source, e.target, e.weight, e.transit, e.key)
+        return sub
+
+    def nontrivial_sccs(self) -> list["RatioGraph"]:
+        """Induced subgraphs of SCCs that contain at least one cycle."""
+        result = []
+        for component in self.strongly_connected_components():
+            if len(component) > 1:
+                result.append(self.subgraph(component))
+            else:
+                node = component[0]
+                if any(e.target == node for e in self._succ[node]):
+                    result.append(self.subgraph(component))
+        return result
+
+    def find_zero_transit_cycle(self) -> Optional[list[RatioEdge]]:
+        """Return a cycle whose edges all have transit 0, or ``None``.
+
+        Works on the subgraph of zero-transit edges; a cycle there is a
+        token-free dependency cycle (deadlock).
+        """
+        zero = RatioGraph()
+        for node in self._nodes:
+            zero.add_node(node)
+        for e in self._edges:
+            if e.transit == 0:
+                zero.add_edge(e.source, e.target, e.weight, 0, e.key)
+        for scc in zero.nontrivial_sccs():
+            return scc.find_any_cycle()
+        return None
+
+    def find_any_cycle(self) -> Optional[list[RatioEdge]]:
+        """Return any simple cycle as an edge list, or ``None`` if acyclic."""
+        colour = {node: 0 for node in self._nodes}  # 0 white, 1 grey, 2 black
+        parent_edge: dict = {}
+        for root in self._nodes:
+            if colour[root] != 0:
+                continue
+            stack = [(root, iter(self._succ[root]))]
+            colour[root] = 1
+            while stack:
+                node, successors = stack[-1]
+                advanced = False
+                for edge in successors:
+                    child = edge.target
+                    if colour[child] == 0:
+                        colour[child] = 1
+                        parent_edge[child] = edge
+                        stack.append((child, iter(self._succ[child])))
+                        advanced = True
+                        break
+                    if colour[child] == 1:
+                        # Found a back edge: unwind the cycle.
+                        cycle = [edge]
+                        walk = node
+                        while walk != child:
+                            back = parent_edge[walk]
+                            cycle.append(back)
+                            walk = back.source
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    colour[node] = 2
+                    stack.pop()
+        return None
+
+    def has_cycle(self) -> bool:
+        return self.find_any_cycle() is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"RatioGraph(nodes={self.node_count()}, edges={self.edge_count()})"
+        )
+
+
+def cycle_ratio(cycle: Sequence[RatioEdge]) -> Fraction:
+    """The ratio Σweight/Σtransit of a cycle given as an edge list."""
+    total_transit = sum(e.transit for e in cycle)
+    if total_transit == 0:
+        raise ZeroTransitCycleError(cycle)
+    return Fraction(sum(e.weight for e in cycle), total_transit)

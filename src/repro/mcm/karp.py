@@ -1,0 +1,113 @@
+"""Karp's maximum cycle mean algorithm.
+
+Karp's theorem (1978): for a strongly connected digraph with ``n`` nodes
+and a fixed source ``s``,
+
+    MCM = max_v min_{0 <= k < n, D_k(v) finite} ( D_n(v) - D_k(v) ) / (n - k)
+
+where ``D_k(v)`` is the maximum weight of a walk of exactly ``k`` edges
+from ``s`` to ``v`` (ε when no such walk exists).  Runs in O(n·m) time and
+O(n²) space.
+
+Transit times must all equal 1: the cycle *mean* is the cycle *ratio*
+with unit transits.  This is precisely the setting of the max-plus
+eigenvalue computation (each precedence-graph edge is one iteration step),
+which is where the paper's HSDF conversion needs it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.mcm.graphlib import CycleRatioResult, RatioGraph
+
+_EPS = float("-inf")
+
+
+def karp_mcm(graph: RatioGraph) -> CycleRatioResult:
+    """Maximum cycle mean of ``graph`` (all transit times must be 1).
+
+    Returns :class:`CycleRatioResult` with the exact MCM and a critical
+    cycle, or ``value=None`` for an acyclic graph.
+    """
+    for e in graph.edges:
+        if e.transit != 1:
+            raise ValueError(
+                "karp_mcm requires unit transit times; "
+                f"edge {e.source}->{e.target} has transit {e.transit}"
+            )
+    best: Optional[Fraction] = None
+    best_cycle = None
+    for scc in graph.nontrivial_sccs():
+        value, cycle = _karp_scc(scc)
+        if best is None or value > best:
+            best = value
+            best_cycle = cycle
+    return CycleRatioResult(best, best_cycle).check()
+
+
+def _karp_scc(scc: RatioGraph):
+    nodes = scc.nodes
+    n = len(nodes)
+    source = nodes[0]
+
+    # D[k][v]: max weight of a k-edge walk source -> v; parent edge for traceback.
+    level = {source: Fraction(0)}
+    parent: list[dict] = [dict()]
+    levels = [level]
+    for _ in range(n):
+        nxt: dict = {}
+        par: dict = {}
+        for u, du in levels[-1].items():
+            for e in scc.out_edges(u):
+                cand = du + e.weight
+                if e.target not in nxt or cand > nxt[e.target]:
+                    nxt[e.target] = cand
+                    par[e.target] = e
+        levels.append(nxt)
+        parent.append(par)
+
+    final = levels[n]
+    best_value: Optional[Fraction] = None
+    best_node = None
+    for v, dn in final.items():
+        v_min: Optional[Fraction] = None
+        for k in range(n):
+            dk = levels[k].get(v)
+            if dk is None:
+                continue
+            mean = Fraction(dn - dk, n - k)
+            if v_min is None or mean < v_min:
+                v_min = mean
+        if v_min is not None and (best_value is None or v_min > best_value):
+            best_value = v_min
+            best_node = v
+    if best_value is None:
+        # A non-trivial SCC always has walks of every length from the
+        # source, so this cannot happen; defend anyway.
+        raise AssertionError("no finite Karp value inside a non-trivial SCC")
+
+    cycle = _extract_cycle(parent, best_node, n)
+    return best_value, cycle
+
+
+def _extract_cycle(parent, node, n):
+    """Walk the maximising n-edge walk backwards; any repeated node on it
+    encloses a cycle of mean equal to the MCM (Karp's critical cycle)."""
+    walk_nodes = [node]
+    walk_edges = []
+    v = node
+    for k in range(n, 0, -1):
+        e = parent[k][v]
+        walk_edges.append(e)
+        v = e.source
+        walk_nodes.append(v)
+    walk_nodes.reverse()
+    walk_edges.reverse()
+    first_seen: dict = {}
+    for idx, v in enumerate(walk_nodes):
+        if v in first_seen:
+            return walk_edges[first_seen[v] : idx]
+        first_seen[v] = idx
+    raise AssertionError("an n-edge walk over n nodes must repeat a node")

@@ -1,0 +1,144 @@
+"""Young-Tarjan-Orlin-style parametric search for the maximum cycle mean.
+
+The algorithm maintains, per strongly connected component, a *longest-path
+tree* from a root under the parametric edge weights ``w(e) − λ`` while λ
+sweeps downwards from +∞.  Each non-tree edge ``(u, v)`` that uses more
+edges than the current tree path to ``v`` has a *key*: the value of λ at
+which the path through ``(u, v)`` ties the tree path.  The sweep
+repeatedly pivots on the largest key; the first pivot that closes a cycle
+in the tree does so exactly at λ = MCM, and that tree cycle is a critical
+cycle.
+
+This implementation keeps the algorithmic structure of Young, Tarjan and
+Orlin (Networks, 1991) but evaluates keys by rescanning edges instead of
+maintaining a Fibonacci heap, giving O(n²·(n + m)) worst case — entirely
+adequate for the graph sizes this library targets, and exact over
+rationals.  Transit times must all be 1 (cycle *mean*); use
+:func:`repro.mcm.howard.howard_mcr` or
+:func:`repro.mcm.lawler.lawler_mcr` for general cycle ratios.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.mcm.graphlib import CycleRatioResult, RatioGraph
+
+
+def yto_mcm(graph: RatioGraph) -> CycleRatioResult:
+    """Maximum cycle mean of ``graph`` (transit times must all be 1)."""
+    for e in graph.edges:
+        if e.transit != 1:
+            raise ValueError(
+                "yto_mcm requires unit transit times; "
+                f"edge {e.source}->{e.target} has transit {e.transit}"
+            )
+    best: Optional[Fraction] = None
+    best_cycle = None
+    for scc in graph.nontrivial_sccs():
+        value, cycle = _yto_scc(scc)
+        if best is None or value > best:
+            best = value
+            best_cycle = cycle
+    return CycleRatioResult(best, best_cycle).check()
+
+
+def _yto_scc(scc: RatioGraph):
+    nodes = scc.nodes
+    root = nodes[0]
+
+    # Initial tree: optimal for λ → +∞, i.e. lexicographically
+    # (fewest edges, then largest weight).  BFS layers give the edge
+    # counts; a per-layer relaxation maximises the weight.
+    length = {root: 0}
+    weight = {root: Fraction(0)}
+    parent: dict = {root: None}
+    frontier = [root]
+    while frontier:
+        # Collect the next layer (minimum edge count).
+        candidates: dict = {}
+        for u in frontier:
+            for e in scc.out_edges(u):
+                if e.target in length:
+                    continue
+                cand = weight[u] + e.weight
+                if e.target not in candidates or cand > candidates[e.target][0]:
+                    candidates[e.target] = (cand, e)
+        next_frontier = []
+        for v, (w, e) in candidates.items():
+            length[v] = length[e.source] + 1
+            weight[v] = w
+            parent[v] = e
+            next_frontier.append(v)
+        frontier = next_frontier
+        # Within the new layer, same-length improvements via same-layer
+        # edges are impossible (edges add one to the length), so layers
+        # are final once assigned.
+
+    children: dict = {node: set() for node in nodes}
+    for v, e in parent.items():
+        if e is not None:
+            children[e.source].add(v)
+
+    def subtree(v):
+        stack = [v]
+        out = []
+        while stack:
+            x = stack.pop()
+            out.append(x)
+            stack.extend(children[x])
+        return out
+
+    while True:
+        # Find the pivot: the non-tree edge with the largest key.
+        pivot = None
+        pivot_key = None
+        for e in scc.edges:
+            u, v = e.source, e.target
+            dl = length[u] + 1 - length[v]
+            if dl <= 0:
+                continue
+            key = Fraction(weight[u] + e.weight - weight[v], dl)
+            if pivot_key is None or key > pivot_key:
+                pivot_key = key
+                pivot = e
+        if pivot is None:
+            raise AssertionError(
+                "parametric sweep ran out of pivots inside a non-trivial SCC"
+            )
+
+        u, v = pivot.source, pivot.target
+        # Does the pivot close a cycle?  It does iff v is an ancestor of u
+        # (including u == v), in which case the tree path v → u plus the
+        # pivot edge is a cycle of mean exactly pivot_key.
+        ancestor = u
+        on_path = [u]
+        is_cycle = u == v
+        while parent[ancestor] is not None and not is_cycle:
+            ancestor = parent[ancestor].source
+            if ancestor == v:
+                is_cycle = True
+                break
+            on_path.append(ancestor)
+        if is_cycle:
+            cycle = []
+            walk = u
+            while walk != v:
+                cycle.append(parent[walk])
+                walk = parent[walk].source
+            cycle.reverse()
+            cycle.append(pivot)
+            return pivot_key, cycle
+
+        # Otherwise pivot: re-root v's subtree through the new edge.
+        old_parent = parent[v]
+        if old_parent is not None:
+            children[old_parent.source].discard(v)
+        parent[v] = pivot
+        children[u].add(v)
+        delta_l = length[u] + 1 - length[v]
+        delta_w = weight[u] + pivot.weight - weight[v]
+        for x in subtree(v):
+            length[x] += delta_l
+            weight[x] += delta_w

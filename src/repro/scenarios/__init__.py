@@ -1,0 +1,30 @@
+"""Scenario-aware dataflow (FSM-SADF): dynamic behaviour over SDF scenarios.
+
+The paper derives Algorithm 1 "from an algorithm to convert an SDFG into
+a MaxPlus matrix [8, 7]" — reference [7] being Geilen's *Synchronous
+dataflow scenarios*.  This subpackage implements that companion theory:
+an application switches between *scenarios* (each a timed SDF graph over
+the same persistent tokens, hence a max-plus matrix), with the admissible
+scenario orders given by a finite state machine.  Worst-case throughput
+over all infinite admissible scenario sequences is computed by exploring
+the finite space of (FSM state, normalised token-time vector) pairs and
+taking a maximum cycle mean — the (max,+) automaton approach of
+Geilen & Stuijk.
+"""
+
+from repro.scenarios.model import Scenario, ScenarioFSM
+from repro.scenarios.analysis import (
+    WorstCaseResult,
+    enumerate_periodic_sequences,
+    sequence_cycle_time,
+    worst_case_cycle_time,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioFSM",
+    "WorstCaseResult",
+    "enumerate_periodic_sequences",
+    "sequence_cycle_time",
+    "worst_case_cycle_time",
+]

@@ -1,0 +1,145 @@
+"""Worst-case throughput of FSM-SADF models.
+
+Method (Geilen & Stuijk, the (max,+) automaton view): explore the graph
+whose nodes are pairs (FSM state, normalised token-time vector) and
+whose edges apply one scenario's matrix; the edge weight is the amount
+of time the normalisation strips off.  Any cycle of this graph is a
+realisable periodic scenario sequence whose average iteration time is
+the cycle's mean weight, and conversely — so the worst-case cycle time
+is the graph's maximum cycle mean (Karp per SCC).
+
+The explored space is finite whenever the scenario matrices reach
+finitely many normalised vectors from the start vector — true for the
+models this theory targets; a node budget guards the rest.  The method
+has a genuine blind spot worth knowing: if some admissible scenario
+composition *decouples* the tokens into classes with different growth
+rates (a reducible product matrix), the classes drift apart linearly,
+the normalised vectors never recur, and the exploration reports
+:class:`ConvergenceError` instead of an answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.maxplus.algebra import EPSILON
+from repro.maxplus.matrix import MaxPlusMatrix, MaxPlusVector
+from repro.maxplus.spectral import eigenvalue
+from repro.mcm.graphlib import RatioGraph
+from repro.mcm.karp import karp_mcm
+from repro.scenarios.model import Scenario, ScenarioFSM
+
+
+@dataclass
+class WorstCaseResult:
+    """Outcome of the worst-case exploration.
+
+    ``cycle_time`` is the supremum, over infinite admissible scenario
+    sequences, of the long-run average time per iteration; ``witness``
+    is a realisable periodic scenario sequence attaining it; ``explored``
+    the number of (state, vector) pairs visited.
+    """
+
+    cycle_time: Optional[Fraction]
+    witness: Tuple[str, ...]
+    explored: int
+
+    @property
+    def throughput(self) -> Optional[Fraction]:
+        if self.cycle_time in (None, 0):
+            return None
+        return 1 / self.cycle_time
+
+
+def worst_case_cycle_time(
+    scenarios: Dict[str, Scenario],
+    fsm: ScenarioFSM,
+    max_nodes: int = 50_000,
+) -> WorstCaseResult:
+    """Exact worst-case iteration period of an FSM-SADF model."""
+    fsm.validate(scenarios)
+    matrices = {name: scenarios[name].matrix() for name in fsm.scenario_names()}
+    sizes = {m.nrows for m in matrices.values()}
+    size = sizes.pop() if sizes else 0
+
+    start_vector = MaxPlusVector.zeros(size).normalised()
+    start = (fsm.initial, start_vector)
+    graph = RatioGraph()
+    graph.add_node(start)
+    frontier = [start]
+    seen = {start}
+    while frontier:
+        if len(seen) > max_nodes:
+            raise ConvergenceError(
+                f"scenario state space exceeded {max_nodes} nodes; the "
+                "normalised vectors do not recur"
+            )
+        state, vector = frontier.pop()
+        for scenario, target in fsm.outgoing(state):
+            image = matrices[scenario].apply(vector)
+            weight = image.norm()
+            if weight == EPSILON:
+                raise ValidationError(
+                    f"scenario {scenario!r} erases all token timing "
+                    "information (all-ε image); model is not well-formed"
+                )
+            node = (target, image.normalised())
+            graph.add_edge((state, vector), node, Fraction(weight), 1, key=scenario)
+            if node not in seen:
+                seen.add(node)
+                frontier.append(node)
+
+    result = karp_mcm(graph)
+    if result.value is None:
+        return WorstCaseResult(None, (), len(seen))
+    witness = tuple(e.key for e in result.cycle)
+    return WorstCaseResult(Fraction(result.value), witness, len(seen))
+
+
+def sequence_cycle_time(
+    scenarios: Dict[str, Scenario], sequence: Iterable[str]
+) -> Fraction:
+    """Long-run average iteration time of one periodic scenario sequence.
+
+    The sequence repeats forever; its rate is eigenvalue(M_sk ⊗ … ⊗ M_s1)
+    divided by the sequence length.
+    """
+    names = list(sequence)
+    if not names:
+        raise ValidationError("empty scenario sequence")
+    product_matrix: Optional[MaxPlusMatrix] = None
+    for name in names:
+        matrix = scenarios[name].matrix()
+        product_matrix = (
+            matrix if product_matrix is None else matrix.multiply(product_matrix)
+        )
+    lam = eigenvalue(product_matrix)
+    if lam is None:
+        return Fraction(0)
+    return Fraction(lam) / len(names)
+
+
+def enumerate_periodic_sequences(
+    fsm: ScenarioFSM, max_length: int
+) -> List[Tuple[str, ...]]:
+    """All periodic scenario sequences realisable as FSM cycles up to
+    ``max_length`` (brute-force oracle for the exploration)."""
+    sequences: List[Tuple[str, ...]] = []
+    states = fsm.states
+
+    def walk(state, labels, visited_start):
+        if labels and state == visited_start:
+            sequences.append(tuple(labels))
+        if len(labels) >= max_length:
+            return
+        for scenario, target in fsm.outgoing(state):
+            walk(target, labels + [scenario], visited_start)
+
+    for state in states:
+        walk(state, [], state)
+    # Deduplicate rotations-equal sequences cheaply (keep all: the oracle
+    # only needs coverage, duplicates are harmless but wasteful).
+    return sequences

@@ -1,0 +1,94 @@
+"""The FSM-SADF model: scenarios over shared tokens, sequenced by an FSM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.symbolic import symbolic_iteration
+from repro.errors import ValidationError
+from repro.maxplus.matrix import MaxPlusMatrix
+from repro.sdf.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One mode of operation: a timed SDF graph over the persistent tokens.
+
+    All scenarios of a model must hold the *same number* of initial
+    tokens: the tokens persist across scenario switches and carry the
+    timing state from one iteration to the next (conceptually the same
+    channels, possibly with different rates/times per scenario).  The
+    scenario's behaviour is its max-plus iteration matrix.
+    """
+
+    name: str
+    graph: SDFGraph
+
+    def matrix(self) -> MaxPlusMatrix:
+        return symbolic_iteration(self.graph).matrix
+
+
+class ScenarioFSM:
+    """A finite state machine over scenario labels.
+
+    States are arbitrary hashables; each transition fires one scenario
+    iteration.  Every infinite path from the initial state is an
+    admissible scenario sequence; worst-case analysis quantifies over
+    all of them.
+    """
+
+    def __init__(self, initial):
+        self.initial = initial
+        self._transitions: List[Tuple[object, str, object]] = []
+        self._states = {initial}
+
+    def add_transition(self, source, scenario: str, target) -> None:
+        self._states.add(source)
+        self._states.add(target)
+        self._transitions.append((source, scenario, target))
+
+    @property
+    def states(self) -> List[object]:
+        return list(self._states)
+
+    @property
+    def transitions(self) -> List[Tuple[object, str, object]]:
+        return list(self._transitions)
+
+    def outgoing(self, state) -> List[Tuple[str, object]]:
+        return [(s, t) for (src, s, t) in self._transitions if src == state]
+
+    def scenario_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for _, scenario, _ in self._transitions:
+            seen.setdefault(scenario)
+        return list(seen)
+
+    def validate(self, scenarios: Dict[str, Scenario]) -> None:
+        """Check labels resolve and all scenarios agree on token count."""
+        missing = [s for s in self.scenario_names() if s not in scenarios]
+        if missing:
+            raise ValidationError(f"transitions use unknown scenarios {missing}")
+        sizes = {
+            name: scenarios[name].graph.total_tokens()
+            for name in self.scenario_names()
+        }
+        if len(set(sizes.values())) > 1:
+            raise ValidationError(
+                f"scenarios disagree on persistent token count: {sizes}"
+            )
+        for state in self._states:
+            if not self.outgoing(state):
+                raise ValidationError(
+                    f"state {state!r} has no outgoing transition; infinite "
+                    "scenario sequences must exist from every reachable state"
+                )
+
+    @classmethod
+    def free_choice(cls, scenario_names: Sequence[str]) -> "ScenarioFSM":
+        """The FSM allowing any scenario at any time (single state)."""
+        fsm = cls("*")
+        for name in scenario_names:
+            fsm.add_transition("*", name, "*")
+        return fsm

@@ -1,0 +1,142 @@
+"""Graph composition: building systems out of reusable SDF components.
+
+Design flows assemble applications from library blocks; these helpers
+keep that assembly exact and name-safe:
+
+* :func:`renamed` — prefix every actor (and edge) name;
+* :func:`disjoint_union` — side-by-side composition (independent
+  components in one graph);
+* :func:`serial` — connect an output actor of one graph to an input
+  actor of another with chosen rates;
+* :func:`feedback` — add a back channel between two actors of a graph.
+
+All of them return fresh graphs; the inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.sdf.graph import SDFGraph
+
+
+def renamed(graph: SDFGraph, prefix: str, name: Optional[str] = None) -> SDFGraph:
+    """A copy with every actor and edge name prefixed by ``prefix``."""
+    result = SDFGraph(name or f"{prefix}{graph.name}")
+    for actor in graph.actors:
+        result.add_actor(f"{prefix}{actor.name}", actor.execution_time)
+    for edge in graph.edges:
+        result.add_edge(
+            f"{prefix}{edge.source}",
+            f"{prefix}{edge.target}",
+            edge.production,
+            edge.consumption,
+            edge.tokens,
+            name=f"{prefix}{edge.name}",
+        )
+    return result
+
+
+def disjoint_union(
+    graphs: Iterable[SDFGraph], name: str = "union", auto_prefix: bool = True
+) -> SDFGraph:
+    """All graphs side by side in one graph.
+
+    With ``auto_prefix`` each component's names get ``g<i>_`` prefixes,
+    so clashing component names are fine; without it, clashes raise.
+    """
+    result = SDFGraph(name)
+    for index, graph in enumerate(graphs):
+        part = renamed(graph, f"g{index}_") if auto_prefix else graph
+        for actor in part.actors:
+            result.add_actor(actor.name, actor.execution_time)
+        for edge in part.edges:
+            result.add_edge(
+                edge.source,
+                edge.target,
+                edge.production,
+                edge.consumption,
+                edge.tokens,
+                name=edge.name if auto_prefix else None,
+            )
+    return result
+
+
+def serial(
+    upstream: SDFGraph,
+    downstream: SDFGraph,
+    connect: Tuple[str, str],
+    production: int = 1,
+    consumption: int = 1,
+    tokens: int = 0,
+    name: Optional[str] = None,
+) -> SDFGraph:
+    """Chain two graphs: ``connect=(producer, consumer)`` adds a channel
+    from ``producer`` (in ``upstream``, prefixed ``u_``) to ``consumer``
+    (in ``downstream``, prefixed ``d_``).
+
+    The caller chooses the rates; consistency of the composite depends
+    on them and is *checked*, so a rate mismatch fails loudly here
+    rather than deep inside an analysis.
+    """
+    producer, consumer = connect
+    upstream.actor(producer)
+    downstream.actor(consumer)
+    result = SDFGraph(name or f"{upstream.name}>>{downstream.name}")
+    for part, prefix in ((upstream, "u_"), (downstream, "d_")):
+        for actor in part.actors:
+            result.add_actor(f"{prefix}{actor.name}", actor.execution_time)
+        for edge in part.edges:
+            result.add_edge(
+                f"{prefix}{edge.source}",
+                f"{prefix}{edge.target}",
+                edge.production,
+                edge.consumption,
+                edge.tokens,
+                name=f"{prefix}{edge.name}",
+            )
+    result.add_edge(
+        f"u_{producer}",
+        f"d_{consumer}",
+        production=production,
+        consumption=consumption,
+        tokens=tokens,
+        name="link",
+    )
+    from repro.sdf.repetition import is_consistent
+
+    if not is_consistent(result):
+        raise ValidationError(
+            f"serial composition with rates {production}:{consumption} is "
+            "inconsistent; pick rates matching the component repetition vectors"
+        )
+    return result
+
+
+def feedback(
+    graph: SDFGraph,
+    source: str,
+    target: str,
+    production: int = 1,
+    consumption: int = 1,
+    tokens: int = 1,
+    name: Optional[str] = None,
+) -> SDFGraph:
+    """A copy of ``graph`` with one extra (typically token-carrying)
+    back channel — the standard way to close a pipeline into a loop or
+    to model a frame buffer; consistency is checked like in
+    :func:`serial`."""
+    graph.actor(source)
+    graph.actor(target)
+    result = graph.copy(name or f"{graph.name}+fb")
+    result.add_edge(
+        source, target, production=production, consumption=consumption, tokens=tokens
+    )
+    from repro.sdf.repetition import is_consistent
+
+    if not is_consistent(result):
+        raise ValidationError(
+            f"feedback with rates {production}:{consumption} is inconsistent"
+        )
+    return result

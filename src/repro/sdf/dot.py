@@ -1,0 +1,99 @@
+"""Graphviz DOT export for SDF graphs and analysis artefacts.
+
+Renders the visual conventions of the paper's figures: circles for
+actors (labelled with execution times), edge labels ``p/c`` for rates
+(omitted when homogeneous), and one dot per initial token drawn as
+``•``-runs on the edge label.  Abstraction groupings can be rendered as
+Graphviz clusters to visualise a planned reduction before applying it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sdf.graph import SDFGraph
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _edge_label(edge, homogeneous: bool) -> str:
+    parts = []
+    if not homogeneous or not edge.is_homogeneous:
+        parts.append(f"{edge.production}/{edge.consumption}")
+    if edge.tokens:
+        dots = "•" * min(edge.tokens, 6)
+        if edge.tokens > 6:
+            dots = f"{edge.tokens}•"
+        parts.append(dots)
+    return " ".join(parts)
+
+
+def conversion_to_dot(conversion) -> str:
+    """Render a compact-HSDF conversion with the Figure-4 roles as clusters.
+
+    Matrix actors, multiplexers, demultiplexers and observers each get
+    their own cluster, making the paper's structure visible at a glance.
+    ``conversion`` is a :class:`repro.core.hsdf_conversion.HsdfConversion`.
+    """
+    groups = {}
+    for actor in conversion.graph.actor_names:
+        if actor.startswith("g_"):
+            groups[actor] = "matrix"
+        elif actor.startswith("mux_"):
+            groups[actor] = "multiplexers"
+        elif actor.startswith("dmx_"):
+            groups[actor] = "demultiplexers"
+        elif actor.startswith(("obs_", "obsg_")):
+            groups[actor] = "observers"
+        else:
+            groups[actor] = actor
+    return to_dot(conversion.graph, groups=groups)
+
+
+def to_dot(
+    graph: SDFGraph,
+    groups: Optional[Dict[str, str]] = None,
+    rankdir: str = "LR",
+) -> str:
+    """Render ``graph`` as a DOT digraph.
+
+    ``groups`` (actor → group name, e.g. an :class:`Abstraction`'s
+    ``mapping``) draws each group as a cluster.  The output needs no
+    Graphviz at build time — it is plain text for later rendering.
+    """
+    homogeneous = graph.is_homogeneous()
+    lines = [f'digraph "{_escape(graph.name)}" {{']
+    lines.append(f"  rankdir={rankdir};")
+    lines.append('  node [shape=circle, fontsize=11];')
+
+    def actor_line(actor) -> str:
+        label = f"{_escape(actor.name)}\\n{actor.execution_time}"
+        return f'  "{_escape(actor.name)}" [label="{label}"];'
+
+    if groups:
+        by_group: Dict[str, list] = {}
+        for actor in graph.actors:
+            by_group.setdefault(groups.get(actor.name, actor.name), []).append(actor)
+        for i, (group, members) in enumerate(sorted(by_group.items())):
+            if len(members) == 1 and members[0].name == group:
+                lines.append(actor_line(members[0]))
+                continue
+            lines.append(f'  subgraph "cluster_{i}" {{')
+            lines.append(f'    label="{_escape(group)}";')
+            for actor in members:
+                lines.append("  " + actor_line(actor))
+            lines.append("  }")
+    else:
+        for actor in graph.actors:
+            lines.append(actor_line(actor))
+
+    for edge in graph.edges:
+        label = _edge_label(edge, homogeneous)
+        attrs = f' [label="{_escape(label)}"]' if label else ""
+        lines.append(
+            f'  "{_escape(edge.source)}" -> "{_escape(edge.target)}"{attrs};'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,168 @@
+"""Serialisation of SDF graphs: JSON-friendly dicts and SDF3-style XML.
+
+The XML dialect follows the structure of the SDF3 tool set's ``sdf``
+format (Stuijk, Geilen, Basten — reference [17] of the paper) closely
+enough that simple SDF3 models round-trip conceptually: actors with
+ports, channels with rates and initial tokens, and actor execution times
+in the properties section.  Only the subset needed for timed SDF
+analysis is supported.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from fractions import Fraction
+from numbers import Rational
+from typing import Dict
+
+from repro.errors import ValidationError
+from repro.sdf.graph import SDFGraph
+
+
+def _time_to_json(value):
+    if isinstance(value, int):
+        return value
+    return {"numerator": value.numerator, "denominator": value.denominator}
+
+
+def _time_from_json(value):
+    if isinstance(value, int):
+        return value
+    if isinstance(value, dict):
+        return Fraction(value["numerator"], value["denominator"])
+    raise ValidationError(f"cannot parse execution time {value!r}")
+
+
+def to_dict(graph: SDFGraph) -> Dict:
+    """A JSON-serialisable description of ``graph``."""
+    return {
+        "name": graph.name,
+        "actors": [
+            {"name": a.name, "execution_time": _time_to_json(a.execution_time)}
+            for a in graph.actors
+        ],
+        "edges": [
+            {
+                "name": e.name,
+                "source": e.source,
+                "target": e.target,
+                "production": e.production,
+                "consumption": e.consumption,
+                "tokens": e.tokens,
+            }
+            for e in graph.edges
+        ],
+    }
+
+
+def from_dict(data: Dict) -> SDFGraph:
+    """Rebuild a graph from :func:`to_dict` output."""
+    graph = SDFGraph(data.get("name", "sdf"))
+    for actor in data["actors"]:
+        graph.add_actor(actor["name"], _time_from_json(actor.get("execution_time", 0)))
+    for edge in data["edges"]:
+        graph.add_edge(
+            edge["source"],
+            edge["target"],
+            edge.get("production", 1),
+            edge.get("consumption", 1),
+            edge.get("tokens", 0),
+            name=edge.get("name"),
+        )
+    return graph
+
+
+def to_json(graph: SDFGraph, indent: int = 2) -> str:
+    return json.dumps(to_dict(graph), indent=indent)
+
+
+def from_json(text: str) -> SDFGraph:
+    return from_dict(json.loads(text))
+
+
+def to_sdf3_xml(graph: SDFGraph) -> str:
+    """Serialise in an SDF3-like ``<sdf3 type="sdf">`` document."""
+    root = ET.Element("sdf3", {"type": "sdf", "version": "1.0"})
+    app = ET.SubElement(root, "applicationGraph", {"name": graph.name})
+    sdf = ET.SubElement(app, "sdf", {"name": graph.name, "type": graph.name})
+    for actor in graph.actors:
+        node = ET.SubElement(sdf, "actor", {"name": actor.name, "type": actor.name})
+        for e in graph.out_edges(actor.name):
+            ET.SubElement(
+                node,
+                "port",
+                {"name": f"out_{e.name}", "type": "out", "rate": str(e.production)},
+            )
+        for e in graph.in_edges(actor.name):
+            ET.SubElement(
+                node,
+                "port",
+                {"name": f"in_{e.name}", "type": "in", "rate": str(e.consumption)},
+            )
+    for e in graph.edges:
+        attrs = {
+            "name": e.name,
+            "srcActor": e.source,
+            "srcPort": f"out_{e.name}",
+            "dstActor": e.target,
+            "dstPort": f"in_{e.name}",
+        }
+        if e.tokens:
+            attrs["initialTokens"] = str(e.tokens)
+        ET.SubElement(sdf, "channel", attrs)
+    props = ET.SubElement(app, "sdfProperties")
+    for actor in graph.actors:
+        ap = ET.SubElement(props, "actorProperties", {"actor": actor.name})
+        proc = ET.SubElement(ap, "processor", {"type": "cpu", "default": "true"})
+        ET.SubElement(proc, "executionTime", {"time": str(actor.execution_time)})
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def from_sdf3_xml(text: str) -> SDFGraph:
+    """Parse an SDF3-like document produced by :func:`to_sdf3_xml`.
+
+    Execution times are read from ``sdfProperties``; rates are read from
+    the ports referenced by each channel.
+    """
+    root = ET.fromstring(text)
+    app = root.find("applicationGraph")
+    if app is None:
+        raise ValidationError("missing <applicationGraph> element")
+    sdf = app.find("sdf")
+    if sdf is None:
+        raise ValidationError("missing <sdf> element")
+
+    graph = SDFGraph(app.get("name", "sdf"))
+    port_rates: Dict[tuple, int] = {}
+    for actor in sdf.findall("actor"):
+        graph.add_actor(actor.get("name"))
+        for port in actor.findall("port"):
+            port_rates[(actor.get("name"), port.get("name"))] = int(port.get("rate", "1"))
+
+    for channel in sdf.findall("channel"):
+        src = channel.get("srcActor")
+        dst = channel.get("dstActor")
+        production = port_rates.get((src, channel.get("srcPort")), 1)
+        consumption = port_rates.get((dst, channel.get("dstPort")), 1)
+        graph.add_edge(
+            src,
+            dst,
+            production,
+            consumption,
+            int(channel.get("initialTokens", "0")),
+            name=channel.get("name"),
+        )
+
+    props = app.find("sdfProperties")
+    if props is not None:
+        for ap in props.findall("actorProperties"):
+            name = ap.get("actor")
+            node = ap.find("processor/executionTime")
+            if node is not None:
+                raw = node.get("time", "0")
+                value = Fraction(raw)
+                time = int(value) if value.denominator == 1 else value
+                graph.set_execution_time(name, time)
+    return graph

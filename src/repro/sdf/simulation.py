@@ -1,0 +1,211 @@
+"""Self-timed execution of timed SDF graphs.
+
+Under *self-timed* (as-soon-as-possible) semantics every actor starts a
+firing the moment all of its input tokens are available, with unlimited
+auto-concurrency unless a self-edge bounds it.  Because rates and delays
+are constant, self-timed executions of consistent live graphs are
+eventually periodic; the throughput analysis below executes the graph
+until a state recurs and reads the firing rates off the periodic phase —
+the state-space method of Ghamarian et al. (ACSD 2006), reference [8] of
+the paper and the inspiration for its symbolic conversion.
+
+All event times are exact rationals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConvergenceError, DeadlockError, UnboundedThroughputError
+from repro.sdf.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class FiringRecord:
+    """One firing in the execution trace: actor, start and end time."""
+
+    actor: str
+    start: Fraction
+    end: Fraction
+
+
+class SelfTimedSimulation:
+    """An exact discrete-event engine for self-timed SDF execution.
+
+    >>> g = SDFGraph()
+    >>> _ = g.add_actor("A", execution_time=2)
+    >>> _ = g.add_edge("A", "A", tokens=1)
+    >>> sim = SelfTimedSimulation(g)
+    >>> sim.run_for_events(3)
+    >>> sim.now, sim.firings["A"]
+    (Fraction(6, 1), 3)
+    """
+
+    #: Safety bound on simultaneous firing starts at a single time point
+    #: (defends against zero-execution-time cycles that fire infinitely
+    #: often at one instant).
+    MAX_STARTS_PER_INSTANT = 1_000_000
+
+    def __init__(self, graph: SDFGraph, record_trace: bool = False):
+        for actor in graph.actor_names:
+            if not graph.in_edges(actor):
+                raise UnboundedThroughputError(
+                    f"actor {actor!r} has no incoming edges: self-timed execution "
+                    "would fire it unboundedly often at time 0; add a self-edge "
+                    "with one initial token to bound it",
+                    actor=actor,
+                )
+        self.graph = graph
+        self.now: Fraction = Fraction(0)
+        self.tokens: Dict[str, int] = {e.name: e.tokens for e in graph.edges}
+        #: Ongoing firings as a sorted list of (completion time, actor).
+        self._ongoing: List[Tuple[Fraction, str]] = []
+        self.firings: Dict[str, int] = {a: 0 for a in graph.actor_names}
+        self.trace: Optional[List[FiringRecord]] = [] if record_trace else None
+        self._start_enabled_firings()
+
+    # -- mechanics ------------------------------------------------------
+
+    def _enabled(self, actor: str) -> bool:
+        return all(self.tokens[e.name] >= e.consumption for e in self.graph.in_edges(actor))
+
+    def _start_enabled_firings(self) -> None:
+        started = 0
+        progress = True
+        while progress:
+            progress = False
+            for actor in self.graph.actor_names:
+                while self._enabled(actor):
+                    for e in self.graph.in_edges(actor):
+                        self.tokens[e.name] -= e.consumption
+                    end = self.now + self.graph.execution_time(actor)
+                    self._ongoing.append((end, actor))
+                    started += 1
+                    if started > self.MAX_STARTS_PER_INSTANT:
+                        raise ConvergenceError(
+                            "more than "
+                            f"{self.MAX_STARTS_PER_INSTANT} firing starts at time "
+                            f"{self.now}: a zero-execution-time cycle fires "
+                            "infinitely often at one instant"
+                        )
+                    progress = True
+        self._ongoing.sort()
+
+    @property
+    def is_deadlocked(self) -> bool:
+        """No firing is ongoing and none can start: nothing will ever happen."""
+        return not self._ongoing
+
+    def step(self) -> Fraction:
+        """Advance to the next completion time; returns the new time.
+
+        Completes *all* firings ending at that time, then starts every
+        firing they enable.  Raises :class:`DeadlockError` if the
+        execution is stuck.
+        """
+        if self.is_deadlocked:
+            raise DeadlockError(
+                f"self-timed execution of {self.graph.name!r} deadlocked at time {self.now}"
+            )
+        next_time = self._ongoing[0][0]
+        completing = []
+        while self._ongoing and self._ongoing[0][0] == next_time:
+            completing.append(self._ongoing.pop(0))
+        self.now = next_time
+        for end, actor in completing:
+            for e in self.graph.out_edges(actor):
+                self.tokens[e.name] += e.production
+            self.firings[actor] += 1
+            if self.trace is not None:
+                self.trace.append(
+                    FiringRecord(actor, end - self.graph.execution_time(actor), end)
+                )
+        self._start_enabled_firings()
+        return self.now
+
+    def run_for_events(self, count: int) -> None:
+        """Execute ``count`` completion events (stops early on deadlock)."""
+        for _ in range(count):
+            if self.is_deadlocked:
+                return
+            self.step()
+
+    def run_until(self, deadline: Fraction) -> None:
+        """Execute all events with completion time <= ``deadline``."""
+        while self._ongoing and self._ongoing[0][0] <= deadline:
+            self.step()
+
+    # -- state hashing ----------------------------------------------------
+
+    def state_key(self) -> Tuple:
+        """A hashable snapshot: channel tokens plus relative completion times.
+
+        Two equal keys at different wall-clock times witness periodicity.
+        """
+        relative = tuple(sorted((end - self.now, actor) for end, actor in self._ongoing))
+        token_state = tuple(self.tokens[e.name] for e in self.graph.edges)
+        return (token_state, relative)
+
+
+@dataclass
+class SimulatedThroughput:
+    """Measured periodic behaviour of a self-timed execution."""
+
+    #: Length of the periodic phase (time units per period).
+    period: Fraction
+    #: Firings of each actor within one period.
+    firings_per_period: Dict[str, int]
+    #: Time at which the periodic phase was first entered.
+    transient: Fraction
+
+    @property
+    def per_actor(self) -> Dict[str, Fraction]:
+        """Asymptotic firing rate of each actor (firings per time unit)."""
+        return {
+            a: Fraction(n, 1) / self.period for a, n in self.firings_per_period.items()
+        }
+
+
+def simulation_throughput(
+    graph: SDFGraph, max_states: int = 200_000
+) -> SimulatedThroughput:
+    """Throughput by explicit state-space exploration.
+
+    Runs the self-timed execution, snapshotting the state after every
+    event, until a state recurs; the rates over the recurrence window are
+    the exact asymptotic throughput.  Raises :class:`DeadlockError` for
+    deadlocked graphs and :class:`ConvergenceError` when no recurrence
+    shows up within ``max_states`` events (e.g. unbounded token build-up
+    in a non-strongly-connected graph).
+    """
+    sim = SelfTimedSimulation(graph)
+    seen: Dict[Tuple, Tuple[Fraction, Dict[str, int]]] = {}
+    seen[sim.state_key()] = (sim.now, dict(sim.firings))
+    for _ in range(max_states):
+        if sim.is_deadlocked:
+            raise DeadlockError(
+                f"self-timed execution of {graph.name!r} deadlocked at time {sim.now}"
+            )
+        sim.step()
+        key = sim.state_key()
+        if key in seen:
+            then, counts_then = seen[key]
+            period = sim.now - then
+            if period <= 0:
+                raise ConvergenceError(
+                    "state recurred without time progress; "
+                    "zero-execution-time cycle suspected"
+                )
+            firings = {
+                a: sim.firings[a] - counts_then[a] for a in graph.actor_names
+            }
+            return SimulatedThroughput(
+                period=period, firings_per_period=firings, transient=then
+            )
+        seen[key] = (sim.now, dict(sim.firings))
+    raise ConvergenceError(
+        f"no recurrent state within {max_states} events; state space too large "
+        "or token build-up unbounded (graph not strongly connected?)"
+    )

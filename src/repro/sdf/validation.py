@@ -1,0 +1,158 @@
+"""Model linting: one call that tells you everything wrong with a graph.
+
+Structural rules are enforced eagerly by the builders; the checks here
+are the *semantic* ones an analysis would trip over later, collected
+into a single report so a design flow can fail fast with a complete
+diagnosis instead of one error at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import DeadlockError, InconsistentGraphError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.schedule import sequential_schedule
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosis: severity ('error' or 'warning'), code, message."""
+
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings for a graph; errors make analyses fail, warnings are
+    smells (dead subgraphs, unbounded actors, zero-time cycles)."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def add(self, severity: str, code: str, message: str) -> None:
+        self.findings.append(Finding(severity, code, message))
+
+    def __str__(self) -> str:
+        if not self.findings:
+            return "graph is clean"
+        return "\n".join(str(f) for f in self.findings)
+
+
+def validate_graph(graph: SDFGraph) -> ValidationReport:
+    """Run every semantic check and return the combined report.
+
+    Checks, in dependency order:
+
+    * ``empty``: the graph has no actors (warning);
+    * ``disconnected``: multiple weakly connected components (warning —
+      legal, but usually a modelling accident);
+    * ``inconsistent``: the balance equations have no solution (error);
+    * ``deadlock``: no iteration can complete (error);
+    * ``unbounded-actor``: an actor without incoming edges fires
+      unboundedly often under self-timed execution (warning; symbolic
+      analyses reject such graphs);
+    * ``zero-time-cycle``: a cycle of zero-execution-time actors with
+      tokens spins infinitely fast (warning; simulation rejects it);
+    * ``never-fires``: an actor with repetition entry 0 cannot occur —
+      repetition entries are positive by construction, so instead we
+      flag actors whose channels can never all fill (covered by the
+      deadlock check) — and ``unread-tokens``: initial tokens on a
+      channel whose consumer never needs them all in one iteration
+      (warning: often an off-by-one in a model).
+    """
+    report = ValidationReport()
+    if graph.actor_count() == 0:
+        report.add("warning", "empty", "graph has no actors")
+        return report
+
+    if not graph.is_connected():
+        count = len(graph.undirected_components())
+        report.add(
+            "warning",
+            "disconnected",
+            f"graph has {count} weakly connected components",
+        )
+
+    try:
+        gamma = repetition_vector(graph)
+    except InconsistentGraphError as error:
+        report.add("error", "inconsistent", str(error))
+        return report
+
+    try:
+        sequential_schedule(graph, repetitions=dict(gamma))
+    except DeadlockError as error:
+        report.add("error", "deadlock", str(error))
+
+    for actor in graph.actor_names:
+        if not graph.in_edges(actor):
+            report.add(
+                "warning",
+                "unbounded-actor",
+                f"actor {actor!r} has no incoming edges; add a one-token "
+                "self-edge to bound its self-timed firing rate",
+            )
+
+    cycle = _zero_time_token_cycle(graph)
+    if cycle:
+        report.add(
+            "warning",
+            "zero-time-cycle",
+            "cycle through "
+            + " -> ".join(cycle)
+            + " has tokens but zero total execution time; self-timed "
+            "execution spins infinitely fast on it",
+        )
+
+    for edge in graph.edges:
+        consumed_per_iteration = gamma[edge.target] * edge.consumption
+        if edge.tokens > consumed_per_iteration:
+            report.add(
+                "warning",
+                "unread-tokens",
+                f"channel {edge.name!r} holds {edge.tokens} initial tokens "
+                f"but one iteration consumes only {consumed_per_iteration}; "
+                "the surplus is dead weight (or the delay is misplaced)",
+            )
+    return report
+
+
+def _zero_time_token_cycle(graph: SDFGraph) -> Optional[List[str]]:
+    """A cycle of zero-time actors whose edges all lie between them and
+    carry at least one token somewhere (so it can actually spin)."""
+    zero_actors = {a for a in graph.actor_names if graph.execution_time(a) == 0}
+    if not zero_actors:
+        return None
+    from repro.mcm.graphlib import RatioGraph
+
+    sub = RatioGraph()
+    for actor in zero_actors:
+        sub.add_node(actor)
+    for edge in graph.edges:
+        if edge.source in zero_actors and edge.target in zero_actors:
+            sub.add_edge(edge.source, edge.target, 0, edge.tokens)
+    for scc in sub.nontrivial_sccs():
+        # Strong connectivity means any internal token edge closes a
+        # spinning cycle through it.
+        if any(e.transit > 0 for e in scc.edges):
+            return [str(node) for node in scc.nodes]
+    return None

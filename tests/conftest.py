@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sdf.graph import SDFGraph
+
+
+@pytest.fixture
+def two_actor_multirate() -> SDFGraph:
+    """A minimal strongly connected multirate graph (γ = (2, 1))."""
+    g = SDFGraph("two-actor")
+    g.add_actor("A", execution_time=3)
+    g.add_actor("B", execution_time=1)
+    g.add_edge("A", "B", production=1, consumption=2, tokens=0)
+    g.add_edge("B", "A", production=2, consumption=1, tokens=2)
+    return g
+
+
+@pytest.fixture
+def simple_ring() -> SDFGraph:
+    """A 3-actor homogeneous ring with one token (cycle time = ΣT)."""
+    g = SDFGraph("ring")
+    for name, time in (("X", 2), ("Y", 3), ("Z", 4)):
+        g.add_actor(name, time)
+    g.add_edge("X", "Y")
+    g.add_edge("Y", "Z")
+    g.add_edge("Z", "X", tokens=1)
+    return g
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20090726)  # the paper's conference date
+
+
+def replay_schedule(graph: SDFGraph, schedule) -> bool:
+    """Check a schedule is admissible and a whole iteration (test oracle)."""
+    from repro.sdf.repetition import repetition_vector
+
+    tokens = {e.name: e.tokens for e in graph.edges}
+    for actor in schedule:
+        for e in graph.in_edges(actor):
+            tokens[e.name] -= e.consumption
+            if tokens[e.name] < 0:
+                return False
+        for e in graph.out_edges(actor):
+            tokens[e.name] += e.production
+    if any(tokens[e.name] != e.tokens for e in graph.edges):
+        return False
+    gamma = repetition_vector(graph)
+    counts = {a: 0 for a in graph.actor_names}
+    for actor in schedule:
+        counts[actor] += 1
+    return counts == gamma

@@ -1,0 +1,141 @@
+"""Buffer modelling, occupancy bounds and minimal sizing."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.buffer import (
+    buffer_aware_graph,
+    buffer_aware_throughput,
+    channel_occupancy_bounds,
+    minimal_buffer_sizes,
+)
+from repro.analysis.throughput import throughput
+from repro.errors import DeadlockError, ValidationError
+from repro.graphs.examples import figure3_graph
+from repro.sdf.graph import SDFGraph
+from repro.sdf.schedule import is_live
+
+
+def chain():
+    g = SDFGraph("chain")
+    g.add_actor("a", 2)
+    g.add_actor("b", 3)
+    g.add_edge("a", "a", tokens=1, name="self_a")
+    g.add_edge("b", "b", tokens=1, name="self_b")
+    g.add_edge("a", "b", name="ab")
+    return g
+
+
+class TestBufferModel:
+    def test_reverse_edge_added(self):
+        g = chain()
+        buffered = buffer_aware_graph(g, {"ab": 3})
+        back = buffered.edge("space_ab")
+        assert (back.source, back.target) == ("b", "a")
+        assert back.tokens == 3
+        assert back.production == 1 and back.consumption == 1
+
+    def test_reverse_edge_rates_swap(self):
+        g = SDFGraph()
+        g.add_actor("a", 1)
+        g.add_actor("b", 1)
+        g.add_edge("a", "a", tokens=1)
+        g.add_edge("b", "b", tokens=1)
+        g.add_edge("a", "b", production=3, consumption=2, tokens=1, name="ab")
+        buffered = buffer_aware_graph(g, {"ab": 6})
+        back = buffered.edge("space_ab")
+        assert back.production == 2 and back.consumption == 3
+        assert back.tokens == 5  # capacity − initial tokens
+
+    def test_capacity_below_initial_tokens_rejected(self):
+        g = SDFGraph()
+        g.add_actor("a", 1)
+        g.add_edge("a", "a", tokens=3, name="loop")
+        with pytest.raises(ValidationError):
+            buffer_aware_graph(g, {"loop": 2})
+
+    def test_unlisted_channels_stay_unbounded(self):
+        g = chain()
+        buffered = buffer_aware_graph(g, {})
+        assert buffered.edge_count() == g.edge_count()
+
+
+class TestBufferThroughput:
+    def test_tight_buffer_slows_chain(self):
+        g = chain()
+        generous = buffer_aware_throughput(g, {"ab": 10}).cycle_time
+        tight = buffer_aware_throughput(g, {"ab": 1}).cycle_time
+        assert generous <= tight
+        # Capacity 1: a and b alternate through the full round trip.
+        assert tight == 5
+
+    def test_monotone_in_capacity(self):
+        g = chain()
+        times = [
+            buffer_aware_throughput(g, {"ab": c}).cycle_time for c in (1, 2, 3, 4)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_zero_capacity_deadlocks(self):
+        g = chain()
+        with pytest.raises(DeadlockError):
+            buffer_aware_throughput(g, {"ab": 0})
+
+
+class TestOccupancy:
+    def test_buffered_chain_occupancy(self):
+        # A finite buffer makes the chain strongly connected (periodic),
+        # so exact occupancy bounds exist.
+        g = buffer_aware_graph(chain(), {"ab": 3})
+        bounds = channel_occupancy_bounds(g)
+        assert bounds["self_a"] == 1
+        assert 1 <= bounds["ab"] <= 3
+        assert bounds["ab"] + bounds["space_ab"] >= 3
+
+    def test_unbounded_build_up_reported(self):
+        from repro.errors import ConvergenceError
+
+        with pytest.raises(ConvergenceError):
+            channel_occupancy_bounds(chain())
+
+    def test_occupancy_at_least_initial_tokens(self):
+        g = figure3_graph()
+        bounds = channel_occupancy_bounds(g)
+        for edge in g.edges:
+            assert bounds[edge.name] >= edge.tokens
+
+
+class TestMinimalSizes:
+    def test_chain_minimal_size(self):
+        sizes = minimal_buffer_sizes(chain())
+        assert sizes == {"ab": 1}
+        buffered = buffer_aware_graph(chain(), sizes)
+        assert is_live(buffered)
+
+    def test_multirate_minimal_size(self):
+        g = SDFGraph()
+        g.add_actor("a", 1)
+        g.add_actor("b", 1)
+        g.add_edge("a", "a", tokens=1)
+        g.add_edge("b", "b", tokens=1)
+        g.add_edge("a", "b", production=2, consumption=3, name="ab")
+        sizes = minimal_buffer_sizes(g)
+        # b needs 3 tokens; a produces 2 per firing: capacity 4 is the
+        # smallest that ever exposes 3 tokens (2+2 with room for 4).
+        assert sizes["ab"] == 4
+        assert is_live(buffer_aware_graph(g, sizes))
+
+    def test_self_loops_not_sized(self):
+        sizes = minimal_buffer_sizes(chain())
+        assert "self_a" not in sizes
+
+    def test_budget_exhaustion_raises(self):
+        g = SDFGraph()
+        g.add_actor("a", 1)
+        g.add_actor("b", 1)
+        g.add_edge("a", "a", tokens=1)
+        g.add_edge("b", "b", tokens=1)
+        g.add_edge("a", "b", production=1, consumption=50, name="ab")
+        with pytest.raises(DeadlockError):
+            minimal_buffer_sizes(g, max_capacity=10)

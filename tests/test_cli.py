@@ -1,0 +1,207 @@
+"""The ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import BUILTIN_GRAPHS, load_graph, main
+from repro.sdf.io import to_json
+from repro.graphs.examples import figure3_graph
+
+
+@pytest.fixture
+def fig3_file(tmp_path):
+    path = tmp_path / "fig3.json"
+    path.write_text(to_json(figure3_graph()))
+    return str(path)
+
+
+class TestLoading:
+    def test_builtin_specs(self):
+        g = load_graph("builtin:figure3")
+        assert g.actor_count() == 2
+
+    def test_unknown_builtin(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="available"):
+            load_graph("builtin:nope")
+
+    def test_all_builtins_load(self):
+        for name in BUILTIN_GRAPHS:
+            assert load_graph(f"builtin:{name}").actor_count() > 0
+
+    def test_json_file(self, fig3_file):
+        assert load_graph(fig3_file).actor_count() == 2
+
+    def test_xml_file(self, tmp_path):
+        from repro.sdf.io import to_sdf3_xml
+
+        path = tmp_path / "g.xml"
+        path.write_text(to_sdf3_xml(figure3_graph()))
+        assert load_graph(str(path)).actor_count() == 2
+
+
+class TestCommands:
+    def test_info(self, capsys, fig3_file):
+        assert main(["info", fig3_file, "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "actors:     2" in out
+        assert "gamma(L) = 2" in out
+        assert "live:       True" in out
+
+    def test_throughput(self, capsys):
+        assert main(["throughput", "builtin:figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration period: 7" in out
+        assert "rate(L) = 2/7" in out
+
+    def test_throughput_methods(self, capsys):
+        for method in ("symbolic", "simulation", "hsdf"):
+            assert main(["throughput", "builtin:figure3", "--method", method]) == 0
+            assert "iteration period: 7" in capsys.readouterr().out
+
+    def test_latency(self, capsys):
+        assert main(["latency", "builtin:figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan: 23" in out
+
+    def test_convert_compact(self, capsys, tmp_path):
+        out_file = tmp_path / "compact.json"
+        assert main(["convert", "builtin:figure3", "-o", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "compact HSDF" in out
+        data = json.loads(out_file.read_text())
+        assert any(a["name"].startswith("g_") for a in data["actors"])
+
+    def test_convert_traditional(self, capsys, tmp_path):
+        out_file = tmp_path / "trad.xml"
+        assert main(["convert", "builtin:figure3", "--traditional", "-o", str(out_file)]) == 0
+        assert "traditional HSDF: 3 actors" in capsys.readouterr().out
+        assert "<sdf3" in out_file.read_text()
+
+    def test_abstract_with_verification(self, capsys):
+        assert main(["abstract", "builtin:figure1", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "conservative:      True" in out
+        assert "abstract graph: 2 actors" in out
+
+    def test_abstract_writes_output(self, capsys, tmp_path):
+        out_file = tmp_path / "abs.json"
+        assert main(["abstract", "builtin:prefetch", "-o", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert len(data["actors"]) == 2
+
+    def test_abstract_failure_is_clean_error(self, capsys, fig3_file):
+        assert main(["abstract", fig3_file]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_lint_clean(self, capsys):
+        assert main(["lint", "builtin:figure3"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_reports_errors(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            '{"name": "bad", "actors": [{"name": "a"}, {"name": "b"}], '
+            '"edges": [{"source": "a", "target": "b"}, '
+            '{"source": "b", "target": "a"}]}'
+        )
+        assert main(["lint", str(bad)]) == 1
+        assert "deadlock" in capsys.readouterr().out
+
+    def test_gantt(self, capsys):
+        assert main(["gantt", "builtin:figure1", "--horizon", "46"]) == 0
+        out = capsys.readouterr().out
+        assert "A1" in out and "[" in out
+
+    def test_bottleneck(self, capsys):
+        assert main(["bottleneck", "builtin:figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration period 23" in out
+        assert "critical tokens" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "builtin:figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "period 7" in out
+        assert "L#0" in out and "R#0" in out
+
+    def test_dot_stdout(self, capsys):
+        assert main(["dot", "builtin:figure3"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_dot_file(self, capsys, tmp_path):
+        out_file = tmp_path / "g.dot"
+        assert main(["dot", "builtin:figure3", "-o", str(out_file)]) == 0
+        assert out_file.read_text().startswith("digraph")
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "modem" in out and "satellite" in out
+
+    def test_builtins_listing(self, capsys):
+        assert main(["builtins"]) == 0
+        assert "builtin:modem" in capsys.readouterr().out
+
+    def test_missing_file_is_clean_error(self, capsys):
+        assert main(["info", "/no/such/file.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCsdfCommand:
+    @pytest.fixture
+    def csdf_file(self, tmp_path):
+        from repro.csdf.graph import CSDFGraph
+        from repro.csdf.io import to_json as csdf_to_json
+
+        g = CSDFGraph("cli-csdf")
+        g.add_actor("P", [1, 2])
+        g.add_actor("C", [4])
+        g.add_edge("P", "P", [1, 1], [1, 1], 1, name="self_P")
+        g.add_edge("C", "C", [1], [1], 1, name="self_C")
+        g.add_edge("P", "C", production=[2, 1], consumption=[3], name="data")
+        g.add_edge("C", "P", production=[3], consumption=[2, 1], tokens=3, name="space")
+        path = tmp_path / "g.json"
+        path.write_text(csdf_to_json(g))
+        return str(path)
+
+    def test_csdf_analysis(self, capsys, csdf_file):
+        assert main(["csdf", csdf_file]) == 0
+        out = capsys.readouterr().out
+        assert "iteration period: 7" in out
+        assert "rate(P) = 2/7" in out
+        assert "compact HSDF" in out
+
+    def test_csdf_writes_hsdf(self, capsys, csdf_file, tmp_path):
+        out_file = tmp_path / "compact.json"
+        assert main(["csdf", csdf_file, "-o", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert any(a["name"].startswith("g_") for a in data["actors"])
+
+    def test_csdf_deadlock_reported(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            '{"name": "bad", "type": "csdf", '
+            '"actors": [{"name": "a", "execution_times": [1]}, '
+            '{"name": "b", "execution_times": [1]}], '
+            '"edges": [{"source": "a", "target": "b", "production": [1], "consumption": [1]}, '
+            '{"source": "b", "target": "a", "production": [1], "consumption": [1]}]}'
+        )
+        assert main(["csdf", str(bad)]) == 1
+        assert "deadlocked" in capsys.readouterr().out
+
+
+class TestMapCommand:
+    def test_sweep(self, capsys):
+        assert main(["map", "builtin:figure3", "--max-processors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "guaranteed period" in out
+        assert "1.00x" in out
+
+    def test_single_mapping(self, capsys):
+        assert main(["map", "builtin:figure3", "--processors", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "guaranteed period 7" in out
+        assert "utilisation 1.00" in out

@@ -1,0 +1,131 @@
+"""Communication-aware platform binding."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.errors import ValidationError
+from repro.graphs.examples import figure3_graph
+from repro.mapping import Mapping, greedy_load_balance
+from repro.mapping.communication import (
+    bind_with_communication,
+    communication_mapping,
+    insert_communication,
+)
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import is_consistent, repetition_vector
+from repro.sdf.schedule import is_live
+
+
+def pipeline2():
+    g = SDFGraph("p2")
+    g.add_actor("a", 3)
+    g.add_actor("b", 2)
+    g.add_edge("a", "a", tokens=1, name="self_a")
+    g.add_edge("b", "b", tokens=1, name="self_b")
+    g.add_edge("a", "b", name="ab")
+    g.add_edge("b", "a", tokens=2, name="ba")
+    return g
+
+
+def split_mapping():
+    return Mapping(assignment={"a": "p0", "b": "p1"})
+
+
+class TestInsertion:
+    def test_crossing_channels_split(self):
+        g = insert_communication(pipeline2(), split_mapping(), latency=4)
+        assert g.has_actor("comm_ab") and g.has_actor("comm_ba")
+        assert g.execution_time("comm_ab") == 4
+
+    def test_intra_processor_channels_untouched(self):
+        same = Mapping(assignment={"a": "p0", "b": "p0"})
+        g = insert_communication(pipeline2(), same, latency=4)
+        assert not any(a.name.startswith("comm_") for a in g.actors)
+
+    def test_self_loops_untouched(self):
+        g = insert_communication(pipeline2(), split_mapping(), latency=4)
+        assert g.edge("self_a").is_self_loop
+
+    def test_tokens_move_to_delivery_side(self):
+        g = insert_communication(pipeline2(), split_mapping(), latency=4)
+        assert g.edge("ba").tokens == 2
+        assert g.edge("ba").source == "comm_ba"
+        assert g.edge("ba__send").tokens == 0
+
+    def test_consistent_and_live(self):
+        g = insert_communication(pipeline2(), split_mapping(), latency=4)
+        assert is_consistent(g) and is_live(g)
+
+    def test_multirate_split_repetition(self):
+        g = figure3_graph()
+        mapping = Mapping(assignment={"L": "p0", "R": "p1"})
+        with_comm = insert_communication(g, mapping, latency=1)
+        gamma = repetition_vector(with_comm)
+        # L→R channel moves 2 tokens per iteration: comm fires twice.
+        assert gamma["comm_data"] == 2
+        assert is_live(with_comm)
+
+    def test_zero_latency_preserves_cycle_time_when_unshared(self):
+        g = pipeline2()
+        base = throughput(g).cycle_time
+        with_comm = insert_communication(g, split_mapping(), latency=0)
+        assert throughput(with_comm).cycle_time == base
+
+
+class TestMappingExtension:
+    def test_infinite_gives_private_links(self):
+        g = insert_communication(pipeline2(), split_mapping(), latency=4)
+        full = communication_mapping(g, split_mapping(), "infinite")
+        assert full.assignment["comm_ab"] == "link_comm_ab"
+        assert full.assignment["comm_ba"] == "link_comm_ba"
+
+    def test_shared_gives_one_noc(self):
+        g = insert_communication(pipeline2(), split_mapping(), latency=4)
+        full = communication_mapping(g, split_mapping(), "shared")
+        assert full.assignment["comm_ab"] == "noc"
+        assert full.assignment["comm_ba"] == "noc"
+
+    def test_unknown_interconnect(self):
+        g = insert_communication(pipeline2(), split_mapping(), latency=4)
+        with pytest.raises(ValidationError):
+            communication_mapping(g, split_mapping(), "quantum")
+
+
+class TestFullBinding:
+    def test_latency_slows_the_loop(self):
+        slow = throughput(
+            bind_with_communication(pipeline2(), split_mapping(), latency=4)
+        ).cycle_time
+        fast = throughput(
+            bind_with_communication(pipeline2(), split_mapping(), latency=0)
+        ).cycle_time
+        assert slow > fast
+
+    def test_shared_interconnect_is_slower_or_equal(self):
+        private = throughput(
+            bind_with_communication(
+                pipeline2(), split_mapping(), latency=4, interconnect="infinite"
+            )
+        ).cycle_time
+        shared = throughput(
+            bind_with_communication(
+                pipeline2(), split_mapping(), latency=4, interconnect="shared"
+            )
+        ).cycle_time
+        assert shared >= private
+
+    def test_bound_graph_is_homogeneous_and_live(self):
+        bound = bind_with_communication(figure3_graph(),
+                                        Mapping(assignment={"L": "p0", "R": "p1"}),
+                                        latency=2)
+        assert bound.is_homogeneous()
+        assert is_live(bound)
+
+    def test_conservative_vs_ideal_interconnect(self):
+        g = pipeline2()
+        mapping = split_mapping()
+        ideal = throughput(bind_with_communication(g, mapping, latency=0)).cycle_time
+        real = throughput(bind_with_communication(g, mapping, latency=7)).cycle_time
+        assert real >= ideal

@@ -1,0 +1,107 @@
+"""Graph composition helpers."""
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.errors import ValidationError
+from repro.sdf.compose import disjoint_union, feedback, renamed, serial
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import is_consistent, repetition_vector
+from repro.sdf.schedule import is_live
+
+
+def block(name="blk", time=2):
+    g = SDFGraph(name)
+    g.add_actor("in", time)
+    g.add_actor("out", time)
+    g.add_edge("in", "in", tokens=1, name="self_in")
+    g.add_edge("out", "out", tokens=1, name="self_out")
+    g.add_edge("in", "out", name="mid")
+    return g
+
+
+class TestRenamed:
+    def test_names_prefixed(self):
+        r = renamed(block(), "x_")
+        assert set(r.actor_names) == {"x_in", "x_out"}
+        assert {e.name for e in r.edges} == {"x_self_in", "x_self_out", "x_mid"}
+
+    def test_structure_preserved(self):
+        g = block()
+        r = renamed(g, "p_")
+        assert r.actor_count() == g.actor_count()
+        assert r.total_tokens() == g.total_tokens()
+        assert r.execution_time("p_in") == 2
+
+    def test_original_untouched(self):
+        g = block()
+        renamed(g, "y_")
+        assert "in" in g.actor_names
+
+
+class TestUnion:
+    def test_components_independent(self):
+        u = disjoint_union([block("a"), block("b")])
+        assert u.actor_count() == 4
+        assert len(u.undirected_components()) == 2
+
+    def test_clashing_names_ok_with_prefix(self):
+        u = disjoint_union([block(), block()])
+        assert u.actor_count() == 4
+
+    def test_clash_without_prefix_raises(self):
+        with pytest.raises(ValidationError):
+            disjoint_union([block(), block()], auto_prefix=False)
+
+    def test_analysis_of_union(self):
+        u = disjoint_union([block(), block(time=5)])
+        result = throughput(u)
+        # Guaranteed rate bound by the slowest component's loop.
+        assert result.cycle_time == 5
+
+
+class TestSerial:
+    def test_basic_chain(self):
+        s = serial(block("a"), block("b", time=3), connect=("out", "in"))
+        assert s.has_actor("u_out") and s.has_actor("d_in")
+        assert is_consistent(s) and is_live(s)
+        assert any(e.name == "link" for e in s.edges)
+
+    def test_multirate_link(self):
+        s = serial(
+            block("a"), block("b"), connect=("out", "in"), production=3, consumption=1
+        )
+        gamma = repetition_vector(s)
+        assert gamma["d_in"] == 3 * gamma["u_out"]
+
+    def test_unknown_actor_rejected(self):
+        with pytest.raises(ValidationError):
+            serial(block(), block(), connect=("ghost", "in"))
+
+    def test_inconsistent_rates_rejected(self):
+        # Conflicting second link via existing structure: make the
+        # downstream internally rate-fixed, then force a mismatch.
+        up = block("a")
+        down = block("b")
+        first = serial(up, down, connect=("out", "in"), production=2, consumption=1)
+        with pytest.raises(ValidationError):
+            feedback(first, "d_out", "u_in", production=1, consumption=3)
+
+
+class TestFeedback:
+    def test_closes_loop(self):
+        s = serial(block("a"), block("b"), connect=("out", "in"))
+        closed = feedback(s, "d_out", "u_in", tokens=2)
+        assert closed.is_strongly_connected()
+        assert is_live(closed)
+
+    def test_throughput_of_closed_loop(self):
+        s = serial(block("a"), block("b"), connect=("out", "in"))
+        closed = feedback(s, "d_out", "u_in", tokens=1)
+        # One token around the 4-actor loop: period = total work 8.
+        assert throughput(closed).cycle_time == 8
+
+    def test_original_untouched(self):
+        s = serial(block("a"), block("b"), connect=("out", "in"))
+        feedback(s, "d_out", "u_in")
+        assert not s.is_strongly_connected()

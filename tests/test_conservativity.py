@@ -1,0 +1,186 @@
+"""Proposition 1 dominance, the σ embedding, and Theorem 1 end to end."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.core.abstraction import Abstraction, abstract_graph
+from repro.core.conservativity import dominates, sigma_map, verify_abstraction
+from repro.core.unfolding import unfold
+from repro.graphs.examples import (
+    figure2_abstraction,
+    figure2_graph,
+    section41_abstraction,
+    section41_example,
+)
+from repro.graphs.synthetic import (
+    regular_prefetch,
+    regular_prefetch_abstraction,
+    remote_memory_abstraction,
+    remote_memory_access,
+)
+from repro.sdf.graph import SDFGraph
+
+
+class TestDominates:
+    def test_graph_dominates_itself(self, simple_ring):
+        assert dominates(simple_ring, simple_ring)
+
+    def test_slower_graph_dominates(self, simple_ring):
+        slower = simple_ring.copy()
+        slower.set_execution_time("X", 99)
+        assert dominates(slower, simple_ring)
+        assert not dominates(simple_ring, slower)
+
+    def test_fewer_tokens_dominates(self, simple_ring):
+        stricter = simple_ring.copy()
+        # The original has a token on Z→X; a token-free counterpart
+        # would deadlock but still dominates syntactically... it cannot:
+        # d' ≤ d must hold in the *conservative* graph, so removing a
+        # token from it is allowed, adding one is not.
+        extra = simple_ring.copy()
+        for e in extra.edges:
+            if e.tokens:
+                extra.set_tokens(e.name, e.tokens + 1)
+        assert not dominates(extra, simple_ring)
+        assert dominates(simple_ring, extra)
+
+    def test_missing_edge_breaks_dominance(self, simple_ring):
+        pruned = simple_ring.copy()
+        pruned.remove_edge(simple_ring.edges[0].name)
+        ok, reasons = dominates(pruned, simple_ring, explain=True)
+        assert not ok
+        assert any("counterpart" in r for r in reasons)
+
+    def test_extra_edges_keep_dominance(self, simple_ring):
+        richer = simple_ring.copy()
+        richer.add_edge("X", "Z", tokens=0)
+        assert dominates(richer, simple_ring)
+
+    def test_non_injective_map_rejected(self, simple_ring):
+        target = SDFGraph()
+        target.add_actor("all", 99)
+        target.add_edge("all", "all", tokens=1)
+        mapping = {a: "all" for a in simple_ring.actor_names}
+        ok, reasons = dominates(target, simple_ring, mapping, explain=True)
+        assert not ok
+        assert any("injective" in r for r in reasons)
+
+    def test_missing_image_reported(self, simple_ring):
+        ok, reasons = dominates(simple_ring, simple_ring, {"X": "X"}, explain=True)
+        assert not ok
+        assert any("no image" in r for r in reasons)
+
+    def test_rate_mismatch_breaks_dominance(self):
+        a = SDFGraph()
+        a.add_actors("x", "y")
+        a.add_edge("x", "y", production=2, consumption=1, tokens=1)
+        a.add_edge("y", "x", production=1, consumption=2, tokens=1)
+        b = a.copy()
+        b.remove_edge(b.edges[0].name)
+        b.add_edge("x", "y", production=1, consumption=1, tokens=1)
+        assert not dominates(b, a)
+
+
+class TestSigma:
+    def test_sigma_names(self):
+        sigma = sigma_map(section41_abstraction())
+        assert sigma["A1"] == "A@0"
+        assert sigma["B4"] == "B@3"
+
+    def test_unfolded_abstract_dominates_original(self):
+        g = section41_example()
+        ab = section41_abstraction()
+        unfolded = unfold(abstract_graph(g, ab), ab.phase_count)
+        assert dominates(unfolded, g, sigma_map(ab))
+
+
+class TestTheorem1:
+    def test_section41_certificate(self):
+        cert = verify_abstraction(section41_example(), section41_abstraction())
+        assert cert.dominance
+        assert cert.original_cycle_time == 23
+        assert cert.bound_cycle_time == 30  # 6 · 5, i.e. throughput 1/(5n)
+        assert cert.conservative
+        assert cert.relative_error == Fraction(7, 23)
+
+    @pytest.mark.parametrize("n", [5, 6, 8, 12, 20])
+    def test_prefetch_family(self, n):
+        # n >= 5 so the middle actors (time 5) exist and dominate T'(A);
+        # at n = 4 the abstract graph is bounded by the B-chain instead.
+        cert = verify_abstraction(
+            regular_prefetch(n), regular_prefetch_abstraction(n)
+        )
+        assert cert.original_cycle_time == 5 * n - 7
+        assert cert.bound_cycle_time == 5 * n
+        # The relative error 7/(5n−7) vanishes as n grows (Section 4.1).
+        assert cert.relative_error == Fraction(7, 5 * n - 7)
+
+    def test_error_decreases_with_n(self):
+        errors = [
+            verify_abstraction(
+                regular_prefetch(n), regular_prefetch_abstraction(n)
+            ).relative_error
+            for n in (5, 6, 10, 16)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_figure2(self):
+        cert = verify_abstraction(figure2_graph(), figure2_abstraction())
+        assert cert.dominance and cert.conservative
+
+    @pytest.mark.parametrize("n", [5, 8, 16])
+    def test_remote_memory_is_exact(self, n):
+        cert = verify_abstraction(
+            remote_memory_access(n), remote_memory_abstraction(n)
+        )
+        assert cert.conservative
+        assert cert.relative_error == 0  # "exactly the same throughput"
+
+    def test_remote_memory_exact_even_when_network_bound(self):
+        # With communication as the bottleneck the critical cycle chains
+        # the prefetch hops around the whole ring; the graph is perfectly
+        # regular, so the abstraction is *still* throughput-exact.
+        cert = verify_abstraction(
+            remote_memory_access(8, compute_time=10, ca_time=40),
+            remote_memory_abstraction(8),
+        )
+        assert cert.conservative
+        assert cert.relative_error == 0
+
+    def test_prefetch_bound_strict_but_conservative(self):
+        # The prefetch family is *almost* regular (the B chain is open),
+        # so the bound is conservative yet not tight: error 7/(5n−7).
+        cert = verify_abstraction(
+            regular_prefetch(8), regular_prefetch_abstraction(8)
+        )
+        assert cert.conservative
+        assert cert.relative_error > 0
+
+    def test_deadlocked_abstraction_is_vacuously_conservative(self):
+        # A valid abstraction whose abstract graph deadlocks: grouping
+        # two actors whose connecting token sits "between phases".
+        g = SDFGraph()
+        g.add_actors("a", "b", "c")
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a", tokens=1)
+        ab = Abstraction(
+            mapping={"a": "G", "b": "H", "c": "G"},
+            index={"a": 0, "b": 1, "c": 2},
+        )
+        ab.validate(g)
+        cert = verify_abstraction(g, ab)
+        if cert.abstract_deadlocked:
+            assert cert.conservative
+            assert cert.relative_error is None
+        else:  # the grouping happened to stay live: still conservative
+            assert cert.conservative
+
+    def test_without_throughput_check(self):
+        cert = verify_abstraction(
+            section41_example(), section41_abstraction(), check_throughput=False
+        )
+        assert cert.conservative is None
+        assert cert.original_cycle_time is None

@@ -1,0 +1,275 @@
+"""The cyclo-static dataflow extension."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.errors import (
+    DeadlockError,
+    InconsistentGraphError,
+    UnboundedThroughputError,
+    ValidationError,
+)
+from repro.csdf import (
+    CSDFGraph,
+    csdf_repetition_vector,
+    csdf_sequential_schedule,
+    csdf_symbolic_iteration,
+    csdf_throughput,
+    csdf_to_hsdf,
+    csdf_to_sdf_approximation,
+    is_csdf_live,
+)
+
+
+def self_edge(graph: CSDFGraph, actor: str, tokens: int = 1) -> None:
+    """A CSDF self-loop: one token moved per phase."""
+    phases = graph.phase_count(actor)
+    graph.add_edge(actor, actor, [1] * phases, [1] * phases, tokens, name=f"self_{actor}")
+
+
+@pytest.fixture
+def updown():
+    """Two-phase producer feeding a single-phase consumer.
+
+    ``P`` alternates producing 2 then 1 tokens (3 per cycle) with phase
+    times 1 and 2; ``C`` consumes 3 per firing with time 4.
+    """
+    g = CSDFGraph("updown")
+    g.add_actor("P", [1, 2])
+    g.add_actor("C", [4])
+    self_edge(g, "P")
+    self_edge(g, "C")
+    g.add_edge("P", "C", production=[2, 1], consumption=[3], name="data")
+    g.add_edge("C", "P", production=[3], consumption=[2, 1], tokens=3, name="space")
+    return g
+
+
+class TestModel:
+    def test_phase_counts(self, updown):
+        assert updown.phase_count("P") == 2
+        assert updown.phase_count("C") == 1
+        assert not updown.is_plain_sdf()
+
+    def test_sequence_length_must_match_phases(self):
+        g = CSDFGraph()
+        g.add_actor("a", [1, 2])
+        g.add_actor("b", [1])
+        with pytest.raises(ValidationError, match="production sequence"):
+            g.add_edge("a", "b", production=[1], consumption=[2])
+        with pytest.raises(ValidationError, match="consumption sequence"):
+            g.add_edge("a", "b", production=[1, 1], consumption=[1, 1])
+
+    def test_zero_phases_allowed_but_not_all_zero(self):
+        g = CSDFGraph()
+        g.add_actor("a", [1, 1])
+        g.add_actor("b", [1])
+        g.add_edge("a", "b", production=[0, 2], consumption=[2])
+        with pytest.raises(ValidationError, match="at least one token"):
+            g.add_edge("a", "b", production=[0, 0], consumption=[1])
+
+    def test_negative_rates_rejected(self):
+        g = CSDFGraph()
+        g.add_actor("a", [1])
+        with pytest.raises(ValidationError):
+            g.add_edge("a", "a", production=[-1], consumption=[1])
+
+    def test_empty_phase_list_rejected(self):
+        g = CSDFGraph()
+        with pytest.raises(ValidationError):
+            g.add_actor("a", [])
+
+    def test_negative_time_rejected(self):
+        g = CSDFGraph()
+        with pytest.raises(ValidationError):
+            g.add_actor("a", [1, -1])
+
+
+class TestRepetition:
+    def test_updown_vector(self, updown):
+        # One cycle of P (3 tokens) feeds one firing of C.
+        assert csdf_repetition_vector(updown) == {"P": 2, "C": 1}
+
+    def test_phase_multiplicity(self):
+        g = CSDFGraph()
+        g.add_actor("a", [1, 1, 1])  # 3 phases producing 1 each
+        g.add_actor("b", [1])
+        self_edge(g, "a")
+        self_edge(g, "b")
+        g.add_edge("a", "b", production=[1, 1, 1], consumption=[2])
+        g.add_edge("b", "a", production=[2], consumption=[1, 1, 1], tokens=6)
+        # Cycle balance: k(a)·3 = k(b)·2 → k = (2, 3); γ = (6, 3).
+        assert csdf_repetition_vector(g) == {"a": 6, "b": 3}
+
+    def test_inconsistent_detected(self):
+        g = CSDFGraph()
+        g.add_actor("a", [1])
+        g.add_actor("b", [1])
+        g.add_edge("a", "b", production=[2], consumption=[1])
+        g.add_edge("b", "a", production=[1], consumption=[1])
+        with pytest.raises(InconsistentGraphError):
+            csdf_repetition_vector(g)
+
+
+class TestSchedule:
+    def test_updown_schedule(self, updown):
+        schedule = csdf_sequential_schedule(updown)
+        assert len(schedule) == 3
+        assert schedule.count("P") == 2 and schedule.count("C") == 1
+
+    def test_phase_rates_respected(self):
+        # C can only fire after BOTH phases of P (needs 3 tokens).
+        g = CSDFGraph()
+        g.add_actor("P", [1, 1])
+        g.add_actor("C", [1])
+        self_edge(g, "P")
+        self_edge(g, "C")
+        g.add_edge("P", "C", production=[2, 1], consumption=[3])
+        g.add_edge("C", "P", production=[3], consumption=[2, 1], tokens=3)
+        schedule = csdf_sequential_schedule(g)
+        assert schedule.index("C") > schedule.index("P")
+
+    def test_deadlock_detected(self):
+        g = CSDFGraph()
+        g.add_actor("a", [1])
+        g.add_actor("b", [1])
+        g.add_edge("a", "b", production=[1], consumption=[1])
+        g.add_edge("b", "a", production=[1], consumption=[1])
+        with pytest.raises(DeadlockError):
+            csdf_sequential_schedule(g)
+        assert not is_csdf_live(g)
+
+    def test_live(self, updown):
+        assert is_csdf_live(updown)
+
+
+class TestSymbolic:
+    def test_matrix_square_in_tokens(self, updown):
+        iteration = csdf_symbolic_iteration(updown)
+        assert iteration.token_count == updown.total_tokens()
+        assert iteration.matrix.nrows == iteration.matrix.ncols == 5
+
+    def test_source_actor_rejected(self):
+        g = CSDFGraph()
+        g.add_actor("src", [1, 1])
+        g.add_actor("dst", [1])
+        self_edge(g, "dst")
+        g.add_edge("src", "dst", production=[1, 0], consumption=[1])
+        with pytest.raises(UnboundedThroughputError):
+            csdf_symbolic_iteration(g)
+
+    def test_single_phase_matches_sdf_engine(self):
+        # A 1-phase CSDF graph must produce the same matrix as the SDF
+        # engine on the equivalent SDF graph.
+        from repro.core.symbolic import symbolic_iteration
+        from repro.sdf.graph import SDFGraph
+
+        c = CSDFGraph("deg")
+        c.add_actor("a", [3])
+        c.add_actor("b", [1])
+        c.add_edge("a", "b", production=[1], consumption=[2], name="ab")
+        c.add_edge("b", "a", production=[2], consumption=[1], tokens=2, name="ba")
+
+        s = SDFGraph("deg")
+        s.add_actor("a", 3)
+        s.add_actor("b", 1)
+        s.add_edge("a", "b", production=1, consumption=2, name="ab")
+        s.add_edge("b", "a", production=2, consumption=1, tokens=2, name="ba")
+
+        assert csdf_symbolic_iteration(c).matrix == symbolic_iteration(s).matrix
+
+
+class TestThroughputAndConversion:
+    def test_updown_throughput(self, updown):
+        result = csdf_throughput(updown)
+        # Hand check: P0 at [0,1], P1 [1,3], C [3,7]; steady state is
+        # limited by the C->P->C loop: 1 + 2 + 4 = 7 per iteration.
+        assert result.cycle_time == 7
+        assert result.per_actor["P"] == Fraction(2, 7)
+        assert result.per_actor["C"] == Fraction(1, 7)
+
+    def test_compact_hsdf_preserves_cycle_time(self, updown):
+        conv = csdf_to_hsdf(updown)
+        assert conv.within_paper_bounds()
+        assert throughput(conv.graph, method="hsdf").cycle_time == 7
+
+    def test_compact_hsdf_much_smaller_than_phase_expansion(self):
+        # A phase-heavy graph: the compact conversion depends only on
+        # tokens, not on the phase-firing count.
+        g = CSDFGraph("phases")
+        g.add_actor("a", [1] * 12)
+        g.add_actor("b", [2])
+        self_edge(g, "a")
+        self_edge(g, "b")
+        g.add_edge("a", "b", production=[1] * 12, consumption=[4])
+        g.add_edge("b", "a", production=[4], consumption=[1] * 12, tokens=12)
+        gamma = csdf_repetition_vector(g)
+        conv = csdf_to_hsdf(g)
+        assert conv.within_paper_bounds()
+        assert sum(gamma.values()) == 15  # phase-expansion size
+        assert throughput(conv.graph, method="hsdf").cycle_time is not None
+
+    def test_sdf_approximation_is_conservative(self, updown):
+        sdf = csdf_to_sdf_approximation(updown)
+        approx = throughput(sdf)
+        exact = csdf_throughput(updown)
+        assert approx.cycle_time >= exact.cycle_time
+
+    def test_sdf_approximation_structure(self, updown):
+        sdf = csdf_to_sdf_approximation(updown)
+        assert sdf.execution_time("P") == 3  # 1 + 2
+        edge = sdf.edge("data")
+        assert edge.production == 3 and edge.consumption == 3
+
+    def test_simulation_cross_check(self, updown):
+        # Validate the CSDF symbolic engine against the SDF simulator on
+        # the compact HSDF realisation.
+        conv = csdf_to_hsdf(updown)
+        assert (
+            throughput(conv.graph, method="simulation").cycle_time
+            == csdf_throughput(updown).cycle_time
+        )
+
+
+class TestCsdfIo:
+    def test_round_trip(self, updown):
+        from repro.csdf.io import from_json, to_json
+
+        clone = from_json(to_json(updown))
+        assert clone.actor_count() == updown.actor_count()
+        assert clone.edge_count() == updown.edge_count()
+        assert [e.production for e in clone.edges] == [
+            e.production for e in updown.edges
+        ]
+        assert clone.actor("P").execution_times == (1, 2)
+
+    def test_fraction_times(self):
+        from fractions import Fraction
+
+        from repro.csdf.io import from_dict, to_dict
+
+        g = CSDFGraph("frac")
+        g.add_actor("a", [Fraction(1, 3), 2])
+        self_edge(g, "a")
+        clone = from_dict(to_dict(g))
+        assert clone.actor("a").execution_times == (Fraction(1, 3), 2)
+
+    def test_wrong_type_rejected(self):
+        from repro.csdf.io import from_dict
+
+        with pytest.raises(ValidationError, match="not a CSDF"):
+            from_dict({"type": "sdf", "actors": [], "edges": []})
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_round_trip(self, seed):
+        import random
+
+        from repro.csdf.io import from_json, to_json
+        from repro.graphs.random_sdf import random_live_csdf
+
+        g = random_live_csdf(random.Random(seed))
+        clone = from_json(to_json(g))
+        from repro.csdf import csdf_throughput
+
+        assert csdf_throughput(clone).cycle_time == csdf_throughput(g).cycle_time

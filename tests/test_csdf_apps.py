@@ -1,0 +1,87 @@
+"""The cyclo-static application models."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.csdf import (
+    csdf_repetition_vector,
+    csdf_throughput,
+    csdf_to_hsdf,
+    is_csdf_live,
+)
+from repro.csdf.analysis import is_csdf_consistent
+from repro.graphs.csdf_apps import ip_frame_decoder, polyphase_cd2dat
+
+
+class TestPolyphase:
+    def test_consistent_and_live(self):
+        g = polyphase_cd2dat()
+        assert is_csdf_consistent(g)
+        assert is_csdf_live(g)
+
+    def test_rate_structure(self):
+        gamma = csdf_repetition_vector(polyphase_cd2dat())
+        # Cycle balance: cd feeds poly 1:1 per phase triple; poly emits
+        # 2 per cycle into s2 (consumes 7/firing); s2 emits 2 into dat
+        # (consumes 3): k(poly)·2 = k(s2)·7, k(s2)·2 = k(dat)·3.
+        assert gamma["poly"] == 3 * gamma["cd"] // 1 or gamma["cd"] % 1 == 0
+        assert gamma["poly"] % 3 == 0  # whole phase cycles
+        ratio = Fraction(gamma["poly"] // 3, 1)
+        assert Fraction(gamma["s2"]) == ratio * Fraction(2, 7)
+
+    def test_compact_conversion(self):
+        g = polyphase_cd2dat()
+        conv = csdf_to_hsdf(g)
+        assert conv.within_paper_bounds()
+        assert (
+            throughput(conv.graph, method="hsdf").cycle_time
+            == csdf_throughput(g).cycle_time
+        )
+
+    def test_polyphase_tighter_than_monolithic(self):
+        # The polyphase stage starts emitting after one input sample,
+        # not after three: the first 'mid' tokens appear earlier than a
+        # monolithic 3-in/2-out stage could produce them.
+        from repro.csdf.conversion import csdf_to_sdf_approximation
+
+        g = polyphase_cd2dat()
+        exact = csdf_throughput(g).cycle_time
+        aggregated = throughput(csdf_to_sdf_approximation(g)).cycle_time
+        assert aggregated >= exact  # conservative, usually strictly
+
+
+class TestIpDecoder:
+    @pytest.mark.parametrize("p_frames", [1, 3, 6])
+    def test_consistent_live(self, p_frames):
+        g = ip_frame_decoder(p_frames)
+        assert is_csdf_consistent(g)
+        assert is_csdf_live(g)
+
+    def test_gop_phase_structure(self):
+        g = ip_frame_decoder(3)
+        assert g.phase_count("parse") == 4
+        gamma = csdf_repetition_vector(g)
+        assert gamma["parse"] == 4      # one GOP per iteration
+        assert gamma["render"] == 7     # 4 + 1 + 1 + 1 blocks
+
+    def test_throughput_reflects_gop_mix(self):
+        short = csdf_throughput(ip_frame_decoder(1))
+        long = csdf_throughput(ip_frame_decoder(6))
+        # More P frames per GOP: cheaper average per frame.
+        per_frame_short = short.cycle_time / 2
+        per_frame_long = long.cycle_time / 7
+        assert per_frame_long < per_frame_short
+
+    def test_compact_conversion_equivalent(self):
+        g = ip_frame_decoder(3)
+        conv = csdf_to_hsdf(g)
+        assert (
+            throughput(conv.graph, method="hsdf").cycle_time
+            == csdf_throughput(g).cycle_time
+        )
+
+    def test_bad_gop_rejected(self):
+        with pytest.raises(ValueError):
+            ip_frame_decoder(0)

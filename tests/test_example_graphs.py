@@ -1,0 +1,139 @@
+"""The paper's figure graphs and synthetic families."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.errors import ValidationError
+from repro.graphs.examples import (
+    figure2_abstraction,
+    figure2_graph,
+    figure3_graph,
+    section41_abstraction,
+    section41_example,
+)
+from repro.graphs.synthetic import (
+    homogeneous_pipeline,
+    regular_prefetch,
+    regular_prefetch_abstraction,
+    remote_memory_abstraction,
+    remote_memory_access,
+)
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.schedule import is_live
+
+
+class TestRegularPrefetch:
+    def test_default_is_section41(self):
+        g = section41_example()
+        assert g.actor_count() == 10  # A1..A6, B1..B4
+        times = g.execution_times
+        assert [times[f"A{i}"] for i in range(1, 7)] == [2, 2, 5, 5, 3, 3]
+        assert all(times[f"B{i}"] == 4 for i in range(1, 5))
+
+    @pytest.mark.parametrize("n", [5, 6, 8, 12, 24, 40])
+    def test_throughput_formula_5n_minus_7(self, n):
+        # Section 4.1: "for a graph with n copies of the Ai actor, the
+        # throughput is 1/(5n−7)".
+        result = throughput(regular_prefetch(n))
+        assert result.cycle_time == 5 * n - 7
+        assert result.of("A1") == Fraction(1, 5 * n - 7)
+
+    def test_homogeneous_and_live(self):
+        g = regular_prefetch(9)
+        assert g.is_homogeneous()
+        assert is_live(g)
+
+    def test_custom_times(self):
+        g = regular_prefetch(4, a_times=[1, 1, 1, 1], b_time=1)
+        assert throughput(g).cycle_time == 4  # the A ring dominates
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            regular_prefetch(3)
+
+    def test_wrong_time_count_rejected(self):
+        with pytest.raises(ValidationError):
+            regular_prefetch(5, a_times=[1, 2, 3])
+
+    def test_abstraction_covers(self):
+        n = 7
+        ab = regular_prefetch_abstraction(n)
+        ab.validate(regular_prefetch(n))
+        assert ab.phase_count == n
+
+
+class TestFigure2:
+    def test_repetition_is_homogeneous(self):
+        assert set(repetition_vector(figure2_graph()).values()) == {1}
+
+    def test_abstraction_valid(self):
+        figure2_abstraction().validate(figure2_graph())
+
+    def test_b_group_has_dummy_phase(self):
+        ab = figure2_abstraction()
+        # N = 3 while B has only two members: B's phase 2 is a dummy
+        # firing, exactly the situation Definition 4 allows.
+        assert ab.phase_count == 3
+        assert len(ab.groups()["B"]) == 2
+
+
+class TestFigure3:
+    def test_iteration_is_three_firings(self):
+        gamma = repetition_vector(figure3_graph())
+        assert gamma == {"L": 2, "R": 1}
+
+    def test_four_initial_tokens(self):
+        assert figure3_graph().total_tokens() == 4
+
+    def test_custom_times(self):
+        g = figure3_graph(left_time=5, right_time=2)
+        assert g.execution_time("L") == 5
+        assert throughput(g).cycle_time == 12  # 2·5 + 2 on the L loop chain
+
+
+class TestRemoteMemory:
+    def test_default_matches_paper_workload(self):
+        g = remote_memory_access()
+        # 1584 computations plus two CA columns.
+        assert g.actor_count() == 3 * 1584
+
+    @pytest.mark.parametrize("n", [4, 7, 10])
+    def test_live_and_homogeneous(self, n):
+        g = remote_memory_access(n)
+        assert g.is_homogeneous()
+        assert is_live(g)
+
+    def test_compute_bound_cycle_time(self):
+        g = remote_memory_access(10, compute_time=100, ca_time=40)
+        assert throughput(g).cycle_time == 1000  # n · compute
+
+    def test_network_bound_cycle_time(self):
+        g = remote_memory_access(8, compute_time=10, ca_time=40)
+        # Prefetch chains around the ring: 4 hops × (10 + 80) = 360.
+        assert throughput(g).cycle_time == 360
+
+    def test_too_few_blocks_rejected(self):
+        with pytest.raises(ValidationError):
+            remote_memory_access(2)
+
+    def test_abstraction_matches(self):
+        n = 12
+        remote_memory_abstraction(n).validate(remote_memory_access(n))
+
+
+class TestPipeline:
+    def test_cycle_time_formula(self):
+        g = homogeneous_pipeline(3, execution_times=[2, 5, 2], tokens=3)
+        assert throughput(g).cycle_time == 5  # max(9/3, 5)
+
+    def test_single_stage(self):
+        g = homogeneous_pipeline(1, execution_times=[4])
+        assert throughput(g).cycle_time == 4
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValidationError):
+            homogeneous_pipeline(0)
+        with pytest.raises(ValidationError):
+            homogeneous_pipeline(2, execution_times=[1])

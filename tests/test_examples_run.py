@@ -1,0 +1,40 @@
+"""Every example script must run end to end (they are documentation)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "symbolic_execution.py",
+    "csdf_pipeline.py",
+    "hsdf_conversion_tour.py",
+    "scenario_worst_case.py",
+]
+SLOW = [
+    "buffer_tradeoff.py",
+    "design_advisor.py",
+    "multiprocessor_mapping.py",
+    "prefetch_abstraction.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_fast_examples(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    assert capsys.readouterr().out.strip()
+
+
+@pytest.mark.parametrize("script", SLOW)
+def test_slow_examples(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    assert capsys.readouterr().out.strip()
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(FAST) | set(SLOW)

@@ -1,0 +1,66 @@
+"""Composing the paper's two halves: abstracting the firing expansion."""
+
+import random
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.core.expansion_abstraction import (
+    conservative_multirate_bound,
+    expansion_abstraction,
+)
+from repro.graphs.examples import figure3_graph
+from repro.graphs.random_sdf import random_consistent_sdf
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.transform import traditional_hsdf
+
+
+class TestExpansionAbstraction:
+    def test_groups_are_original_actors(self, two_actor_multirate):
+        ab = expansion_abstraction(two_actor_multirate)
+        groups = ab.groups()
+        assert set(groups) == {"A", "B"}
+        assert len(groups["A"]) == 2 and len(groups["B"]) == 1
+
+    def test_valid_on_figure3(self):
+        g = figure3_graph()
+        ab = expansion_abstraction(g)
+        ab.validate(traditional_hsdf(g))
+
+    def test_phase_count_at_least_max_gamma(self, two_actor_multirate):
+        ab = expansion_abstraction(two_actor_multirate)
+        gamma = repetition_vector(two_actor_multirate)
+        assert ab.phase_count >= max(gamma.values())
+
+
+class TestConservativeBound:
+    def test_figure3_bound(self):
+        g = figure3_graph()
+        cert = conservative_multirate_bound(g)
+        assert cert.conservative
+        assert cert.original_cycle_time == throughput(g).cycle_time
+        assert cert.bound_cycle_time >= cert.original_cycle_time
+        # The abstract graph has one actor per original actor.
+        assert cert.abstract.actor_count() == g.actor_count()
+
+    def test_homogeneous_graph_is_tight(self, simple_ring):
+        cert = conservative_multirate_bound(simple_ring)
+        # γ ≡ 1: the expansion is the graph itself, N = 1, no dummies.
+        assert cert.relative_error == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_multirate_graphs(self, seed):
+        rng = random.Random(seed)
+        g = random_consistent_sdf(rng, n_actors=4, extra_edges=2, max_repetition=4)
+        cert = conservative_multirate_bound(g, check_dominance=(seed % 2 == 0))
+        assert cert.conservative
+        if not cert.abstract_deadlocked:
+            assert cert.bound_cycle_time >= throughput(g).cycle_time
+
+    def test_benchmark_case(self):
+        from repro.graphs.multimedia import mp3_decoder_granule_parallel
+
+        g = mp3_decoder_granule_parallel()
+        cert = conservative_multirate_bound(g)
+        assert cert.conservative
+        assert cert.abstract.actor_count() == g.actor_count()

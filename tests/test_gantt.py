@@ -1,0 +1,72 @@
+"""ASCII Gantt rendering."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.graphs.examples import section41_example
+from repro.sdf.gantt import gantt, render_gantt, simulate_trace
+from repro.sdf.graph import SDFGraph
+from repro.sdf.simulation import FiringRecord
+
+
+def simple():
+    g = SDFGraph()
+    g.add_actor("a", 2)
+    g.add_actor("b", 1)
+    g.add_edge("a", "a", tokens=1, name="sa")
+    g.add_edge("a", "b")
+    g.add_edge("b", "b", tokens=1, name="sb")
+    return g
+
+
+class TestTrace:
+    def test_horizon_respected(self):
+        trace = simulate_trace(simple(), Fraction(6))
+        assert all(r.end <= 6 for r in trace)
+        assert any(r.actor == "b" for r in trace)
+
+    def test_counts(self):
+        trace = simulate_trace(simple(), Fraction(6))
+        assert sum(1 for r in trace if r.actor == "a") == 3  # ends 2, 4, 6
+
+
+class TestRender:
+    def test_empty(self):
+        assert render_gantt(simple(), []) == "(empty trace)"
+
+    def test_lanes_per_actor(self):
+        chart = gantt(simple(), 6, width=60)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a ")
+        assert any(line.startswith("b ") for line in lines)
+
+    def test_blocks_drawn(self):
+        chart = gantt(simple(), 6, width=60)
+        assert "[" in chart and "]" in chart
+
+    def test_auto_concurrency_stacks_lanes(self):
+        g = SDFGraph()
+        g.add_actor("x", 4)
+        g.add_edge("x", "x", tokens=2, name="sx")  # two concurrent firings
+        chart = gantt(g, 4, width=40)
+        lanes = [l for l in chart.splitlines()[:-1]]
+        assert len(lanes) == 2  # both lanes belong to x
+
+    def test_width_cap(self):
+        chart = gantt(section41_example(), 46, width=50)
+        assert max(len(line) for line in chart.splitlines()) <= 70
+
+    def test_fractional_times(self):
+        g = SDFGraph()
+        g.add_actor("f", Fraction(1, 2))
+        g.add_edge("f", "f", tokens=1, name="sf")
+        chart = gantt(g, Fraction(3, 2), width=30)
+        assert "f" in chart
+
+    def test_zero_length_firing_marker(self):
+        trace = [FiringRecord("z", Fraction(1), Fraction(1))]
+        g = SDFGraph()
+        g.add_actor("z", 0)
+        chart = render_gantt(g, trace, till=Fraction(2))
+        assert "#" in chart or "[" in chart

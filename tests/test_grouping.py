@@ -1,0 +1,100 @@
+"""Automatic abstraction discovery for regular graphs."""
+
+import pytest
+
+from repro.core.conservativity import verify_abstraction
+from repro.core.grouping import discover_abstraction
+from repro.errors import NoAbstractionFoundError
+from repro.graphs.synthetic import regular_prefetch, remote_memory_access
+from repro.sdf.graph import SDFGraph
+
+
+class TestNameStrategy:
+    def test_prefetch_groups(self):
+        ab = discover_abstraction(regular_prefetch(8))
+        groups = ab.groups()
+        assert set(groups) == {"A", "B"}
+        assert len(groups["A"]) == 8 and len(groups["B"]) == 6
+
+    def test_indices_follow_numeric_suffix(self):
+        ab = discover_abstraction(regular_prefetch(6))
+        assert [ab.index[f"A{i}"] for i in range(1, 7)] == list(range(6))
+
+    def test_remote_memory_groups(self):
+        ab = discover_abstraction(remote_memory_access(10))
+        assert set(ab.groups()) == {"A", "CAl", "CAr"}
+
+    def test_discovered_abstraction_is_conservative(self):
+        g = regular_prefetch(10)
+        cert = verify_abstraction(g, discover_abstraction(g))
+        assert cert.conservative
+
+    def test_actor_without_suffix_is_own_group(self):
+        g = SDFGraph()
+        g.add_actors("head", "w1", "w2")
+        g.add_edge("head", "w1")
+        g.add_edge("w1", "w2")
+        g.add_edge("w2", "head", tokens=1)
+        ab = discover_abstraction(g)
+        assert ab.mapping["head"] == "head"
+        assert ab.mapping["w1"] == ab.mapping["w2"] == "w"
+
+
+class TestStructuralStrategy:
+    def test_groups_by_signature(self):
+        g = regular_prefetch(6)
+        ab = discover_abstraction(g, strategy="structural")
+        # Interior A's share a signature; so do interior B's.
+        groups = [sorted(v) for v in ab.groups().values() if len(v) > 1]
+        assert any({"A3", "A4"} <= set(members) for members in groups)
+        cert = verify_abstraction(g, ab)
+        assert cert.conservative
+
+    def test_unknown_strategy_rejected(self, simple_ring):
+        with pytest.raises(ValueError):
+            discover_abstraction(simple_ring, strategy="magic")
+
+
+class TestRepetitionSplit:
+    def test_mixed_gamma_groups_are_split(self):
+        g = SDFGraph()
+        g.add_actors("x1", "x2")
+        # x1 fires twice per firing of x2 — same stem, different γ.
+        g.add_edge("x1", "x2", production=1, consumption=2)
+        g.add_edge("x2", "x1", production=2, consumption=1, tokens=2)
+        g.add_edge("x1", "x1", tokens=1, name="self_x1")
+        with pytest.raises(NoAbstractionFoundError):
+            discover_abstraction(g)
+
+
+class TestIndexAssignment:
+    def test_zero_delay_edges_respected_across_groups(self):
+        # y1 → x2 zero-delay forces I(x2) > I(y1)=0 although x2 is the
+        # "second" x; per-group ranking alone would violate the rule.
+        g = SDFGraph()
+        g.add_actors("x1", "x2", "y1")
+        g.add_edge("x1", "y1")
+        g.add_edge("y1", "x2")
+        g.add_edge("x2", "x1", tokens=1)
+        ab = discover_abstraction(g, min_group_size=2)
+        assert ab.index["x1"] <= ab.index["y1"] <= ab.index["x2"]
+        ab.validate(g)
+
+    def test_zero_delay_cycle_rejected(self):
+        g = SDFGraph()
+        g.add_actors("x1", "x2")
+        g.add_edge("x1", "x2")
+        g.add_edge("x2", "x1")
+        with pytest.raises(NoAbstractionFoundError, match="deadlock"):
+            discover_abstraction(g)
+
+    def test_no_group_large_enough(self, simple_ring):
+        with pytest.raises(NoAbstractionFoundError, match="no group"):
+            discover_abstraction(simple_ring)
+
+    def test_min_group_size_tunable(self):
+        g = regular_prefetch(6)
+        ab = discover_abstraction(g, min_group_size=5)
+        # B group (4 members) falls below the threshold: kept separate.
+        assert ab.mapping["B1"] == "B1"
+        assert ab.mapping["A1"] == "A"

@@ -1,0 +1,223 @@
+"""The compact (symbolic) SDF-to-HSDF conversion of Section 6."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.errors import ValidationError
+from repro.graphs import TABLE1_CASES
+from repro.graphs.examples import figure3_graph, section41_example
+from repro.graphs.random_sdf import random_consistent_sdf, random_live_hsdf
+from repro.core.hsdf_conversion import convert_to_hsdf, sdf_to_maxplus_matrix
+from repro.maxplus.spectral import eigenvalue
+from repro.sdf.graph import SDFGraph
+from repro.sdf.schedule import is_live
+
+
+class TestStructure:
+    def test_result_is_homogeneous_and_live(self):
+        conv = convert_to_hsdf(figure3_graph())
+        assert conv.graph.is_homogeneous()
+        assert is_live(conv.graph)
+
+    def test_bounds_of_section6(self):
+        conv = convert_to_hsdf(figure3_graph())
+        n = len(conv.token_ids)
+        assert conv.actor_count <= n * (n + 2)
+        assert conv.edge_count <= n * (2 * n + 1)
+        assert conv.token_count <= n
+        assert conv.within_paper_bounds()
+
+    def test_one_initial_token_per_consumed_slot(self):
+        conv = convert_to_hsdf(figure3_graph())
+        token_edges = [e for e in conv.graph.edges if e.tokens]
+        assert all(e.tokens == 1 for e in token_edges)
+        assert len(token_edges) == len(conv.token_ids)
+
+    def test_actor_inventory_accounting(self):
+        conv = convert_to_hsdf(section41_example())
+        assert (
+            conv.matrix_actors + conv.mux_actors + conv.demux_actors
+            == conv.actor_count
+        )
+        assert conv.matrix_actors == conv.matrix.finite_entry_count()
+
+    def test_matrix_actor_times_are_coefficients(self):
+        conv = convert_to_hsdf(figure3_graph())
+        m = conv.matrix
+        # g_0_0 realises coefficient M[0][0] = 7 (from the Fig. 3 stamps).
+        assert conv.graph.execution_time("g_0_0") == 7
+        assert m[0, 0] == 7
+
+    def test_mux_demux_have_zero_time(self):
+        conv = convert_to_hsdf(section41_example())
+        for actor in conv.graph.actors:
+            if actor.name.startswith(("mux_", "dmx_")):
+                assert actor.execution_time == 0
+
+    def test_no_tokens_rejected(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(Exception):
+            convert_to_hsdf(g)
+
+    def test_zero_token_graph_with_live_schedule_rejected(self):
+        # A single actor with no edges: schedulable, zero tokens.
+        g = SDFGraph()
+        g.add_actor("a", 1)
+        g.add_edge("a", "a", tokens=1)
+        g.remove_edge(g.edges[0].name)
+        with pytest.raises((ValidationError, Exception)):
+            convert_to_hsdf(g)
+
+
+class TestEquivalence:
+    def test_cycle_time_equals_matrix_eigenvalue(self):
+        for factory in (figure3_graph, section41_example):
+            conv = convert_to_hsdf(factory())
+            lam = eigenvalue(conv.matrix)
+            assert throughput(conv.graph, method="hsdf").cycle_time == lam
+
+    def test_cycle_time_matches_original_iteration_period(self):
+        g = section41_example()
+        conv = convert_to_hsdf(g)
+        assert (
+            throughput(conv.graph, method="hsdf").cycle_time
+            == throughput(g, method="symbolic").cycle_time
+        )
+
+    def test_simulating_the_compact_graph_agrees(self):
+        g = figure3_graph()
+        conv = convert_to_hsdf(g)
+        sim = throughput(conv.graph, method="simulation")
+        sym = throughput(g, method="symbolic")
+        assert sim.cycle_time == sym.cycle_time
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_sdf_equivalence(self, seed):
+        rng = random.Random(seed)
+        g = random_consistent_sdf(rng, n_actors=5, extra_edges=3, max_repetition=4)
+        conv = convert_to_hsdf(g)
+        assert conv.within_paper_bounds()
+        assert (
+            throughput(conv.graph, method="hsdf").cycle_time
+            == throughput(g, method="symbolic").cycle_time
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_hsdf_equivalence(self, seed):
+        rng = random.Random(500 + seed)
+        g = random_live_hsdf(rng, n_actors=6, extra_edges=5)
+        conv = convert_to_hsdf(g)
+        assert (
+            throughput(conv.graph, method="hsdf").cycle_time
+            == throughput(g, method="hsdf").cycle_time
+        )
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in TABLE1_CASES if c.paper_traditional <= 1200],
+        ids=lambda c: c.name,
+    )
+    def test_benchmark_equivalence_vs_traditional(self, case):
+        from repro.sdf.transform import traditional_hsdf
+
+        g = case.build()
+        compact = convert_to_hsdf(g)
+        assert (
+            throughput(compact.graph, method="hsdf").cycle_time
+            == throughput(traditional_hsdf(g), method="hsdf").cycle_time
+        )
+
+
+class TestElisionAblation:
+    def test_unelided_structure_is_larger_but_equivalent(self):
+        g = section41_example()
+        lean = convert_to_hsdf(g, elide_multiplexers=True)
+        full = convert_to_hsdf(g, elide_multiplexers=False)
+        assert full.actor_count >= lean.actor_count
+        assert (
+            throughput(full.graph, method="hsdf").cycle_time
+            == throughput(lean.graph, method="hsdf").cycle_time
+        )
+
+    def test_unelided_has_all_mux_demux(self):
+        g = figure3_graph()
+        full = convert_to_hsdf(g, elide_multiplexers=False)
+        n = len(full.token_ids)
+        assert full.mux_actors == n
+        # Every consumed token gets its demux (unconsumed ones never need one).
+        assert full.demux_actors == len(
+            {j for (j, k) in _finite_entries(full.matrix)}
+        )
+
+    def test_unelided_still_within_bounds(self):
+        full = convert_to_hsdf(figure3_graph(), elide_multiplexers=False)
+        assert full.within_paper_bounds()
+
+
+def _finite_entries(matrix):
+    from repro.maxplus.algebra import EPSILON
+
+    for k in range(matrix.nrows):
+        for j in range(matrix.ncols):
+            if matrix[k, j] != EPSILON:
+                yield (j, k)
+
+
+class TestMetadata:
+    def test_token_source_names_exist(self):
+        conv = convert_to_hsdf(figure3_graph())
+        for actor in conv.token_source.values():
+            assert conv.graph.has_actor(actor)
+
+    def test_token_entry_names_exist(self):
+        conv = convert_to_hsdf(figure3_graph())
+        for actor in conv.token_entry.values():
+            assert conv.graph.has_actor(actor)
+
+    def test_reuses_precomputed_iteration(self):
+        g = figure3_graph()
+        iteration = sdf_to_maxplus_matrix(g)
+        conv = convert_to_hsdf(g, iteration=iteration)
+        assert conv.matrix is iteration.matrix
+
+
+class TestLatencyPreservation:
+    """Section 6 claims 'same throughput and latency' — check latency."""
+
+    @pytest.mark.parametrize(
+        "factory", [figure3_graph, section41_example], ids=["fig3", "fig1"]
+    )
+    def test_token_availability_times_preserved(self, factory):
+        from repro.analysis.latency import latency
+
+        g = factory()
+        conv = convert_to_hsdf(g)
+        original = latency(g)
+        compact = latency(conv.graph)
+        # Token slot k's next availability in the compact graph equals
+        # the original's (slots whose consumer was a sink have no loop in
+        # the compact graph and are absent there).
+        kept = [
+            k for k in range(len(conv.token_ids)) if k in conv.token_entry
+        ]
+        for position, k in enumerate(kept):
+            assert compact.token_times[position] == original.token_times[k]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_latency_on_random_graphs(self, seed):
+        from repro.analysis.latency import latency
+
+        rng = random.Random(900 + seed)
+        g = random_consistent_sdf(rng, n_actors=4, extra_edges=2, max_repetition=3)
+        conv = convert_to_hsdf(g)
+        original = latency(g)
+        compact = latency(conv.graph)
+        kept = [k for k in range(len(conv.token_ids)) if k in conv.token_entry]
+        for position, k in enumerate(kept):
+            assert compact.token_times[position] == original.token_times[k]

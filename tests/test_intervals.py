@@ -1,0 +1,72 @@
+"""Interval (BCET/WCET) throughput bounds."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.intervals import interval_throughput
+from repro.analysis.throughput import throughput
+from repro.errors import ValidationError
+from repro.graphs.examples import section41_example
+from repro.sdf.graph import SDFGraph
+
+
+class TestBounds:
+    def test_degenerate_interval_is_exact(self, simple_ring):
+        exact = throughput(simple_ring).cycle_time
+        bounds = interval_throughput(
+            simple_ring, {a: (simple_ring.execution_time(a),) * 2 for a in simple_ring.actor_names}
+        )
+        assert bounds.best_case == bounds.worst_case == exact
+        assert bounds.spread == 0
+
+    def test_bounds_bracket_concrete_samples(self):
+        g = section41_example()
+        intervals = {"A3": (3, 8), "B2": (2, 6)}
+        bounds = interval_throughput(g, intervals)
+        rng = random.Random(5)
+        for _ in range(6):
+            probe = g.copy()
+            for actor, (low, high) in intervals.items():
+                probe.set_execution_time(actor, rng.randint(low, high))
+            assert bounds.contains(throughput(probe).cycle_time)
+
+    def test_partial_intervals_keep_other_times(self, simple_ring):
+        bounds = interval_throughput(simple_ring, {"X": (1, 10)})
+        # Y and Z stay 3 and 4: cycle = X + 7.
+        assert bounds.best_case == 8
+        assert bounds.worst_case == 17
+
+    def test_noncritical_interval_has_no_spread(self):
+        g = SDFGraph()
+        g.add_actor("fast", 1)
+        g.add_actor("slow", 50)
+        g.add_edge("fast", "fast", tokens=1)
+        g.add_edge("slow", "slow", tokens=1)
+        g.add_edge("fast", "slow")
+        bounds = interval_throughput(g, {"fast": (1, 10)})
+        assert bounds.spread == 0
+        assert bounds.worst_case == 50
+
+    def test_methods_agree(self, simple_ring):
+        a = interval_throughput(simple_ring, {"X": (2, 9)}, method="symbolic")
+        b = interval_throughput(simple_ring, {"X": (2, 9)}, method="hsdf")
+        assert (a.best_case, a.worst_case) == (b.best_case, b.worst_case)
+
+
+class TestValidation:
+    def test_inverted_interval(self, simple_ring):
+        with pytest.raises(ValidationError, match="inverted"):
+            interval_throughput(simple_ring, {"X": (5, 2)})
+
+    def test_unknown_actor(self, simple_ring):
+        with pytest.raises(ValidationError):
+            interval_throughput(simple_ring, {"ghost": (1, 2)})
+
+    def test_fractional_endpoints(self, simple_ring):
+        bounds = interval_throughput(
+            simple_ring, {"X": (Fraction(1, 2), Fraction(5, 2))}
+        )
+        assert bounds.best_case == Fraction(15, 2)
+        assert bounds.worst_case == Fraction(19, 2)

@@ -1,0 +1,102 @@
+"""Serialisation round-trips (dict / JSON / SDF3-style XML)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs import TABLE1_CASES
+from repro.graphs.random_sdf import random_consistent_sdf
+from repro.sdf.graph import SDFGraph
+from repro.sdf.io import (
+    from_dict,
+    from_json,
+    from_sdf3_xml,
+    to_dict,
+    to_json,
+    to_sdf3_xml,
+)
+
+
+class TestDictRoundTrip:
+    def test_simple(self, two_actor_multirate):
+        clone = from_dict(to_dict(two_actor_multirate))
+        assert clone.structurally_equal(two_actor_multirate)
+        assert clone.name == two_actor_multirate.name
+
+    def test_fraction_execution_times(self):
+        g = SDFGraph("frac")
+        g.add_actor("a", Fraction(3, 7))
+        g.add_edge("a", "a", tokens=1)
+        clone = from_dict(to_dict(g))
+        assert clone.execution_time("a") == Fraction(3, 7)
+
+    def test_edge_names_preserved(self, simple_ring):
+        clone = from_dict(to_dict(simple_ring))
+        assert {e.name for e in clone.edges} == {e.name for e in simple_ring.edges}
+
+    def test_defaults_tolerated(self):
+        data = {
+            "name": "min",
+            "actors": [{"name": "a"}],
+            "edges": [{"source": "a", "target": "a", "tokens": 1}],
+        }
+        g = from_dict(data)
+        assert g.execution_time("a") == 0
+        assert g.edges[0].production == 1
+
+    def test_bad_time_payload_rejected(self):
+        data = {"name": "x", "actors": [{"name": "a", "execution_time": "fast"}], "edges": []}
+        with pytest.raises(ValidationError):
+            from_dict(data)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        g = random_consistent_sdf(random.Random(seed))
+        assert from_dict(to_dict(g)).structurally_equal(g)
+
+
+class TestJson:
+    def test_round_trip(self, two_actor_multirate):
+        assert from_json(to_json(two_actor_multirate)).structurally_equal(
+            two_actor_multirate
+        )
+
+    def test_json_is_text(self, simple_ring):
+        text = to_json(simple_ring)
+        assert '"actors"' in text and '"edges"' in text
+
+
+class TestSdf3Xml:
+    def test_round_trip(self, two_actor_multirate):
+        clone = from_sdf3_xml(to_sdf3_xml(two_actor_multirate))
+        assert clone.structurally_equal(two_actor_multirate)
+
+    def test_fractional_time_round_trip(self):
+        g = SDFGraph("frac")
+        g.add_actor("a", Fraction(5, 2))
+        g.add_edge("a", "a", tokens=1)
+        clone = from_sdf3_xml(to_sdf3_xml(g))
+        assert clone.execution_time("a") == Fraction(5, 2)
+
+    def test_contains_sdf3_markers(self, simple_ring):
+        text = to_sdf3_xml(simple_ring)
+        assert "<sdf3" in text and "applicationGraph" in text and "channel" in text
+
+    def test_initial_tokens_attribute(self, simple_ring):
+        text = to_sdf3_xml(simple_ring)
+        assert 'initialTokens="1"' in text
+
+    def test_missing_application_graph_rejected(self):
+        with pytest.raises(ValidationError):
+            from_sdf3_xml("<sdf3 type='sdf'></sdf3>")
+
+    def test_missing_sdf_element_rejected(self):
+        with pytest.raises(ValidationError):
+            from_sdf3_xml("<sdf3><applicationGraph name='x'/></sdf3>")
+
+    @pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name)
+    def test_benchmarks_round_trip(self, case):
+        g = case.build()
+        assert from_sdf3_xml(to_sdf3_xml(g)).structurally_equal(g)

@@ -1,0 +1,89 @@
+"""Latency analysis against hand computations and the simulator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.latency import latency
+from repro.errors import ValidationError
+from repro.graphs.examples import figure3_graph, section41_example
+from repro.core.symbolic import symbolic_iteration
+from repro.sdf.graph import SDFGraph
+from repro.sdf.simulation import SelfTimedSimulation
+
+
+class TestKnownValues:
+    def test_section41_makespan_is_23(self):
+        # "a single execution of the graph of Figure 1(a) takes 23 time
+        # units" (Section 4.1).
+        assert latency(section41_example()).makespan == 23
+
+    def test_section41_first_completions(self):
+        result = latency(section41_example())
+        assert result.of("A1") == 2
+        assert result.of("A2") == 4
+        assert result.of("B1") == 6
+        assert result.of("A3") == 11
+        assert result.of("A6") == 23
+
+    def test_figure3_values(self):
+        result = latency(figure3_graph())
+        # L fires at 0 (ends 3) and at 3 (ends 6); R starts at 6, ends 7.
+        assert result.first_completion["L"] == 3
+        assert result.last_completion["L"] == 6
+        assert result.of("R") == 7
+        assert result.makespan == 7
+
+    def test_token_times_are_matrix_times_zero(self):
+        g = figure3_graph()
+        result = latency(g)
+        iteration = symbolic_iteration(g)
+        expected = tuple(
+            iteration.matrix.row(k).norm() for k in range(iteration.token_count)
+        )
+        assert result.token_times == expected
+        assert result.token_times == (7, 7, 6, 7)
+
+
+class TestAgainstSimulator:
+    def _first_completions_by_simulation(self, graph, horizon=10**6):
+        from repro.sdf.repetition import repetition_vector
+
+        sim = SelfTimedSimulation(graph, record_trace=True)
+        gamma = repetition_vector(graph)
+        needed = sum(gamma.values())
+        while len(sim.trace) < needed and not sim.is_deadlocked:
+            sim.step()
+        first = {}
+        for record in sim.trace:
+            if record.actor not in first:
+                first[record.actor] = record.end
+        return first
+
+    @pytest.mark.parametrize(
+        "factory", [section41_example, figure3_graph], ids=["fig1", "fig3"]
+    )
+    def test_first_completion_matches_self_timed_execution(self, factory):
+        g = factory()
+        expected = self._first_completions_by_simulation(g)
+        result = latency(g)
+        for actor, value in expected.items():
+            assert result.first_completion[actor] == value
+
+    def test_ring_latencies(self, simple_ring):
+        result = latency(simple_ring)
+        assert result.first_completion == {"X": 2, "Y": 5, "Z": 9}
+        assert result.makespan == 9
+
+
+class TestPrecomputedIteration:
+    def test_accepts_iteration(self):
+        g = figure3_graph()
+        iteration = symbolic_iteration(g)
+        assert latency(g, iteration=iteration).makespan == 7
+
+    def test_fractional_times(self):
+        g = SDFGraph()
+        g.add_actor("a", Fraction(1, 3))
+        g.add_edge("a", "a", tokens=1)
+        assert latency(g).makespan == Fraction(1, 3)

@@ -1,0 +1,173 @@
+"""Multiprocessor binding and design-space exploration."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.errors import ValidationError
+from repro.graphs.examples import figure3_graph, section41_example
+from repro.mapping import (
+    Mapping,
+    bind,
+    greedy_load_balance,
+    mapped_throughput,
+    processor_utilisation,
+    sweep_processor_counts,
+)
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import is_consistent
+from repro.sdf.schedule import is_live
+
+
+@pytest.fixture
+def ring6():
+    return section41_example()
+
+
+class TestMapping:
+    def test_validate_coverage(self, simple_ring):
+        with pytest.raises(ValidationError, match="cover"):
+            Mapping(assignment={"X": "p0"}).validate(simple_ring)
+
+    def test_orders_must_match_assignment(self, simple_ring):
+        mapping = Mapping(
+            assignment={"X": "p0", "Y": "p0", "Z": "p1"},
+            orders={"p0": ["X", "Z"]},
+        )
+        with pytest.raises(ValidationError, match="static order"):
+            bind(simple_ring, mapping)
+
+    def test_processors_listing(self):
+        mapping = Mapping(assignment={"a": "p1", "b": "p0", "c": "p1"})
+        assert mapping.processors() == ["p1", "p0"]
+
+
+class TestBind:
+    def test_single_actor_processor_gets_self_loop(self, simple_ring):
+        mapping = Mapping(assignment={"X": "p0", "Y": "p1", "Z": "p2"})
+        bound = bind(simple_ring, mapping)
+        assert all(bound.has_self_loop(a) for a in bound.actor_names)
+
+    def test_existing_self_loop_not_duplicated(self):
+        g = SDFGraph()
+        g.add_actor("a", 1)
+        g.add_edge("a", "a", tokens=1)
+        bound = bind(g, Mapping(assignment={"a": "p0"}))
+        assert bound.edge_count() == 1
+
+    def test_bound_graph_consistent_and_live(self, ring6):
+        mapping = greedy_load_balance(ring6, 3)
+        bound = bind(ring6, mapping)
+        assert is_consistent(bound)
+        assert is_live(bound)
+
+    def test_multirate_binding_consistent(self):
+        g = figure3_graph()
+        bound = bind(g, Mapping(assignment={"L": "p0", "R": "p0"}))
+        assert is_consistent(bound)
+        assert is_live(bound)
+
+    def test_single_processor_period_is_total_work(self, ring6):
+        # Everything on one processor with a feasible order: the firings
+        # run back to back, so the period is exactly the iteration work.
+        everything = Mapping(assignment={a: "p0" for a in ring6.actor_names})
+        result = mapped_throughput(ring6, everything)
+        total_work = sum(ring6.execution_time(a) for a in ring6.actor_names)
+        assert result.cycle_time == total_work
+
+    def test_bound_graph_is_firing_granular(self, ring6):
+        from repro.sdf.repetition import repetition_vector
+
+        mapping = greedy_load_balance(ring6, 2)
+        bound = bind(ring6, mapping)
+        assert bound.is_homogeneous()
+        gamma = repetition_vector(ring6)
+        assert bound.actor_count() == sum(gamma.values())
+
+    def test_multirate_single_processor_period(self):
+        g = figure3_graph()
+        result = mapped_throughput(g, Mapping(assignment={"L": "p0", "R": "p0"}))
+        # 2 firings of L (3 each) + 1 of R (1): fully serialised.
+        assert result.cycle_time == 7
+
+    def test_binding_is_conservative_vs_unbound(self, ring6):
+        unbound = throughput(ring6).cycle_time
+        for n in (1, 2, 4):
+            mapping = greedy_load_balance(ring6, n)
+            assert mapped_throughput(ring6, mapping).cycle_time >= unbound
+
+    def test_custom_static_order_respected_or_deadlocks(self):
+        from repro.errors import DeadlockError
+
+        g = SDFGraph()
+        for name, time in (("a", 5), ("b", 1), ("c", 1)):
+            g.add_actor(name, time)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a", tokens=1)
+        good = Mapping(
+            assignment={a: "p0" for a in "abc"}, orders={"p0": ["a", "b", "c"]}
+        )
+        assert mapped_throughput(g, good).cycle_time == 7
+        # A static order contradicting the data flow is a real design
+        # error; the analysis reports it as a deadlock, not a number.
+        bad = Mapping(
+            assignment={a: "p0" for a in "abc"}, orders={"p0": ["b", "a", "c"]}
+        )
+        with pytest.raises(DeadlockError):
+            mapped_throughput(g, bad)
+
+
+class TestUtilisation:
+    def test_sums_to_total_work_over_period(self, ring6):
+        mapping = greedy_load_balance(ring6, 2)
+        util = processor_utilisation(ring6, mapping)
+        result = mapped_throughput(ring6, mapping)
+        total_work = sum(ring6.execution_time(a) for a in ring6.actor_names)
+        assert sum(util.values()) == Fraction(total_work, result.cycle_time)
+
+    def test_bounded_by_one(self, ring6):
+        for n in (1, 2, 3):
+            mapping = greedy_load_balance(ring6, n)
+            for value in processor_utilisation(ring6, mapping).values():
+                assert value <= 1
+
+    def test_single_processor_fully_utilised(self):
+        g = SDFGraph()
+        for name in ("a", "b"):
+            g.add_actor(name, 2)
+        g.add_edge("a", "b")
+        g.add_edge("b", "a", tokens=1)
+        mapping = Mapping(assignment={"a": "p0", "b": "p0"})
+        util = processor_utilisation(g, mapping)
+        assert util["p0"] == 1
+
+    def test_whole_application_on_one_processor_fully_utilised(self, ring6):
+        everything = Mapping(assignment={a: "p0" for a in ring6.actor_names})
+        assert processor_utilisation(ring6, everything)["p0"] == 1
+
+
+class TestExploration:
+    def test_greedy_balances_load(self, ring6):
+        mapping = greedy_load_balance(ring6, 2)
+        assert set(mapping.assignment.values()) == {"p0", "p1"}
+
+    def test_bad_processor_count(self, ring6):
+        with pytest.raises(ValidationError):
+            greedy_load_balance(ring6, 0)
+
+    def test_sweep_monotone_until_plateau(self, ring6):
+        points = sweep_processor_counts(ring6, max_processors=5)
+        assert len(points) == 5
+        # One processor: serialised; the guarantee can only improve or
+        # plateau as processors are added by this mapper... the greedy
+        # mapper is not optimal, so only sanity-check the envelope:
+        assert points[0].cycle_time >= min(p.cycle_time for p in points)
+        # Never better than the unbound application bound.
+        unbound = throughput(ring6).cycle_time
+        assert all(p.cycle_time >= unbound for p in points)
+
+    def test_sweep_point_throughput(self, ring6):
+        point = sweep_processor_counts(ring6, max_processors=1)[0]
+        assert point.throughput == 1 / point.cycle_time

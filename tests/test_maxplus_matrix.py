@@ -1,0 +1,186 @@
+"""Unit and property tests for max-plus vectors and matrices."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maxplus.algebra import EPSILON
+from repro.maxplus.matrix import MaxPlusMatrix, MaxPlusVector
+
+entries = st.one_of(
+    st.just(EPSILON), st.integers(min_value=-20, max_value=20)
+)
+
+
+def matrices(size):
+    return st.lists(
+        st.lists(entries, min_size=size, max_size=size), min_size=size, max_size=size
+    ).map(MaxPlusMatrix)
+
+
+def vectors(size):
+    return st.lists(entries, min_size=size, max_size=size).map(MaxPlusVector)
+
+
+class TestVector:
+    def test_unit_vector(self):
+        v = MaxPlusVector.unit(3, 1)
+        assert v.entries == (EPSILON, 0, EPSILON)
+
+    def test_unit_vector_out_of_range(self):
+        with pytest.raises(IndexError):
+            MaxPlusVector.unit(3, 3)
+
+    def test_zeros_and_epsilons(self):
+        assert MaxPlusVector.zeros(2).entries == (0, 0)
+        assert MaxPlusVector.epsilons(2).entries == (EPSILON, EPSILON)
+
+    def test_max_with(self):
+        a = MaxPlusVector([1, EPSILON, 5])
+        b = MaxPlusVector([0, 2, 7])
+        assert a.max_with(b).entries == (1, 2, 7)
+
+    def test_max_with_size_mismatch(self):
+        with pytest.raises(ValueError):
+            MaxPlusVector([1]).max_with(MaxPlusVector([1, 2]))
+
+    def test_add_scalar_skips_epsilon(self):
+        v = MaxPlusVector([1, EPSILON]).add_scalar(3)
+        assert v.entries == (4, EPSILON)
+
+    def test_norm_and_normalised(self):
+        v = MaxPlusVector([2, 5, EPSILON])
+        assert v.norm() == 5
+        assert v.normalised().entries == (-3, 0, EPSILON)
+
+    def test_norm_of_epsilon_vector(self):
+        v = MaxPlusVector.epsilons(3)
+        assert v.norm() == EPSILON
+        assert v.normalised() == v
+
+    def test_inner_product(self):
+        a = MaxPlusVector([1, 2])
+        b = MaxPlusVector([10, 0])
+        assert a.inner(b) == 11
+
+    def test_hashable_and_equal(self):
+        assert MaxPlusVector([1, 2]) == MaxPlusVector([1, 2])
+        assert hash(MaxPlusVector([1, 2])) == hash(MaxPlusVector([1, 2]))
+        assert MaxPlusVector([1, 2]) != MaxPlusVector([2, 1])
+
+
+class TestMatrixBasics:
+    def test_identity_acts_trivially(self):
+        m = MaxPlusMatrix.identity(3)
+        v = MaxPlusVector([1, EPSILON, -4])
+        assert m.apply(v) == v
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            MaxPlusMatrix([[1, 2], [3]])
+
+    def test_apply_known(self):
+        m = MaxPlusMatrix([[0, 2], [EPSILON, 1]])
+        v = MaxPlusVector([5, 3])
+        # row 0: max(0+5, 2+3) = 5; row 1: max(ε, 1+3) = 4
+        assert m.apply(v).entries == (5, 4)
+
+    def test_apply_size_mismatch(self):
+        with pytest.raises(ValueError):
+            MaxPlusMatrix.identity(2).apply(MaxPlusVector([1, 2, 3]))
+
+    def test_from_columns_orientation(self):
+        c0 = MaxPlusVector([1, 2])
+        c1 = MaxPlusVector([3, 4])
+        m = MaxPlusMatrix.from_columns([c0, c1])
+        assert m.column(0) == c0
+        assert m.column(1) == c1
+        assert m[0, 1] == 3
+
+    def test_transpose(self):
+        m = MaxPlusMatrix([[1, 2], [3, 4]])
+        assert m.transpose().rows == ((1, 3), (2, 4))
+
+    def test_finite_entry_count(self):
+        m = MaxPlusMatrix([[1, EPSILON], [EPSILON, EPSILON]])
+        assert m.finite_entry_count() == 1
+
+    def test_pretty_renders_epsilon_as_dot(self):
+        m = MaxPlusMatrix([[1, EPSILON]])
+        assert "." in m.pretty() and "1" in m.pretty()
+
+
+class TestMatrixAlgebra:
+    @given(m=matrices(3), v=vectors(3))
+    @settings(max_examples=50)
+    def test_identity_multiplication(self, m, v):
+        i = MaxPlusMatrix.identity(3)
+        assert i.multiply(m) == m
+        assert m.multiply(i) == m
+        assert i.apply(v) == v
+
+    @given(a=matrices(3), b=matrices(3), v=vectors(3))
+    @settings(max_examples=50)
+    def test_multiply_apply_compose(self, a, b, v):
+        # (A ⊗ B) ⊗ v == A ⊗ (B ⊗ v)
+        assert a.multiply(b).apply(v) == a.apply(b.apply(v))
+
+    @given(a=matrices(2), b=matrices(2), c=matrices(2))
+    @settings(max_examples=50)
+    def test_multiply_associative(self, a, b, c):
+        assert a.multiply(b).multiply(c) == a.multiply(b.multiply(c))
+
+    @given(m=matrices(3))
+    @settings(max_examples=30)
+    def test_power_addition_law(self, m):
+        assert m.power(2).multiply(m.power(3)) == m.power(5)
+
+    @given(m=matrices(3))
+    @settings(max_examples=30)
+    def test_power_zero_is_identity(self, m):
+        assert m.power(0) == MaxPlusMatrix.identity(3)
+
+    def test_power_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MaxPlusMatrix.identity(2).power(-1)
+
+    def test_power_requires_square(self):
+        with pytest.raises(ValueError):
+            MaxPlusMatrix([[1, 2]]).power(2)
+
+    @given(a=matrices(3), b=matrices(3))
+    @settings(max_examples=50)
+    def test_max_with_commutes(self, a, b):
+        assert a.max_with(b) == b.max_with(a)
+
+
+class TestKleeneStar:
+    def test_star_of_strictly_negative(self):
+        m = MaxPlusMatrix([[EPSILON, -1], [-2, EPSILON]])
+        star = m.star()
+        # Longest paths: diagonal 0; off-diagonal the single edges.
+        assert star[0, 0] == 0 and star[1, 1] == 0
+        assert star[0, 1] == -1 and star[1, 0] == -2
+
+    def test_star_diverges_on_positive_cycle(self):
+        m = MaxPlusMatrix([[EPSILON, 1], [1, EPSILON]])
+        with pytest.raises(ValueError):
+            m.star()
+
+    def test_star_zero_cycle_converges(self):
+        m = MaxPlusMatrix([[EPSILON, 0], [0, EPSILON]])
+        star = m.star()
+        assert star[0, 1] == 0 and star[1, 0] == 0
+
+    def test_star_transitive_path(self):
+        m = MaxPlusMatrix(
+            [
+                [EPSILON, EPSILON, EPSILON],
+                [-1, EPSILON, EPSILON],
+                [EPSILON, -2, EPSILON],
+            ]
+        )
+        # path 0 -> 1 -> 2 of weight -3 (edges j -> i for entry [i][j])
+        assert m.star()[2, 0] == -3

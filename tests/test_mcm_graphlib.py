@@ -1,0 +1,141 @@
+"""Unit tests for the cycle-ratio graph container."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.mcm.graphlib import (
+    CycleRatioResult,
+    RatioGraph,
+    ZeroTransitCycleError,
+    cycle_ratio,
+)
+
+
+def ring(weights, transits):
+    g = RatioGraph()
+    n = len(weights)
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, weights[i], transits[i])
+    return g
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = ring([1, 2, 3], [1, 0, 0])
+        assert g.node_count() == 3
+        assert g.edge_count() == 3
+
+    def test_negative_transit_rejected(self):
+        g = RatioGraph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", 1, -1)
+
+    def test_multi_edges_allowed(self):
+        g = RatioGraph()
+        g.add_edge("a", "b", 1, 0)
+        g.add_edge("a", "b", 2, 1)
+        assert g.edge_count() == 2
+        assert len(g.out_edges("a")) == 2
+
+    def test_contains(self):
+        g = ring([1], [1])
+        assert 0 in g and 99 not in g
+
+
+class TestStructure:
+    def test_scc_of_ring_is_whole(self):
+        g = ring([1, 1, 1, 1], [1, 0, 0, 0])
+        sccs = g.strongly_connected_components()
+        assert len(sccs) == 1 and len(sccs[0]) == 4
+
+    def test_scc_of_dag(self):
+        g = RatioGraph()
+        g.add_edge("a", "b", 1, 0)
+        g.add_edge("b", "c", 1, 0)
+        assert len(g.strongly_connected_components()) == 3
+        assert g.nontrivial_sccs() == []
+
+    def test_self_loop_is_nontrivial_scc(self):
+        g = RatioGraph()
+        g.add_edge("a", "a", 1, 1)
+        g.add_node("b")
+        nontrivial = g.nontrivial_sccs()
+        assert len(nontrivial) == 1
+        assert nontrivial[0].nodes == ["a"]
+
+    def test_two_separate_cycles(self):
+        g = RatioGraph()
+        g.add_edge("a", "b", 1, 1)
+        g.add_edge("b", "a", 1, 0)
+        g.add_edge("c", "d", 1, 1)
+        g.add_edge("d", "c", 1, 0)
+        g.add_edge("b", "c", 1, 0)  # bridge
+        assert len(g.nontrivial_sccs()) == 2
+
+    def test_subgraph_keeps_internal_edges_only(self):
+        g = RatioGraph()
+        g.add_edge("a", "b", 1, 0)
+        g.add_edge("b", "c", 2, 0)
+        sub = g.subgraph(["a", "b"])
+        assert sub.node_count() == 2
+        assert sub.edge_count() == 1
+
+
+class TestCycles:
+    def test_find_any_cycle_on_acyclic(self):
+        g = RatioGraph()
+        g.add_edge("a", "b", 1, 0)
+        assert g.find_any_cycle() is None
+        assert not g.has_cycle()
+
+    def test_find_any_cycle_returns_closed_walk(self):
+        g = ring([1, 2, 3], [1, 0, 0])
+        cycle = g.find_any_cycle()
+        assert cycle is not None
+        for e, nxt in zip(cycle, cycle[1:] + cycle[:1]):
+            assert e.target == nxt.source
+
+    def test_zero_transit_cycle_detected(self):
+        g = ring([1, 1, 1], [0, 0, 0])
+        cycle = g.find_zero_transit_cycle()
+        assert cycle is not None
+        assert sum(e.transit for e in cycle) == 0
+
+    def test_zero_transit_cycle_absent_when_tokens_on_every_cycle(self):
+        g = ring([1, 1, 1], [1, 0, 0])
+        assert g.find_zero_transit_cycle() is None
+
+    def test_zero_transit_ignores_tokened_edges(self):
+        # A cycle exists but always crosses a transit-1 edge.
+        g = RatioGraph()
+        g.add_edge("a", "b", 1, 0)
+        g.add_edge("b", "c", 1, 0)
+        g.add_edge("c", "a", 1, 1)
+        g.add_edge("b", "d", 1, 0)
+        assert g.find_zero_transit_cycle() is None
+
+    def test_cycle_ratio_helper(self):
+        g = ring([3, 5], [1, 1])
+        assert cycle_ratio(g.edges) == Fraction(8, 2)
+
+    def test_cycle_ratio_zero_transit_raises(self):
+        g = ring([3, 5], [0, 0])
+        with pytest.raises(ZeroTransitCycleError):
+            cycle_ratio(g.edges)
+
+
+class TestResult:
+    def test_check_accepts_consistent(self):
+        g = ring([4, 4], [1, 1])
+        CycleRatioResult(Fraction(4), g.edges).check()
+
+    def test_check_rejects_mismatch(self):
+        g = ring([4, 4], [1, 1])
+        with pytest.raises(AssertionError):
+            CycleRatioResult(Fraction(5), g.edges).check()
+
+    def test_acyclic_result(self):
+        r = CycleRatioResult(None)
+        assert r.is_acyclic
+        assert r.cycle_nodes() == []

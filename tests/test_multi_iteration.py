@@ -1,0 +1,57 @@
+"""Multi-iteration symbolic execution: the matrix-power law.
+
+Executing k iterations symbolically must give exactly M^⊗k — the
+property that lets the max-plus semantics compose, and a strong
+whole-pipeline consistency check between the scheduler, the symbolic
+engine and the matrix algebra.
+"""
+
+import random
+
+import pytest
+
+from repro.core.symbolic import symbolic_iteration
+from repro.graphs.examples import figure3_graph, section41_example
+from repro.graphs.random_sdf import random_consistent_sdf
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.schedule import sequential_schedule
+
+
+def multi_iteration_matrix(graph, k):
+    gamma = repetition_vector(graph)
+    schedule = sequential_schedule(
+        graph, repetitions={a: k * v for a, v in gamma.items()}
+    )
+    return symbolic_iteration(graph, schedule=schedule).matrix
+
+
+class TestMatrixPowerLaw:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_figure3(self, k):
+        g = figure3_graph()
+        single = symbolic_iteration(g).matrix
+        assert multi_iteration_matrix(g, k) == single.power(k)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_section41(self, k):
+        g = section41_example()
+        single = symbolic_iteration(g).matrix
+        assert multi_iteration_matrix(g, k) == single.power(k)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        g = random_consistent_sdf(rng, n_actors=4, extra_edges=2, max_repetition=3)
+        k = rng.randint(2, 4)
+        single = symbolic_iteration(g).matrix
+        assert multi_iteration_matrix(g, k) == single.power(k)
+
+    def test_double_iteration_firing_counts(self):
+        g = figure3_graph()
+        gamma = repetition_vector(g)
+        schedule = sequential_schedule(
+            g, repetitions={a: 2 * v for a, v in gamma.items()}
+        )
+        iteration = symbolic_iteration(g, schedule=schedule)
+        assert max(i for (a, i) in iteration.firing_completions if a == "L") == 3
+        assert max(i for (a, i) in iteration.firing_completions if a == "R") == 1

@@ -1,0 +1,150 @@
+"""Buffer/throughput Pareto exploration."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.pareto import ParetoPoint, explore_buffer_throughput, pareto_frontier
+from repro.analysis.throughput import throughput
+from repro.errors import ValidationError
+from repro.graphs.dsp import sample_rate_converter
+from repro.sdf.graph import SDFGraph
+
+
+def chain(times=(2, 3)):
+    g = SDFGraph("chain")
+    for i, t in enumerate(times):
+        g.add_actor(f"a{i}", t)
+        g.add_edge(f"a{i}", f"a{i}", tokens=1, name=f"self_a{i}")
+    for i in range(len(times) - 1):
+        g.add_edge(f"a{i}", f"a{i + 1}", name=f"ch{i}")
+    return g
+
+
+class TestExploration:
+    def test_reaches_unbounded_target(self):
+        g = chain()
+        points = explore_buffer_throughput(g)
+        assert points[-1].cycle_time == throughput(g).cycle_time
+
+    def test_cycle_times_non_increasing(self):
+        g = chain((2, 5, 3))
+        points = explore_buffer_throughput(g)
+        times = [p.cycle_time for p in points]
+        assert times == sorted(times, reverse=True)
+
+    def test_capacities_grow_monotonically(self):
+        g = chain((1, 4))
+        points = explore_buffer_throughput(g)
+        for earlier, later in zip(points, points[1:]):
+            assert later.total_buffer > earlier.total_buffer
+
+    def test_first_point_is_minimal_live(self):
+        from repro.analysis.buffer import minimal_buffer_sizes
+
+        g = chain()
+        points = explore_buffer_throughput(g)
+        assert points[0].capacities == minimal_buffer_sizes(g)
+
+    def test_budget_stops_exploration(self):
+        g = chain((1, 9))
+        points = explore_buffer_throughput(g, max_total_buffer=2)
+        assert points[-1].total_buffer >= 2 or points[-1].cycle_time == 9
+
+    def test_custom_start(self):
+        g = chain()
+        points = explore_buffer_throughput(g, capacities={"ch0": 5})
+        assert points[0].capacities == {"ch0": 5}
+
+    def test_samplerate_curve(self):
+        g = sample_rate_converter()
+        points = explore_buffer_throughput(g, max_total_buffer=500)
+        assert points[-1].cycle_time == 294
+        assert points[0].cycle_time > points[-1].cycle_time
+
+    def test_unbounded_target_rejected(self):
+        g = SDFGraph()
+        g.add_actor("a", 0)
+        g.add_edge("a", "a", tokens=1)
+        with pytest.raises(ValidationError, match="unbounded"):
+            explore_buffer_throughput(g)
+
+    def test_no_sizable_channels(self):
+        g = SDFGraph()
+        g.add_actor("a", 2)
+        g.add_edge("a", "a", tokens=1)
+        points = explore_buffer_throughput(g)
+        assert len(points) == 1 and points[0].cycle_time == 2
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        points = [
+            ParetoPoint({"x": 1}, Fraction(10)),
+            ParetoPoint({"x": 2}, Fraction(10)),  # dominated: more buffer, same time
+            ParetoPoint({"x": 3}, Fraction(7)),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.total_buffer for p in frontier] == [1, 3]
+
+    def test_frontier_of_real_exploration(self):
+        g = chain((2, 5, 3))
+        points = explore_buffer_throughput(g)
+        frontier = pareto_frontier(points)
+        times = [p.cycle_time for p in frontier]
+        assert times == sorted(times, reverse=True)
+        assert len(set(times)) == len(times)  # strictly improving
+
+    def test_plateau_handled(self):
+        # Two parallel chains from a shared source: both buffers must
+        # grow together before the cycle time improves.
+        g = SDFGraph("fork")
+        for name, t in (("src", 1), ("x", 6), ("y", 6)):
+            g.add_actor(name, t)
+            g.add_edge(name, name, tokens=1, name=f"self_{name}")
+        g.add_edge("src", "x", name="cx")
+        g.add_edge("src", "y", name="cy")
+        points = explore_buffer_throughput(g, max_total_buffer=30)
+        assert points[-1].cycle_time == throughput(g).cycle_time
+
+
+class TestCapacitiesForThroughput:
+    def test_meets_constraint(self):
+        from repro.analysis.pareto import capacities_for_throughput
+        from repro.analysis.buffer import buffer_aware_throughput
+
+        g = chain((2, 5, 3))
+        target = throughput(g).cycle_time
+        capacities = capacities_for_throughput(g, target)
+        assert buffer_aware_throughput(g, capacities).cycle_time <= target
+
+    def test_relaxed_constraint_needs_less_buffer(self):
+        from repro.analysis.pareto import capacities_for_throughput
+
+        g = chain((2, 5, 3))
+        tight = capacities_for_throughput(g, throughput(g).cycle_time)
+        loose = capacities_for_throughput(g, throughput(g).cycle_time * 2)
+        assert sum(loose.values()) <= sum(tight.values())
+
+    def test_locally_minimal(self):
+        from repro.analysis.pareto import capacities_for_throughput
+        from repro.analysis.buffer import buffer_aware_throughput
+        from repro.errors import DeadlockError, ValidationError
+
+        g = chain((1, 4))
+        target = throughput(g).cycle_time
+        capacities = capacities_for_throughput(g, target)
+        for channel in capacities:
+            probe = dict(capacities)
+            probe[channel] -= 1
+            try:
+                assert buffer_aware_throughput(g, probe).cycle_time > target
+            except (DeadlockError, ValidationError):
+                pass  # shrinking deadlocks: also "worse"
+
+    def test_unreachable_constraint_rejected(self):
+        from repro.analysis.pareto import capacities_for_throughput
+
+        g = chain((2, 5, 3))
+        with pytest.raises(ValidationError, match="unreachable"):
+            capacities_for_throughput(g, Fraction(1))

@@ -1,0 +1,101 @@
+"""The random graph generators are correct by construction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.random_sdf import (
+    random_consistent_sdf,
+    random_live_hsdf,
+    random_ratio_graph,
+)
+from repro.sdf.repetition import is_consistent
+from repro.sdf.schedule import is_live
+
+
+class TestRandomSdf:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_consistent_live_token_bound(self, seed):
+        rng = random.Random(seed)
+        g = random_consistent_sdf(
+            rng,
+            n_actors=rng.randint(1, 7),
+            extra_edges=rng.randint(0, 5),
+            max_repetition=rng.randint(1, 5),
+        )
+        assert is_consistent(g)
+        assert is_live(g)
+        assert all(g.in_edges(a) for a in g.actor_names)
+
+    def test_deterministic_given_seed(self):
+        a = random_consistent_sdf(random.Random(42))
+        b = random_consistent_sdf(random.Random(42))
+        assert a.structurally_equal(b)
+
+    def test_single_actor(self):
+        g = random_consistent_sdf(random.Random(1), n_actors=1, extra_edges=3)
+        assert g.actor_count() == 1
+        assert is_live(g)
+
+
+class TestRandomHsdf:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_live_homogeneous_token_bound(self, seed):
+        rng = random.Random(seed)
+        g = random_live_hsdf(
+            rng, n_actors=rng.randint(1, 9), extra_edges=rng.randint(0, 8)
+        )
+        assert g.is_homogeneous()
+        assert is_live(g)
+        assert all(g.has_self_loop(a) for a in g.actor_names)
+
+
+class TestRandomCsdf:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_consistent_live_token_bound(self, seed):
+        from repro.csdf.analysis import is_csdf_consistent, is_csdf_live
+        from repro.graphs.random_sdf import random_live_csdf
+
+        rng = random.Random(seed)
+        g = random_live_csdf(rng, n_actors=rng.randint(1, 5))
+        assert is_csdf_consistent(g)
+        assert is_csdf_live(g)
+        assert all(g.in_edges(a) for a in g.actor_names)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_compact_conversion_equivalence(self, seed):
+        from repro.analysis.throughput import throughput
+        from repro.csdf import csdf_throughput, csdf_to_hsdf
+        from repro.graphs.random_sdf import random_live_csdf
+
+        rng = random.Random(400 + seed)
+        g = random_live_csdf(rng, n_actors=rng.randint(2, 4))
+        conv = csdf_to_hsdf(g)
+        assert conv.within_paper_bounds()
+        assert (
+            throughput(conv.graph, method="hsdf").cycle_time
+            == csdf_throughput(g).cycle_time
+        )
+
+
+class TestRandomRatioGraph:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_no_zero_transit_cycles(self, seed):
+        rng = random.Random(seed)
+        g = random_ratio_graph(
+            rng, n_nodes=rng.randint(1, 8), n_edges=rng.randint(0, 16)
+        )
+        assert g.find_zero_transit_cycle() is None
+
+    def test_negative_weights_opt_in(self):
+        rng = random.Random(3)
+        g = random_ratio_graph(rng, n_edges=40, allow_negative=True)
+        assert any(e.weight < 0 for e in g.edges)
+        g2 = random_ratio_graph(random.Random(3), n_edges=40)
+        assert all(e.weight >= 0 for e in g2.edges)

@@ -1,0 +1,192 @@
+"""Max-plus recurrences, eigenvectors, transient and bottleneck analyses."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.bottleneck import bottleneck
+from repro.analysis.throughput import throughput
+from repro.analysis.transient import transient_analysis
+from repro.core.symbolic import symbolic_iteration
+from repro.errors import ConvergenceError
+from repro.graphs.examples import figure3_graph, section41_example
+from repro.graphs.synthetic import homogeneous_pipeline
+from repro.maxplus.algebra import EPSILON
+from repro.maxplus.matrix import MaxPlusMatrix, MaxPlusVector
+from repro.maxplus.recurrence import Recurrence, eigenvector, solve_recurrence
+
+
+class TestSolveRecurrence:
+    def test_scalar_growth(self):
+        m = MaxPlusMatrix([[3]])
+        rec = solve_recurrence(m)
+        assert rec.rate == 3
+        assert rec.transient == 0 and rec.cyclicity == 1
+        assert rec.state(10) == MaxPlusVector([30])
+
+    def test_cyclicity_two(self):
+        # A pure 2-cycle swaps its phases: cyclicity 2.
+        m = MaxPlusMatrix([[EPSILON, 2], [4, EPSILON]])
+        rec = solve_recurrence(m, MaxPlusVector([0, 1]))
+        assert rec.rate == 3
+        assert rec.cyclicity in (1, 2)
+        # Closed form vs direct iteration, far beyond the prefix.
+        x = MaxPlusVector([0, 1])
+        for _ in range(25):
+            x = m.apply(x)
+        assert rec.state(25) == x
+
+    def test_transient_before_regime(self):
+        # One slow initial entry dominates for a few iterations, then the
+        # eigen-regime takes over.
+        m = MaxPlusMatrix([[1, EPSILON], [0, 5]])
+        rec = solve_recurrence(m, MaxPlusVector([100, 0]))
+        x = MaxPlusVector([100, 0])
+        for _ in range(40):
+            x = m.apply(x)
+        assert rec.state(40) == x
+        assert rec.rate == 5
+
+    def test_closed_form_matches_iteration_randomised(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            size = rng.randint(1, 4)
+            m = MaxPlusMatrix(
+                [rng.randint(0, 9) for _ in range(size)] for _ in range(size)
+            )
+            rec = solve_recurrence(m)
+            x = MaxPlusVector.zeros(size)
+            for k in range(30):
+                assert rec.state(k) == x, k
+                x = m.apply(x)
+
+    def test_reducible_classes_get_their_own_rates(self):
+        # Two independent self-loops at different speeds: the cycle-time
+        # vector separates them (no single λ describes this system).
+        m = MaxPlusMatrix([[1, EPSILON], [EPSILON, 2]])
+        rec = solve_recurrence(m)
+        assert rec.rates == (1, 2)
+        assert rec.rate == 2
+        x = MaxPlusVector.zeros(2)
+        for k in range(20):
+            assert rec.state(k) == x
+            x = m.apply(x)
+
+    def test_downstream_entry_inherits_fastest_influence(self):
+        # Entry 1 is driven by the rate-5 loop it sits on; entry 0 only
+        # by its own rate-1 loop.
+        from repro.maxplus.recurrence import cycle_time_vector
+
+        m = MaxPlusMatrix([[1, EPSILON], [0, 5]])
+        assert cycle_time_vector(m) == (1, 5)
+        # And the other way round: a slow loop fed by a fast one speeds up.
+        m2 = MaxPlusMatrix([[1, 0], [EPSILON, 5]])
+        assert cycle_time_vector(m2) == (5, 5)
+
+    def test_acyclic_entries_rate_zero(self):
+        from repro.maxplus.recurrence import cycle_time_vector
+
+        m = MaxPlusMatrix([[EPSILON, EPSILON], [0, EPSILON]])
+        assert cycle_time_vector(m) == (0, 0)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            solve_recurrence(MaxPlusMatrix([[1, 2]]))
+
+    def test_negative_iteration_index(self):
+        rec = solve_recurrence(MaxPlusMatrix([[1]]))
+        with pytest.raises(ValueError):
+            rec.state(-1)
+
+
+class TestEigenvector:
+    def test_eigenpair_property(self):
+        m = MaxPlusMatrix([[EPSILON, 2], [4, EPSILON]])
+        lam, vector = eigenvector(m)
+        assert lam == 3
+        assert m.apply(vector) == vector.add_scalar(lam)
+
+    def test_on_iteration_matrix(self):
+        m = symbolic_iteration(figure3_graph()).matrix
+        lam, vector = eigenvector(m)
+        assert lam == 7
+        assert m.apply(vector) == vector.add_scalar(lam)
+
+    def test_nilpotent_rejected(self):
+        m = MaxPlusMatrix([[EPSILON, 1], [EPSILON, EPSILON]])
+        with pytest.raises(ValueError):
+            eigenvector(m)
+
+    def test_eigenvector_start_has_no_transient(self):
+        m = symbolic_iteration(section41_example()).matrix
+        lam, vector = eigenvector(m)
+        rec = solve_recurrence(m, vector)
+        assert rec.transient == 0 and rec.cyclicity == 1
+
+
+class TestTransient:
+    def test_steady_gap_is_period(self):
+        g = section41_example()
+        analysis = transient_analysis(g)
+        assert analysis.period == 23
+        gaps = analysis.gaps(10)
+        assert gaps[-1] == 23
+
+    def test_completion_zero_is_initial(self):
+        analysis = transient_analysis(figure3_graph())
+        assert analysis.completion(0) == 0
+
+    def test_closed_form_beyond_horizon(self):
+        analysis = transient_analysis(figure3_graph(), horizon=4)
+        # iteration completions grow by λ = 7 in the regime.
+        far = analysis.completion(1000)
+        farther = analysis.completion(1001)
+        assert farther - far == 7
+
+    def test_pipeline_has_startup_transient(self):
+        # A deep pipeline with ample feedback tokens starts faster than
+        # its steady period while it fills.
+        g = homogeneous_pipeline(4, execution_times=[1, 1, 1, 4], tokens=4)
+        analysis = transient_analysis(g)
+        gaps = analysis.gaps(8)
+        assert gaps[-1] == analysis.period
+        assert min(gaps) <= analysis.period
+
+
+class TestBottleneck:
+    def test_identifies_dominant_self_loop(self):
+        g = homogeneous_pipeline(3, execution_times=[1, 9, 1], tokens=5)
+        report = bottleneck(g)
+        assert report.cycle_time == 9
+        assert report.channels == ("self_P2",)
+        assert "P2" in report.actors
+        assert "period 9" in report.describe()
+
+    def test_figure1_critical_tokens(self):
+        report = bottleneck(section41_example())
+        assert report.cycle_time == 23
+        # The only token sits on the A6→A1 back edge: it must be critical.
+        assert len(report.tokens) == 1
+        assert report.actors == ("A6", "A1")
+
+    def test_slack_estimate(self):
+        g = homogeneous_pipeline(2, execution_times=[4, 4], tokens=1)
+        report = bottleneck(g)
+        assert report.cycle_time == 8
+        assert report.slack_per_token == Fraction(8 * 1, 2)
+
+    def test_unbounded_report(self):
+        from repro.sdf.graph import SDFGraph
+
+        g = SDFGraph()
+        g.add_actor("a", 0)
+        g.add_edge("a", "a", tokens=1)
+        report = bottleneck(g)
+        assert report.bounded  # zero-time loop still has a cycle (λ = 0)
+        assert report.cycle_time == 0
+
+    def test_matches_throughput(self):
+        for factory in (figure3_graph, section41_example):
+            g = factory()
+            assert bottleneck(g).cycle_time == throughput(g).cycle_time

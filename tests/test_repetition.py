@@ -1,0 +1,122 @@
+"""Repetition vectors and consistency."""
+
+import pytest
+
+from repro.errors import InconsistentGraphError
+from repro.graphs import TABLE1_CASES
+from repro.graphs.examples import figure3_graph
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import is_consistent, iteration_length, repetition_vector
+
+
+class TestKnownVectors:
+    def test_homogeneous_is_all_ones(self, simple_ring):
+        assert repetition_vector(simple_ring) == {"X": 1, "Y": 1, "Z": 1}
+
+    def test_two_actor_multirate(self, two_actor_multirate):
+        assert repetition_vector(two_actor_multirate) == {"A": 2, "B": 1}
+
+    def test_figure3(self):
+        assert repetition_vector(figure3_graph()) == {"L": 2, "R": 1}
+
+    def test_samplerate_vector(self):
+        from repro.graphs.dsp import sample_rate_converter
+
+        gamma = repetition_vector(sample_rate_converter())
+        assert [gamma[a] for a in ("cd", "s1", "s2", "s3", "s4", "dat")] == [
+            147,
+            147,
+            98,
+            28,
+            32,
+            160,
+        ]
+
+    def test_h263_decoder_vector(self):
+        from repro.graphs.multimedia import h263_decoder
+
+        gamma = repetition_vector(h263_decoder())
+        assert gamma == {"vld": 1, "idct": 594, "mc": 594, "frame": 1}
+
+    @pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name)
+    def test_table1_iteration_lengths_match_paper(self, case):
+        assert iteration_length(case.build()) == case.paper_traditional
+
+
+class TestNormalisation:
+    def test_smallest_integers(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b", production=4, consumption=6)
+        # 4γa = 6γb → smallest (3, 2).
+        assert repetition_vector(g) == {"a": 3, "b": 2}
+
+    def test_chain_of_rate_changes(self):
+        g = SDFGraph()
+        g.add_actors("a", "b", "c")
+        g.add_edge("a", "b", production=2, consumption=3)
+        g.add_edge("b", "c", production=3, consumption=2)
+        assert repetition_vector(g) == {"a": 3, "b": 2, "c": 3}
+
+    def test_components_normalised_independently(self):
+        g = SDFGraph()
+        g.add_actors("a", "b", "c", "d")
+        g.add_edge("a", "b", production=2, consumption=1)
+        g.add_edge("c", "d", production=1, consumption=3)
+        gamma = repetition_vector(g)
+        assert gamma == {"a": 1, "b": 2, "c": 3, "d": 1}
+
+    def test_isolated_actor_gets_one(self):
+        g = SDFGraph()
+        g.add_actor("lonely")
+        assert repetition_vector(g) == {"lonely": 1}
+
+    def test_propagation_against_edge_direction(self):
+        # The solver must also walk backwards over in-edges.
+        g = SDFGraph()
+        g.add_actors("a", "b", "c")
+        g.add_edge("a", "c", production=1, consumption=2)
+        g.add_edge("b", "c", production=3, consumption=1)
+        gamma = repetition_vector(g)
+        assert gamma["a"] == 2 * gamma["c"]
+        assert 3 * gamma["b"] == gamma["c"]
+
+
+class TestInconsistency:
+    def test_simple_inconsistent_loop(self):
+        g = SDFGraph("bad")
+        g.add_actors("a", "b")
+        g.add_edge("a", "b", production=2, consumption=1)
+        g.add_edge("b", "a", production=1, consumption=1)
+        with pytest.raises(InconsistentGraphError) as excinfo:
+            repetition_vector(g)
+        assert excinfo.value.witness_edge is not None
+        assert not is_consistent(g)
+
+    def test_inconsistent_parallel_edges(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b", production=1, consumption=1)
+        g.add_edge("a", "b", production=2, consumption=1)
+        assert not is_consistent(g)
+
+    def test_inconsistent_undirected_cycle(self):
+        # a→c, b→c, a→b with rates that cannot balance.
+        g = SDFGraph()
+        g.add_actors("a", "b", "c")
+        g.add_edge("a", "b", production=1, consumption=1)
+        g.add_edge("a", "c", production=1, consumption=1)
+        g.add_edge("b", "c", production=2, consumption=1)
+        assert not is_consistent(g)
+
+    def test_error_message_names_graph_and_edge(self):
+        g = SDFGraph("mygraph")
+        g.add_actors("a", "b")
+        g.add_edge("a", "b", production=2, consumption=1, name="bad_edge")
+        g.add_edge("b", "a", production=1, consumption=1)
+        with pytest.raises(InconsistentGraphError, match="mygraph"):
+            repetition_vector(g)
+
+    @pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name)
+    def test_all_benchmarks_consistent(self, case):
+        assert is_consistent(case.build())

@@ -1,0 +1,176 @@
+"""FSM-SADF worst-case throughput analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.throughput import throughput
+from repro.errors import ValidationError
+from repro.graphs.synthetic import homogeneous_pipeline
+from repro.scenarios import (
+    Scenario,
+    ScenarioFSM,
+    enumerate_periodic_sequences,
+    sequence_cycle_time,
+    worst_case_cycle_time,
+)
+from repro.sdf.graph import SDFGraph
+
+
+def two_actor_scenario(name: str, t_a, t_b) -> Scenario:
+    """A 2-actor ring whose tokens persist across scenarios.
+
+    The self-loop on ``a`` couples all three tokens every iteration, so
+    the iteration matrix is irreducible and the normalised-vector
+    exploration recurs (see the module docstring of
+    ``repro.scenarios.analysis`` for why decoupled tokens would drift).
+    """
+    g = SDFGraph(name)
+    g.add_actor("a", t_a)
+    g.add_actor("b", t_b)
+    g.add_edge("a", "a", tokens=1, name="self_a")
+    g.add_edge("a", "b", tokens=1, name="ab")
+    g.add_edge("b", "a", tokens=1, name="ba")
+    return Scenario(name, g)
+
+
+@pytest.fixture
+def modes():
+    return {
+        "fast": two_actor_scenario("fast", 1, 1),
+        "slow": two_actor_scenario("slow", 5, 3),
+    }
+
+
+class TestModel:
+    def test_free_choice_fsm(self, modes):
+        fsm = ScenarioFSM.free_choice(["fast", "slow"])
+        fsm.validate(modes)
+        assert set(fsm.scenario_names()) == {"fast", "slow"}
+
+    def test_unknown_scenario_rejected(self, modes):
+        fsm = ScenarioFSM.free_choice(["fast", "ghost"])
+        with pytest.raises(ValidationError, match="unknown"):
+            fsm.validate(modes)
+
+    def test_token_count_mismatch_rejected(self, modes):
+        g = SDFGraph("odd")
+        g.add_actor("a", 1)
+        g.add_edge("a", "a", tokens=5)
+        bad = dict(modes)
+        bad["odd"] = Scenario("odd", g)
+        fsm = ScenarioFSM.free_choice(list(bad))
+        with pytest.raises(ValidationError, match="token count"):
+            fsm.validate(bad)
+
+    def test_dead_end_state_rejected(self, modes):
+        fsm = ScenarioFSM("s0")
+        fsm.add_transition("s0", "fast", "s1")
+        with pytest.raises(ValidationError, match="no outgoing"):
+            fsm.validate(modes)
+
+
+class TestWorstCase:
+    def test_single_scenario_equals_plain_throughput(self, modes):
+        fsm = ScenarioFSM.free_choice(["slow"])
+        result = worst_case_cycle_time(modes, fsm)
+        assert result.cycle_time == throughput(modes["slow"].graph).cycle_time
+
+    def test_free_choice_at_least_each_mode(self, modes):
+        fsm = ScenarioFSM.free_choice(["fast", "slow"])
+        result = worst_case_cycle_time(modes, fsm)
+        for scenario in modes.values():
+            assert result.cycle_time >= throughput(scenario.graph).cycle_time
+
+    def test_witness_is_realisable(self, modes):
+        fsm = ScenarioFSM.free_choice(["fast", "slow"])
+        result = worst_case_cycle_time(modes, fsm)
+        assert result.witness
+        assert sequence_cycle_time(modes, result.witness) == result.cycle_time
+
+    def test_matches_enumeration_oracle(self, modes):
+        fsm = ScenarioFSM.free_choice(["fast", "slow"])
+        result = worst_case_cycle_time(modes, fsm)
+        best = max(
+            sequence_cycle_time(modes, seq)
+            for seq in enumerate_periodic_sequences(fsm, max_length=4)
+        )
+        assert result.cycle_time == best
+
+    def test_forced_alternation_averages(self, modes):
+        # FSM forcing fast/slow alternation: the worst case is the
+        # alternating product, not the slow mode alone.
+        fsm = ScenarioFSM("F")
+        fsm.add_transition("F", "fast", "S")
+        fsm.add_transition("S", "slow", "F")
+        result = worst_case_cycle_time(modes, fsm)
+        assert result.cycle_time == sequence_cycle_time(modes, ["fast", "slow"])
+        assert result.cycle_time < throughput(modes["slow"].graph).cycle_time
+
+    def test_mixing_can_be_worse_than_either_mode(self):
+        # Classic SADF effect: two modes with equal eigenvalues whose
+        # eigenvectors mismatch — alternating them is strictly worse.
+        scenarios = {
+            "left": two_actor_scenario("left", 10, 0),
+            "right": two_actor_scenario("right", 0, 10),
+        }
+        fsm = ScenarioFSM.free_choice(["left", "right"])
+        result = worst_case_cycle_time(scenarios, fsm)
+        each = {
+            name: throughput(s.graph).cycle_time for name, s in scenarios.items()
+        }
+        assert all(result.cycle_time >= value for value in each.values())
+        assert result.cycle_time == 10  # ab and ba tokens both traverse a 10
+
+    def test_throughput_property(self, modes):
+        fsm = ScenarioFSM.free_choice(["fast"])
+        result = worst_case_cycle_time(modes, fsm)
+        assert result.throughput == 1 / result.cycle_time
+
+
+class TestKnownLimitation:
+    def test_decoupling_compositions_are_detected(self):
+        # Without the coupling self-loop, alternating the two modes
+        # composes to a matrix whose tokens drift at different rates; the
+        # normalised vectors never recur and the analysis must say so
+        # rather than loop forever.
+        from repro.errors import ConvergenceError
+
+        def plain_ring(name, t_a, t_b):
+            g = SDFGraph(name)
+            g.add_actor("a", t_a)
+            g.add_actor("b", t_b)
+            g.add_edge("a", "b", tokens=1, name="ab")
+            g.add_edge("b", "a", tokens=1, name="ba")
+            return Scenario(name, g)
+
+        scenarios = {
+            "fast": plain_ring("fast", 1, 1),
+            "slow": plain_ring("slow", 5, 3),
+        }
+        fsm = ScenarioFSM("F")
+        fsm.add_transition("F", "fast", "S")
+        fsm.add_transition("S", "slow", "F")
+        with pytest.raises(ConvergenceError, match="do not recur"):
+            worst_case_cycle_time(scenarios, fsm, max_nodes=500)
+
+
+class TestSequenceTools:
+    def test_sequence_cycle_time_of_repetition(self, modes):
+        assert sequence_cycle_time(modes, ["slow"]) == throughput(
+            modes["slow"].graph
+        ).cycle_time
+        double = sequence_cycle_time(modes, ["slow", "slow"])
+        assert double == sequence_cycle_time(modes, ["slow"])
+
+    def test_empty_sequence_rejected(self, modes):
+        with pytest.raises(ValidationError):
+            sequence_cycle_time(modes, [])
+
+    def test_enumeration_respects_fsm(self, modes):
+        fsm = ScenarioFSM("F")
+        fsm.add_transition("F", "fast", "S")
+        fsm.add_transition("S", "slow", "F")
+        sequences = enumerate_periodic_sequences(fsm, max_length=4)
+        assert ("fast", "slow") in sequences
+        assert ("fast", "fast") not in sequences

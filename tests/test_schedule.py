@@ -1,0 +1,94 @@
+"""Sequential schedules and liveness."""
+
+import pytest
+
+from conftest import replay_schedule
+from repro.errors import DeadlockError
+from repro.graphs import TABLE1_CASES
+from repro.graphs.examples import figure3_graph, section41_example
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.schedule import is_live, sequential_schedule
+
+
+class TestScheduleConstruction:
+    def test_ring_schedule(self, simple_ring):
+        schedule = sequential_schedule(simple_ring)
+        assert schedule == ["Z", "X", "Y"] or replay_schedule(simple_ring, schedule)
+
+    def test_schedule_is_admissible_iteration(self, two_actor_multirate):
+        schedule = sequential_schedule(two_actor_multirate)
+        assert replay_schedule(two_actor_multirate, schedule)
+
+    def test_figure3_three_firings(self):
+        schedule = sequential_schedule(figure3_graph())
+        assert len(schedule) == 3
+        assert schedule.count("L") == 2 and schedule.count("R") == 1
+
+    def test_section41_schedule_length(self):
+        g = section41_example()
+        assert len(sequential_schedule(g)) == g.actor_count()
+
+    @pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name)
+    def test_benchmark_schedules_replay(self, case):
+        g = case.build()
+        assert replay_schedule(g, sequential_schedule(g))
+
+    def test_multi_iteration_schedule(self, two_actor_multirate):
+        gamma = repetition_vector(two_actor_multirate)
+        double = {a: 2 * v for a, v in gamma.items()}
+        schedule = sequential_schedule(two_actor_multirate, repetitions=double)
+        assert len(schedule) == 2 * sum(gamma.values())
+
+    def test_zero_repetitions_supported(self, simple_ring):
+        zero = {a: 0 for a in simple_ring.actor_names}
+        assert sequential_schedule(simple_ring, repetitions=zero) == []
+
+
+class TestDeadlock:
+    def test_tokenless_ring_deadlocks(self):
+        g = SDFGraph("dead")
+        g.add_actors("a", "b")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(DeadlockError) as excinfo:
+            sequential_schedule(g)
+        assert excinfo.value.blocked == {"a": 1, "b": 1}
+        assert not is_live(g)
+
+    def test_partial_deadlock_reports_blocked_only(self):
+        g = SDFGraph()
+        g.add_actors("free", "a", "b")
+        g.add_edge("free", "free", tokens=1)
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(DeadlockError) as excinfo:
+            sequential_schedule(g)
+        assert set(excinfo.value.blocked) == {"a", "b"}
+
+    def test_insufficient_tokens_on_multirate_cycle(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b", production=1, consumption=2, tokens=1)
+        g.add_edge("b", "a", production=2, consumption=1, tokens=0)
+        assert not is_live(g)
+
+    def test_enough_tokens_make_it_live(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b", production=1, consumption=2, tokens=2)
+        g.add_edge("b", "a", production=2, consumption=1, tokens=0)
+        assert is_live(g)
+
+    @pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name)
+    def test_all_benchmarks_live(self, case):
+        assert is_live(case.build())
+
+    def test_liveness_depends_on_token_placement(self):
+        # Same ring, token moved: still live (any single token works).
+        g = SDFGraph()
+        g.add_actors("a", "b", "c")
+        g.add_edge("a", "b", tokens=1)
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        assert is_live(g)

@@ -1,0 +1,209 @@
+"""The SDF graph data structure."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sdf.graph import Actor, Edge, SDFGraph
+
+
+class TestActorAndEdge:
+    def test_actor_requires_name(self):
+        with pytest.raises(ValidationError):
+            Actor("")
+
+    def test_actor_rejects_negative_time(self):
+        with pytest.raises(ValidationError):
+            Actor("a", -1)
+
+    def test_actor_accepts_fraction_time(self):
+        assert Actor("a", Fraction(1, 2)).execution_time == Fraction(1, 2)
+
+    def test_actor_rejects_float_time(self):
+        with pytest.raises(ValidationError):
+            Actor("a", 0.5)
+
+    def test_edge_rejects_zero_rates(self):
+        with pytest.raises(ValidationError):
+            Edge("e", "a", "b", production=0)
+        with pytest.raises(ValidationError):
+            Edge("e", "a", "b", consumption=0)
+
+    def test_edge_rejects_negative_tokens(self):
+        with pytest.raises(ValidationError):
+            Edge("e", "a", "b", tokens=-1)
+
+    def test_edge_rejects_bool_rates(self):
+        with pytest.raises(ValidationError):
+            Edge("e", "a", "b", production=True)
+
+    def test_edge_flags(self):
+        e = Edge("e", "a", "a", 1, 1, 2)
+        assert e.is_self_loop
+        assert e.is_homogeneous
+        assert not Edge("f", "a", "b", 2, 1).is_homogeneous
+
+
+class TestGraphBuilder:
+    def test_duplicate_actor_rejected(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        with pytest.raises(ValidationError):
+            g.add_actor("a")
+
+    def test_edge_requires_existing_endpoints(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        with pytest.raises(ValidationError):
+            g.add_edge("a", "ghost")
+
+    def test_auto_edge_names_unique(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        e1 = g.add_edge("a", "a", tokens=1)
+        e2 = g.add_edge("a", "a", tokens=2)
+        assert e1.name != e2.name
+
+    def test_duplicate_edge_name_rejected(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        g.add_edge("a", "a", tokens=1, name="x")
+        with pytest.raises(ValidationError):
+            g.add_edge("a", "a", tokens=1, name="x")
+
+    def test_auto_names_skip_explicit_ones(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        g.add_edge("a", "a", tokens=1, name="e0")
+        auto = g.add_edge("a", "a", tokens=1)
+        assert auto.name != "e0"
+
+    def test_set_execution_time(self):
+        g = SDFGraph()
+        g.add_actor("a", 1)
+        g.set_execution_time("a", 9)
+        assert g.execution_time("a") == 9
+
+    def test_set_tokens(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        e = g.add_edge("a", "a", tokens=1)
+        g.set_tokens(e.name, 5)
+        assert g.edge(e.name).tokens == 5
+        assert g.total_tokens() == 5
+
+    def test_remove_edge(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        e = g.add_edge("a", "a", tokens=1)
+        g.remove_edge(e.name)
+        assert g.edge_count() == 0
+        assert g.out_edges("a") == []
+        with pytest.raises(ValidationError):
+            g.remove_edge(e.name)
+
+    def test_add_actors_bulk(self):
+        g = SDFGraph()
+        g.add_actors("a", "b", "c", execution_time=2)
+        assert g.actor_count() == 3
+        assert all(a.execution_time == 2 for a in g.actors)
+
+
+class TestInspection:
+    def test_adjacency(self, simple_ring):
+        assert [e.target for e in simple_ring.out_edges("X")] == ["Y"]
+        assert [e.source for e in simple_ring.in_edges("X")] == ["Z"]
+
+    def test_execution_times_view(self, simple_ring):
+        assert simple_ring.execution_times == {"X": 2, "Y": 3, "Z": 4}
+
+    def test_homogeneity(self, simple_ring, two_actor_multirate):
+        assert simple_ring.is_homogeneous()
+        assert not two_actor_multirate.is_homogeneous()
+
+    def test_total_tokens(self, two_actor_multirate):
+        assert two_actor_multirate.total_tokens() == 2
+
+    def test_stats_and_repr(self, simple_ring):
+        assert simple_ring.stats() == {"actors": 3, "edges": 3, "tokens": 1}
+        assert "ring" in repr(simple_ring)
+
+    def test_unknown_actor_errors(self):
+        g = SDFGraph()
+        with pytest.raises(ValidationError):
+            g.actor("nope")
+        with pytest.raises(ValidationError):
+            g.out_edges("nope")
+
+
+class TestStructure:
+    def test_connectivity(self, simple_ring):
+        assert simple_ring.is_connected()
+        assert simple_ring.is_strongly_connected()
+
+    def test_disconnected_components(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        assert not g.is_connected()
+        assert len(g.undirected_components()) == 2
+
+    def test_weakly_but_not_strongly_connected(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b")
+        assert g.is_connected()
+        assert not g.is_strongly_connected()
+        assert len(g.strongly_connected_components()) == 2
+
+    def test_scc_multi_edge_graph(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b")
+        g.add_edge("a", "b", tokens=1)
+        g.add_edge("b", "a")
+        assert g.is_strongly_connected()
+
+
+class TestDerivation:
+    def test_copy_is_deep_for_structure(self, simple_ring):
+        clone = simple_ring.copy()
+        clone.add_actor("W")
+        clone.set_execution_time("X", 99)
+        assert simple_ring.actor_count() == 3
+        assert simple_ring.execution_time("X") == 2
+
+    def test_copy_preserves_structure(self, two_actor_multirate):
+        assert two_actor_multirate.copy().structurally_equal(two_actor_multirate)
+
+    def test_with_self_loops(self, simple_ring):
+        looped = simple_ring.with_self_loops()
+        assert all(looped.has_self_loop(a) for a in looped.actor_names)
+        assert looped.edge_count() == simple_ring.edge_count() + 3
+        # Idempotent: actors that have loops don't get another.
+        assert looped.with_self_loops().edge_count() == looped.edge_count()
+
+    def test_structural_equality_ignores_edge_names(self):
+        a = SDFGraph("a")
+        a.add_actor("x")
+        a.add_edge("x", "x", tokens=1, name="first")
+        b = SDFGraph("b")
+        b.add_actor("x")
+        b.add_edge("x", "x", tokens=1, name="second")
+        assert a.structurally_equal(b)
+
+    def test_structural_inequality_on_tokens(self):
+        a = SDFGraph()
+        a.add_actor("x")
+        a.add_edge("x", "x", tokens=1)
+        b = SDFGraph()
+        b.add_actor("x")
+        b.add_edge("x", "x", tokens=2)
+        assert not a.structurally_equal(b)
+
+    def test_structural_inequality_on_times(self):
+        a = SDFGraph()
+        a.add_actor("x", 1)
+        b = SDFGraph()
+        b.add_actor("x", 2)
+        assert not a.structurally_equal(b)

@@ -1,0 +1,99 @@
+"""Execution-time sensitivity and slack."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.sensitivity import sensitivity, slack
+from repro.analysis.throughput import throughput
+from repro.errors import ValidationError
+from repro.graphs.examples import figure3_graph, section41_example
+from repro.graphs.synthetic import homogeneous_pipeline
+from repro.sdf.graph import SDFGraph
+
+
+class TestSensitivity:
+    def test_dominant_self_loop(self):
+        g = homogeneous_pipeline(3, execution_times=[1, 9, 1], tokens=5)
+        report = sensitivity(g)
+        assert report.cycle_time == 9
+        assert report.derivative["P2"] == 1  # its own 1-token loop
+        assert report.derivative["P1"] == 0
+        assert report.critical_actors() == ["P2"]
+
+    def test_shared_cycle_sensitivity(self, simple_ring):
+        report = sensitivity(simple_ring)
+        # One cycle, one token: every actor contributes 1:1.
+        assert report.derivative == {"X": 1, "Y": 1, "Z": 1}
+
+    def test_two_token_cycle_halves_derivative(self):
+        g = homogeneous_pipeline(2, execution_times=[4, 4], tokens=2)
+        # Big loop: (4+4)/2 = 4 == self-loops 4/1: several critical
+        # cycles; the derivative of the reported one is a subgradient.
+        report = sensitivity(g)
+        assert report.cycle_time == 4
+        assert all(d in (Fraction(1, 2), 0, 1) for d in report.derivative.values())
+
+    def test_multirate_derivative_counts_firings(self):
+        g = figure3_graph()
+        report = sensitivity(g)
+        assert report.cycle_time == 7
+        # Critical cycle: L#0 -> L#1 -> R -> (token) L#0: two L firings,
+        # one R firing, one token.
+        assert report.derivative["L"] == 2
+        assert report.derivative["R"] == 1
+
+    def test_derivative_predicts_small_change(self):
+        g = figure3_graph()
+        report = sensitivity(g)
+        probe = g.copy()
+        probe.set_execution_time("L", g.execution_time("L") + 1)
+        new = throughput(probe).cycle_time
+        assert new == report.cycle_time + report.derivative["L"] * 1
+
+    def test_acyclic_rejected(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b", tokens=1)
+        g.add_edge("b", "a", tokens=1)
+        # This one has a cycle; make a genuinely acyclic one:
+        h = SDFGraph()
+        h.add_actors("a", "b")
+        h.add_edge("a", "b", tokens=1)
+        with pytest.raises(ValidationError):
+            sensitivity(h)
+
+
+class TestSlack:
+    def test_critical_actor_has_zero_slack(self, simple_ring):
+        assert slack(simple_ring, "X") == 0
+
+    def test_noncritical_actor_slack_value(self):
+        g = homogeneous_pipeline(3, execution_times=[1, 9, 1], tokens=5)
+        # P1's self-loop binds at 9: it may slow by exactly 8.
+        assert slack(g, "P1") == 8
+
+    def test_slack_is_tight(self):
+        g = homogeneous_pipeline(3, execution_times=[1, 9, 1], tokens=5)
+        value = slack(g, "P3")
+        base = throughput(g).cycle_time
+        probe = g.copy()
+        probe.set_execution_time("P3", g.execution_time("P3") + value)
+        assert throughput(probe).cycle_time == base
+        probe.set_execution_time("P3", g.execution_time("P3") + value + 1)
+        assert throughput(probe).cycle_time > base
+
+    def test_unknown_actor(self, simple_ring):
+        with pytest.raises(ValidationError):
+            slack(simple_ring, "ghost")
+
+    def test_slack_capped(self):
+        # An actor whose slowdown never matters below the cap.
+        g = SDFGraph()
+        g.add_actor("fast", 1)
+        g.add_actor("slow", 100)
+        g.add_edge("fast", "fast", tokens=1)
+        g.add_edge("slow", "slow", tokens=1)
+        g.add_edge("fast", "slow")
+        value = slack(g, "fast", max_slack=1000)
+        assert value == 99  # may reach the slow loop's 100 exactly

@@ -1,0 +1,139 @@
+"""Self-timed execution engine and state-space throughput."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConvergenceError, DeadlockError, UnboundedThroughputError
+from repro.graphs.examples import section41_example
+from repro.graphs.synthetic import homogeneous_pipeline
+from repro.sdf.graph import SDFGraph
+from repro.sdf.simulation import SelfTimedSimulation, simulation_throughput
+
+
+def self_loop_actor(time=2, tokens=1):
+    g = SDFGraph()
+    g.add_actor("A", time)
+    g.add_edge("A", "A", tokens=tokens)
+    return g
+
+
+class TestEngine:
+    def test_single_actor_fires_periodically(self):
+        sim = SelfTimedSimulation(self_loop_actor(time=3))
+        times = [sim.step() for _ in range(4)]
+        assert times == [3, 6, 9, 12]
+        assert sim.firings["A"] == 4
+
+    def test_auto_concurrency_with_two_tokens(self):
+        sim = SelfTimedSimulation(self_loop_actor(time=3, tokens=2))
+        sim.step()
+        assert sim.firings["A"] == 2  # both firings complete at t=3
+
+    def test_consume_at_start_produce_at_end(self):
+        g = SDFGraph()
+        g.add_actor("A", 5)
+        g.add_actor("B", 1)
+        g.add_edge("A", "A", tokens=1)
+        g.add_edge("A", "B")
+        g.add_edge("B", "B", tokens=1)
+        sim = SelfTimedSimulation(g)
+        sim.step()  # A completes at 5, B starts
+        assert sim.now == 5 and sim.firings == {"A": 1, "B": 0}
+        sim.step()  # B completes at 6 (and A at... A restarted at 5)
+        assert sim.firings["B"] == 1
+
+    def test_trace_records_start_and_end(self):
+        sim = SelfTimedSimulation(self_loop_actor(time=4), record_trace=True)
+        sim.run_for_events(2)
+        assert [(r.actor, r.start, r.end) for r in sim.trace] == [
+            ("A", 0, 4),
+            ("A", 4, 8),
+        ]
+
+    def test_run_until(self):
+        sim = SelfTimedSimulation(self_loop_actor(time=2))
+        sim.run_until(Fraction(7))
+        assert sim.firings["A"] == 3  # completions at 2, 4, 6
+
+    def test_source_actor_rejected(self):
+        g = SDFGraph()
+        g.add_actor("src", 1)
+        g.add_actor("dst", 1)
+        g.add_edge("src", "dst")
+        g.add_edge("dst", "dst", tokens=1)
+        with pytest.raises(UnboundedThroughputError) as excinfo:
+            SelfTimedSimulation(g)
+        assert excinfo.value.actor == "src"
+
+    def test_deadlocked_graph_flags_and_raises(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        sim = SelfTimedSimulation(g)
+        assert sim.is_deadlocked
+        with pytest.raises(DeadlockError):
+            sim.step()
+
+    def test_zero_time_cycle_guarded(self):
+        # A zero-time self-loop fires forever at t=0; throughput analysis
+        # must detect the lack of time progress rather than spin.
+        g = self_loop_actor(time=0)
+        with pytest.raises(ConvergenceError):
+            simulation_throughput(g)
+
+    def test_multirate_consumption(self, two_actor_multirate):
+        sim = SelfTimedSimulation(two_actor_multirate)
+        # Both B→A tokens let A fire twice concurrently (done at 3); B
+        # consumes the pair ([3,4]), refilling A (done at 7); the next B
+        # firing ends at 8, past the deadline.
+        sim.run_until(Fraction(7))
+        assert sim.firings == {"A": 4, "B": 1}
+
+    def test_state_key_periodicity(self):
+        sim = SelfTimedSimulation(self_loop_actor(time=2))
+        first = sim.state_key()
+        sim.step()
+        assert sim.state_key() == first  # same relative state each period
+
+
+class TestThroughput:
+    def test_single_actor_rate(self):
+        measured = simulation_throughput(self_loop_actor(time=4))
+        assert measured.per_actor["A"] == Fraction(1, 4)
+
+    def test_ring_rate(self, simple_ring):
+        measured = simulation_throughput(simple_ring)
+        assert measured.per_actor == {
+            "X": Fraction(1, 9),
+            "Y": Fraction(1, 9),
+            "Z": Fraction(1, 9),
+        }
+
+    def test_multirate_rates_follow_repetition(self, two_actor_multirate):
+        measured = simulation_throughput(two_actor_multirate)
+        assert measured.per_actor["A"] == 2 * measured.per_actor["B"]
+
+    def test_section41_rate_is_one_over_23(self):
+        measured = simulation_throughput(section41_example())
+        assert measured.per_actor["A1"] == Fraction(1, 23)
+
+    def test_pipeline_overlap(self):
+        # Two tokens on the feedback edge: two iterations in flight.
+        g = homogeneous_pipeline(3, execution_times=[4, 4, 4], tokens=2)
+        measured = simulation_throughput(g)
+        assert measured.per_actor["P1"] == Fraction(1, 6)
+
+    def test_deadlock_raises(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(DeadlockError):
+            simulation_throughput(g)
+
+    def test_state_budget_exceeded(self):
+        g = homogeneous_pipeline(4, execution_times=[1, 2, 3, 4])
+        with pytest.raises(ConvergenceError):
+            simulation_throughput(g, max_states=1)

@@ -1,0 +1,167 @@
+"""The user-facing throughput analysis and its three back-ends."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.throughput import ThroughputResult, hsdf_cycle_ratio_graph, throughput
+from repro.errors import (
+    DeadlockError,
+    InconsistentGraphError,
+    UnboundedThroughputError,
+    ValidationError,
+)
+from repro.graphs import TABLE1_CASES
+from repro.graphs.examples import figure3_graph, section41_example
+from repro.graphs.random_sdf import random_consistent_sdf, random_live_hsdf
+from repro.graphs.synthetic import homogeneous_pipeline
+from repro.sdf.graph import SDFGraph
+
+METHODS = ("symbolic", "simulation", "hsdf")
+
+
+class TestMethodsAgree:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_section41(self, method):
+        result = throughput(section41_example(), method=method)
+        assert result.cycle_time == 23
+        assert result.of("A1") == Fraction(1, 23)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_figure3(self, method):
+        result = throughput(figure3_graph(), method=method)
+        assert result.cycle_time == 7
+        assert result.of("L") == Fraction(2, 7)
+        assert result.of("R") == Fraction(1, 7)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_sdf_all_methods(self, seed):
+        rng = random.Random(seed)
+        g = random_consistent_sdf(rng, n_actors=4, extra_edges=2, max_repetition=3)
+        values = {m: throughput(g, method=m).cycle_time for m in METHODS}
+        assert len(set(values.values())) == 1, values
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_hsdf_all_methods(self, seed):
+        rng = random.Random(100 + seed)
+        g = random_live_hsdf(rng, n_actors=5, extra_edges=4, max_time=6)
+        values = {m: throughput(g, method=m).cycle_time for m in METHODS}
+        assert len(set(values.values())) == 1, values
+
+    @pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name)
+    def test_benchmarks_symbolic_equals_simulation_where_feasible(self, case):
+        if case.paper_traditional > 700:
+            pytest.skip("state space too large for the explicit simulator")
+        g = case.build()
+        if not g.is_strongly_connected():
+            pytest.skip("token build-up unbounded: no recurrent state to find")
+        assert (
+            throughput(g, method="symbolic").cycle_time
+            == throughput(g, method="simulation").cycle_time
+        )
+
+
+class TestRates:
+    def test_rates_scale_with_repetition(self, two_actor_multirate):
+        result = throughput(two_actor_multirate)
+        assert result.of("A") == 2 * result.of("B")
+
+    def test_pipeline_closed_form(self):
+        # λ = max(ΣT / tokens, max T, self-loop times).
+        g = homogeneous_pipeline(4, execution_times=[2, 7, 3, 4], tokens=2)
+        assert throughput(g).cycle_time == max(Fraction(16, 2), 7)
+
+    def test_result_of_unknown_actor(self, simple_ring):
+        with pytest.raises(KeyError):
+            throughput(simple_ring).of("nope")
+
+    def test_unknown_method_rejected(self, simple_ring):
+        with pytest.raises(ValueError):
+            throughput(simple_ring, method="magic")
+
+
+class TestDegenerateCases:
+    def test_deadlock_raises(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(DeadlockError):
+            throughput(g)
+
+    def test_inconsistent_raises(self):
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b", production=2, consumption=1)
+        g.add_edge("b", "a", production=1, consumption=1)
+        with pytest.raises(InconsistentGraphError):
+            throughput(g)
+
+    def test_source_actor_raises_symbolic(self):
+        g = SDFGraph()
+        g.add_actors("src", "dst")
+        g.add_edge("src", "dst")
+        g.add_edge("dst", "dst", tokens=1)
+        with pytest.raises(UnboundedThroughputError):
+            throughput(g, method="symbolic")
+
+    def test_unbounded_result_guards_rates(self):
+        result = ThroughputResult(cycle_time=None, repetition={"a": 1}, method="x")
+        assert result.unbounded
+        with pytest.raises(ValidationError):
+            result.per_actor
+
+    def test_zero_time_cycle_reports_unbounded(self):
+        g = SDFGraph()
+        g.add_actor("a", 0)
+        g.add_edge("a", "a", tokens=1)
+        result = throughput(g, method="symbolic")
+        assert result.unbounded
+
+
+class TestGuaranteedVersusMeasured:
+    def test_non_strongly_connected_guarantee_is_conservative(self):
+        # Fast upstream ring feeding a slow downstream ring: the global
+        # guarantee is the slow cycle; simulation of the *upstream* actor
+        # alone would exceed it.  The guaranteed rate must lower-bound
+        # the measured rate of every actor.
+        g = SDFGraph()
+        g.add_actor("fast", 1)
+        g.add_actor("slow", 10)
+        g.add_edge("fast", "fast", tokens=1)
+        g.add_edge("slow", "slow", tokens=1)
+        g.add_edge("fast", "slow")
+        guaranteed = throughput(g, method="symbolic")
+        assert guaranteed.cycle_time == 10
+        from repro.sdf.simulation import SelfTimedSimulation
+
+        sim = SelfTimedSimulation(g)
+        sim.run_until(Fraction(100))
+        for actor in g.actor_names:
+            measured_rate = Fraction(sim.firings[actor], 100)
+            assert measured_rate >= guaranteed.per_actor[actor] * Fraction(9, 10)
+
+
+class TestCycleRatioView:
+    def test_edge_weights_are_source_times(self, simple_ring):
+        ratio = hsdf_cycle_ratio_graph(simple_ring)
+        weights = {(e.source, e.target): e.weight for e in ratio.edges}
+        assert weights[("X", "Y")] == 2
+        assert weights[("Z", "X")] == 4
+
+    def test_rejects_multirate(self, two_actor_multirate):
+        with pytest.raises(ValidationError):
+            hsdf_cycle_ratio_graph(two_actor_multirate)
+
+
+class TestErrorVocabulary:
+    def test_hsdf_method_reports_deadlock_not_zero_transit(self):
+        # All back-ends speak the same error language.
+        g = SDFGraph()
+        g.add_actors("a", "b")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        for method in ("symbolic", "simulation", "hsdf"):
+            with pytest.raises(DeadlockError):
+                throughput(g, method=method)

@@ -1,0 +1,118 @@
+"""N-fold unfolding (Definition 5) and Proposition 2."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.throughput import throughput
+from repro.core.unfolding import phase_name, unfold
+from repro.errors import ValidationError
+from repro.graphs.examples import section41_abstraction, section41_example
+from repro.core.abstraction import abstract_graph
+from repro.sdf.graph import SDFGraph
+
+
+def abstract_fig1():
+    return abstract_graph(section41_example(), section41_abstraction())
+
+
+class TestStructure:
+    def test_actor_multiplication(self, simple_ring):
+        u = unfold(simple_ring, 4)
+        assert u.actor_count() == 12
+        assert u.execution_time(phase_name("X", 3)) == 2
+
+    def test_edge_multiplication(self, simple_ring):
+        u = unfold(simple_ring, 4)
+        assert u.edge_count() == simple_ring.edge_count() * 4
+
+    def test_unfold_by_one_is_isomorphic(self, simple_ring):
+        u = unfold(simple_ring, 1)
+        assert u.actor_count() == simple_ring.actor_count()
+        assert sorted(e.tokens for e in u.edges) == sorted(
+            e.tokens for e in simple_ring.edges
+        )
+
+    def test_invalid_factor(self, simple_ring):
+        with pytest.raises(ValidationError):
+            unfold(simple_ring, 0)
+
+    def test_delay_distribution_small(self):
+        # Single self-loop with d = 1, unfolded 3-fold: a ring through the
+        # phases with the token on the wrap edge.
+        g = SDFGraph()
+        g.add_actor("a", 1)
+        g.add_edge("a", "a", tokens=1)
+        u = unfold(g, 3)
+        delays = {(e.source, e.target): e.tokens for e in u.edges}
+        assert delays == {
+            ("a@0", "a@1"): 0,
+            ("a@1", "a@2"): 0,
+            ("a@2", "a@0"): 1,
+        }
+
+    def test_delay_larger_than_factor(self):
+        # d = 5, N = 3: every phase edge carries d div N = 1 token and the
+        # wrapped ones carry one more.
+        g = SDFGraph()
+        g.add_actor("a", 1)
+        g.add_edge("a", "a", tokens=5)
+        u = unfold(g, 3)
+        delays = sorted(e.tokens for e in u.edges)
+        assert delays == [1, 2, 2]
+
+    def test_delay_multiple_of_factor(self):
+        g = SDFGraph()
+        g.add_actor("a", 1)
+        g.add_edge("a", "a", tokens=4)
+        u = unfold(g, 2)
+        # Phases map to themselves: two self-loops with 2 tokens each.
+        delays = {(e.source, e.target): e.tokens for e in u.edges}
+        assert delays == {("a@0", "a@0"): 2, ("a@1", "a@1"): 2}
+
+    @given(d=st.integers(min_value=0, max_value=20), n=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60)
+    def test_total_tokens_preserved(self, d, n):
+        g = SDFGraph()
+        g.add_actor("a", 1)
+        g.add_edge("a", "a", tokens=d)
+        assert unfold(g, n).total_tokens() == d
+
+
+class TestProposition2:
+    """The unfolding has the same throughput up to the factor N."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_ring_cycle_time_scales(self, simple_ring, n):
+        base = throughput(simple_ring, method="hsdf").cycle_time
+        unfolded = throughput(unfold(simple_ring, n), method="hsdf").cycle_time
+        # One unfolded iteration = N original iterations.
+        assert unfolded == n * base
+
+    @pytest.mark.parametrize("n", [2, 6])
+    def test_abstract_fig1_scaling(self, n):
+        g = abstract_fig1()
+        base = throughput(g, method="hsdf").cycle_time
+        unfolded = throughput(unfold(g, n), method="hsdf").cycle_time
+        assert unfolded == n * base
+
+    def test_per_actor_rate_divides_by_n(self, simple_ring):
+        n = 3
+        base = throughput(simple_ring, method="hsdf")
+        unfolded = throughput(unfold(simple_ring, n), method="hsdf")
+        for actor in simple_ring.actor_names:
+            for phase in range(n):
+                assert (
+                    unfolded.per_actor[phase_name(actor, phase)]
+                    == base.per_actor[actor] / n
+                )
+
+    def test_simulation_agrees_on_unfolding(self):
+        g = abstract_fig1()
+        u = unfold(g, 4)
+        assert (
+            throughput(u, method="simulation").cycle_time
+            == throughput(u, method="hsdf").cycle_time
+        )
