@@ -1,0 +1,111 @@
+"""Cache/batch acceleration baseline: cold vs. warm vs. batched.
+
+Three measurements over real suites, persisted to ``BENCH_cache.json``
+at the repository root so the performance trajectory has a baseline:
+
+* **registry cold** — throughput of every Table-1 registry graph through
+  a fresh :class:`AnalysisCache` (every lookup misses);
+* **registry warm** — the same pass again (every lookup hits; the
+  speedup is the price of an analysis vs. the price of a dict probe);
+* **scalability suite, sequential vs. batch** — a scenario-shaped suite
+  (each scalability graph appears in three structurally identical
+  variants, the shape parametric sweeps produce) analysed by a plain
+  cold loop and by the 4-worker batch runner, whose shared single-flight
+  cache computes each distinct fingerprint once.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.analysis.batch import run_batch
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.throughput import throughput
+from repro.graphs import TABLE1_CASES
+from repro.graphs.synthetic import regular_prefetch
+
+from bench_scalability import multirate_pair
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_cache.json"
+
+
+def scalability_suite():
+    """Scalability graphs, three structurally identical variants each."""
+    bases = [multirate_pair(scale) for scale in (8, 64, 512)]
+    bases += [regular_prefetch(n) for n in (16, 64)]
+    return [g.copy(f"{g.name}-v{i}") for g in bases for i in range(3)]
+
+
+def measure_cache_baseline() -> dict:
+    registry = [case.build() for case in TABLE1_CASES]
+    cache = AnalysisCache()
+
+    start = time.perf_counter()
+    cold_report = run_batch(registry, backend="serial", cache=cache)
+    cold = time.perf_counter() - start
+    assert not cold_report.failures
+
+    start = time.perf_counter()
+    warm_report = run_batch(registry, backend="serial", cache=cache)
+    warm = time.perf_counter() - start
+    assert warm_report.cache_stats.hits == len(registry)
+
+    suite = scalability_suite()
+    start = time.perf_counter()
+    for g in suite:
+        throughput(g)  # cold loop: no cache at all
+    sequential = time.perf_counter() - start
+
+    batch_cache = AnalysisCache()
+    batch_report = run_batch(suite, backend="thread", workers=4, cache=batch_cache)
+    assert not batch_report.failures
+
+    return {
+        "registry": {
+            "graphs": len(registry),
+            "cold_seconds": round(cold, 6),
+            "warm_seconds": round(warm, 6),
+            "warm_speedup": round(cold / warm, 2) if warm else float("inf"),
+        },
+        "scalability_suite": {
+            "jobs": len(suite),
+            "distinct_fingerprints": len({g.fingerprint() for g in suite}),
+            "sequential_cold_seconds": round(sequential, 6),
+            "batch_4workers_seconds": round(batch_report.duration, 6),
+            "batch_speedup": round(sequential / batch_report.duration, 2),
+            "batch_hit_rate": round(batch_report.hit_rate, 4),
+            "backend": batch_report.backend,
+            "workers": batch_report.workers,
+        },
+    }
+
+
+def test_cache_acceleration_baseline(report):
+    data = measure_cache_baseline()
+    registry, suite = data["registry"], data["scalability_suite"]
+    report("Analysis cache: cold vs. warm vs. batched (BENCH_cache.json)")
+    report(f"registry ({registry['graphs']} graphs): "
+           f"cold {registry['cold_seconds']:.4f}s, "
+           f"warm {registry['warm_seconds']:.4f}s "
+           f"({registry['warm_speedup']:.0f}x)")
+    report(f"scalability suite ({suite['jobs']} jobs, "
+           f"{suite['distinct_fingerprints']} distinct): "
+           f"sequential cold {suite['sequential_cold_seconds']:.4f}s, "
+           f"batch x4 {suite['batch_4workers_seconds']:.4f}s "
+           f"({suite['batch_speedup']:.2f}x, "
+           f"hit rate {suite['batch_hit_rate']:.0%})")
+    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+    report(f"written to {BENCH_FILE.name}")
+    report.save("cache_acceleration")
+
+    # Acceptance floors: warm >= 5x cold; batch beats the cold loop.
+    assert registry["warm_speedup"] >= 5.0
+    assert suite["batch_4workers_seconds"] < suite["sequential_cold_seconds"]
+
+
+if __name__ == "__main__":  # standalone: regenerate the JSON baseline
+    baseline = measure_cache_baseline()
+    BENCH_FILE.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(json.dumps(baseline, indent=2))

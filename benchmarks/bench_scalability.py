@@ -12,6 +12,8 @@ Two empirical laws from the paper made visible:
 
 import pytest
 
+from repro.analysis.batch import run_batch
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.throughput import throughput
 from repro.core.hsdf_conversion import convert_to_hsdf
 from repro.graphs.synthetic import homogeneous_pipeline, regular_prefetch
@@ -61,6 +63,32 @@ def test_rate_sweep_leaves_compact_size_unchanged(report):
     # constant while the traditional expansion grows linearly.
     assert len(sizes) == 1
     report.save("scalability_rates")
+
+
+def test_batch_runner_on_scalability_suite(report):
+    """The whole sweep through the 4-worker batch runner: same numbers
+    as the direct calls, one shared cache, per-graph wall times."""
+    suite = [multirate_pair(scale) for scale in (2, 8, 32, 128, 512)]
+    suite += [regular_prefetch(n) for n in (16, 64)]
+    batch = run_batch(
+        suite,
+        analyses=("repetition", "throughput"),
+        backend="thread",
+        workers=4,
+        cache=AnalysisCache(),
+    )
+    assert not batch.failures
+    report("Scalability suite through the batch runner (4 thread workers)")
+    report(f"{'graph':>12} {'sum gamma':>10} {'cycle time':>11} {'time':>9}")
+    for result in batch.results:
+        gamma = sum(result.values["repetition"].values())
+        cycle = result.values["throughput"].cycle_time
+        report(f"{result.name:>12} {gamma:>10} {str(cycle):>11} "
+               f"{result.duration:>8.4f}s")
+    for g, result in zip(suite, batch.results):
+        assert result.values["throughput"].cycle_time == throughput(g).cycle_time
+    report(f"total {batch.duration:.4f}s, cache {batch.cache_stats.size} entries")
+    report.save("scalability_batch")
 
 
 @pytest.mark.parametrize("n", [16, 64, 256])

@@ -7,6 +7,8 @@ against the brute-force periodic-sequence oracle and timed.
 
 import pytest
 
+from repro.analysis.batch import run_batch
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.throughput import throughput
 from repro.scenarios import (
     Scenario,
@@ -80,6 +82,34 @@ def test_matches_enumeration_oracle(report):
     report(f"exploration {result.cycle_time} == oracle (<=8 frames) {oracle}")
     assert result.cycle_time == oracle
     report.save("scenarios_oracle")
+
+
+def test_scenario_suite_through_batch_runner(report):
+    """Per-mode throughput of a scenario sweep via the batch runner.
+
+    A protocol exploration touches each mode's graph once per FSM state;
+    the batch runner's content-addressed cache collapses those repeats
+    to one computation per distinct mode."""
+    sweep = [
+        scenario.graph.copy(f"{scenario.name}@state{state}")
+        for state in range(4)
+        for scenario in SCENARIOS.values()
+    ]
+    batch = run_batch(sweep, backend="thread", workers=4, cache=AnalysisCache())
+    assert not batch.failures
+    stats = batch.cache_stats
+    assert stats.misses == len(SCENARIOS)  # one compute per distinct mode
+    report("Scenario sweep through the batch runner (4 thread workers)")
+    report(f"{len(sweep)} jobs over {len(SCENARIOS)} modes: "
+           f"{stats.misses} computed, {stats.hits + stats.coalesced} served "
+           f"from cache, {batch.duration:.4f}s")
+    for name, scenario in SCENARIOS.items():
+        expected = throughput(scenario.graph).cycle_time
+        for result in batch.results:
+            if result.name.startswith(f"{name}@"):
+                assert result.values["throughput"].cycle_time == expected
+        report(f"  mode {name}: cycle time {expected}")
+    report.save("scenarios_batch")
 
 
 @pytest.mark.parametrize("min_p", [1, 3, 8])

@@ -39,6 +39,8 @@ from repro.analysis.latency import latency
 from repro.analysis.bottleneck import bottleneck
 from repro.analysis.transient import transient_analysis
 from repro.analysis.periodic_schedule import rate_optimal_schedule
+from repro.analysis.cache import AnalysisCache, default_cache
+from repro.analysis.batch import run_batch
 from repro.core.abstraction import Abstraction, abstract_graph
 from repro.core.unfolding import unfold
 from repro.core.conservativity import dominates
@@ -60,6 +62,9 @@ __all__ = [
     "bottleneck",
     "transient_analysis",
     "rate_optimal_schedule",
+    "AnalysisCache",
+    "default_cache",
+    "run_batch",
     "Abstraction",
     "abstract_graph",
     "unfold",

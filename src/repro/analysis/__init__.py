@@ -32,8 +32,23 @@ from repro.analysis.periodic_schedule import (
     rate_optimal_schedule,
     verify_periodic_schedule,
 )
+from repro.analysis.cache import (
+    AnalysisCache,
+    CacheStats,
+    default_cache,
+    set_default_cache,
+)
+from repro.analysis.batch import BatchReport, GraphResult, analyse_graph, run_batch
 
 __all__ = [
+    "AnalysisCache",
+    "CacheStats",
+    "default_cache",
+    "set_default_cache",
+    "BatchReport",
+    "GraphResult",
+    "analyse_graph",
+    "run_batch",
     "ThroughputResult",
     "throughput",
     "hsdf_cycle_ratio_graph",

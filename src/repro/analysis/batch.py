@@ -1,0 +1,217 @@
+"""Concurrent batch analysis of many SDF graphs.
+
+Registry suites, random sweeps and scenario sets all reduce to "analyse
+this list of graphs and collect the numbers".  :func:`run_batch` does
+that through a selectable backend:
+
+``thread`` (default)
+    A ``ThreadPoolExecutor`` sharing one :class:`AnalysisCache`.  Pure
+    Python analyses do not parallelise under the GIL, but the shared
+    cache's single-flight coalescing means a suite with repeated graph
+    variants does each distinct computation exactly once — which is the
+    common shape of scenario/parametric sweeps.
+
+``process``
+    A ``ProcessPoolExecutor``: true multi-core for fleets of distinct
+    heavy graphs.  Graphs are pickled to the workers; results are stored
+    into the local cache on return, so a later warm pass is O(1).
+
+``serial``
+    A plain loop with the same result/reporting shape (baseline and
+    fallback when no executor is available).
+
+Per-graph failures never kill the pool: each :class:`GraphResult`
+carries either a value or the error, and :class:`BatchReport` separates
+the two.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.cache import AnalysisCache, CacheStats, default_cache
+from repro.sdf.graph import SDFGraph
+
+__all__ = ["ANALYSES", "BatchReport", "GraphResult", "analyse_graph", "run_batch"]
+
+#: Analyses the batch runner knows how to dispatch, by name.
+ANALYSES = ("repetition", "throughput", "latency", "symbolic_iteration")
+
+
+@dataclass
+class GraphResult:
+    """Outcome of the analyses of one graph in a batch."""
+
+    name: str
+    fingerprint: str
+    values: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def value(self, analysis: str) -> Any:
+        if not self.ok:
+            raise RuntimeError(f"graph {self.name!r} failed: {self.error}")
+        return self.values[analysis]
+
+
+@dataclass
+class BatchReport:
+    """All per-graph results of one batch run plus cache observability."""
+
+    results: List[GraphResult]
+    backend: str
+    workers: int
+    duration: float
+    cache_stats: CacheStats
+
+    @property
+    def ok(self) -> List[GraphResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failures(self) -> List[GraphResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_stats.hit_rate
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchReport({len(self.ok)} ok, {len(self.failures)} failed, "
+            f"backend={self.backend!r}, workers={self.workers}, "
+            f"{self.duration:.3f}s, hit_rate={self.hit_rate:.2f})"
+        )
+
+
+def _check_analyses(analyses: Sequence[str]) -> Tuple[str, ...]:
+    unknown = [a for a in analyses if a not in ANALYSES]
+    if unknown:
+        raise ValueError(
+            f"unknown analyses {unknown!r}; available: {', '.join(ANALYSES)}"
+        )
+    if not analyses:
+        raise ValueError("no analyses requested")
+    return tuple(analyses)
+
+
+def analyse_graph(
+    graph: SDFGraph,
+    analyses: Sequence[str] = ("throughput",),
+    method: str = "symbolic",
+    cache: Optional[AnalysisCache] = None,
+) -> GraphResult:
+    """Run ``analyses`` on one graph through ``cache`` (errors captured)."""
+    analyses = _check_analyses(analyses)
+    if cache is None:
+        cache = default_cache()
+    result = GraphResult(name=graph.name, fingerprint=graph.fingerprint())
+    start = time.perf_counter()
+    try:
+        for analysis in analyses:
+            if analysis == "repetition":
+                result.values[analysis] = cache.repetition_vector(graph)
+            elif analysis == "throughput":
+                result.values[analysis] = cache.throughput(graph, method=method)
+            elif analysis == "latency":
+                result.values[analysis] = cache.latency(graph)
+            else:  # symbolic_iteration
+                result.values[analysis] = cache.symbolic_iteration(graph)
+    except Exception as error:  # per-graph isolation: the pool survives
+        result.error = str(error)
+        result.error_type = type(error).__name__
+        result.values.clear()
+    result.duration = time.perf_counter() - start
+    return result
+
+
+def _analyse_cold(payload: Tuple[SDFGraph, Tuple[str, ...], str]) -> GraphResult:
+    """Process-pool worker: analyse without a shared cache (module level
+    so it pickles)."""
+    graph, analyses, method = payload
+    return analyse_graph(graph, analyses, method, cache=AnalysisCache(maxsize=8))
+
+
+def _store_back(
+    cache: AnalysisCache, graph: SDFGraph, result: GraphResult, method: str
+) -> None:
+    """Adopt a worker process's results into the local cache."""
+    for analysis, value in result.values.items():
+        params = {"method": method} if analysis == "throughput" else None
+        cache.store(graph, analysis, value, params=params)
+
+
+def run_batch(
+    graphs: Iterable[SDFGraph],
+    analyses: Sequence[str] = ("throughput",),
+    method: str = "symbolic",
+    backend: str = "thread",
+    workers: int = 4,
+    cache: Optional[AnalysisCache] = None,
+) -> BatchReport:
+    """Analyse every graph in ``graphs`` concurrently.
+
+    Results come back in input order regardless of completion order.
+    ``cache_stats`` in the returned report is a snapshot *after* the run
+    of the cache that served it (the shared default cache unless one is
+    passed), so ``report.hit_rate`` reflects the whole cache lifetime;
+    compare snapshots around the call for per-run rates.
+    """
+    graphs = list(graphs)
+    analyses = _check_analyses(analyses)
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers!r}")
+    if cache is None:
+        cache = default_cache()
+
+    start = time.perf_counter()
+    if backend == "serial" or not graphs:
+        results = [analyse_graph(g, analyses, method, cache) for g in graphs]
+    elif backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(
+                pool.map(lambda g: analyse_graph(g, analyses, method, cache), graphs)
+            )
+    elif backend == "process":
+        # Serve what the local cache already has; farm the rest out.
+        results: List[Optional[GraphResult]] = [None] * len(graphs)
+        cold: List[Tuple[int, SDFGraph]] = []
+        for index, graph in enumerate(graphs):
+            if all(
+                cache.key(graph, a, {"method": method} if a == "throughput" else None)
+                in cache
+                for a in analyses
+            ):
+                results[index] = analyse_graph(graph, analyses, method, cache)
+            else:
+                cold.append((index, graph))
+        if cold:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = pool.map(
+                    _analyse_cold, [(g, analyses, method) for _, g in cold]
+                )
+                for (index, graph), outcome in zip(cold, outcomes):
+                    if outcome.ok:
+                        _store_back(cache, graph, outcome, method)
+                    results[index] = outcome
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; use thread, process or serial"
+        )
+    duration = time.perf_counter() - start
+
+    return BatchReport(
+        results=results,
+        backend=backend,
+        workers=workers,
+        duration=duration,
+        cache_stats=cache.stats(),
+    )

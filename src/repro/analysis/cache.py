@@ -1,0 +1,316 @@
+"""Content-addressed memoization of SDF analyses.
+
+Parametric sweeps, scenario analyses and design-space exploration call
+the same exact analyses on the same graphs over and over (hundreds of
+variants differing in a single rate or token count).  This module makes
+repeated analysis O(1): results are keyed on the graph's canonical
+content hash (:meth:`repro.sdf.graph.SDFGraph.fingerprint`) plus the
+analysis name and its parameters, and kept in a bounded LRU store.
+
+Invalidation contract
+---------------------
+A cache entry is *never* invalidated in place — it is addressed by
+content.  Mutating a graph through the builder API changes its
+fingerprint, so the mutated graph simply misses the cache and the stale
+entry ages out of the LRU.  Two structurally identical graphs (same
+actors, execution times and edge multiset, regardless of insertion
+order or display name) share entries; results that enumerate initial
+tokens (``LatencyResult.token_times``) follow the token order of the
+graph that populated the entry, which for equal-fingerprint graphs can
+only permute slots of identically named edges.
+
+Concurrency
+-----------
+All operations are thread-safe.  Concurrent misses on the same key are
+*coalesced* (single-flight): one thread computes, the others wait and
+share the result — this is what lets the batch runner dedupe scenario
+suites full of repeated graphs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from repro.sdf.graph import SDFGraph
+
+__all__ = [
+    "AnalysisCache",
+    "CacheStats",
+    "default_cache",
+    "set_default_cache",
+]
+
+
+@dataclass
+class CacheStats:
+    """Observability counters of one :class:`AnalysisCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    coalesced: int = 0
+    size: int = 0
+    maxsize: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "coalesced": self.coalesced,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class _InFlight:
+    """A computation in progress: waiters block on ``done``."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+def _freeze(params: Optional[Dict[str, Any]]) -> Tuple:
+    """A hashable canonical form of a parameter dict."""
+    if not params:
+        return ()
+    return tuple(sorted(params.items()))
+
+
+class AnalysisCache:
+    """A bounded, thread-safe LRU cache of analysis results.
+
+    Keys are ``(fingerprint, analysis, frozen-params)``; values are
+    whatever the analysis returned.  Use :meth:`get_or_compute` for
+    arbitrary analyses, or the typed conveniences
+    (:meth:`repetition_vector`, :meth:`symbolic_iteration`,
+    :meth:`throughput`, :meth:`latency`) which pair the key with the
+    right library call.
+
+    >>> from repro.graphs.examples import figure3_graph
+    >>> cache = AnalysisCache(maxsize=64)
+    >>> cold = cache.throughput(figure3_graph())
+    >>> warm = cache.throughput(figure3_graph())
+    >>> cold is warm, cache.stats().hits
+    (True, 1)
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize!r}")
+        self.maxsize = maxsize
+        self._store: "OrderedDict[Tuple[str, str, Tuple], Any]" = OrderedDict()
+        self._inflight: Dict[Tuple[str, str, Tuple], _InFlight] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._coalesced = 0
+
+    # ------------------------------------------------------------------
+    # core protocol
+    # ------------------------------------------------------------------
+
+    def key(
+        self,
+        graph: SDFGraph,
+        analysis: str,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[str, str, Tuple]:
+        return (graph.fingerprint(), analysis, _freeze(params))
+
+    def lookup(
+        self,
+        graph: SDFGraph,
+        analysis: str,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Any]:
+        """The cached result, or ``None`` (counts as a hit/miss)."""
+        key = self.key(graph, analysis, params)
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self._hits += 1
+                return self._store[key]
+            self._misses += 1
+            return None
+
+    def store(
+        self,
+        graph: SDFGraph,
+        analysis: str,
+        value: Any,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """Insert a result computed elsewhere (e.g. by a worker process)."""
+        key = self.key(graph, analysis, params)
+        with self._lock:
+            self._insert(key, value)
+        return value
+
+    def _insert(self, key: Tuple[str, str, Tuple], value: Any) -> None:
+        # Caller holds the lock.
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+            self._evictions += 1
+
+    def get_or_compute(
+        self,
+        graph: SDFGraph,
+        analysis: str,
+        compute: Callable[[], Any],
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """The cached result for ``(graph, analysis, params)``, computing
+        it with ``compute()`` on a miss.
+
+        Concurrent misses on one key run ``compute`` exactly once; the
+        other threads wait for it (an exception is re-raised in every
+        waiter and cached in no one — the next lookup retries).
+        """
+        key = self.key(graph, analysis, params)
+        while True:
+            with self._lock:
+                if key in self._store:
+                    self._store.move_to_end(key)
+                    self._hits += 1
+                    return self._store[key]
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    self._misses += 1
+                    leader = True
+                else:
+                    self._coalesced += 1
+                    leader = False
+            if leader:
+                try:
+                    value = compute()
+                except BaseException as error:
+                    with self._lock:
+                        del self._inflight[key]
+                    flight.error = error
+                    flight.done.set()
+                    raise
+                with self._lock:
+                    self._insert(key, value)
+                    del self._inflight[key]
+                flight.value = value
+                flight.done.set()
+                return value
+            flight.done.wait()
+            if flight.error is None:
+                return flight.value
+            # The leader failed; loop and recompute (or fail) ourselves.
+
+    # ------------------------------------------------------------------
+    # typed conveniences
+    # ------------------------------------------------------------------
+
+    def repetition_vector(self, graph: SDFGraph) -> Dict[str, int]:
+        from repro.sdf.repetition import repetition_vector
+
+        value = self.get_or_compute(
+            graph, "repetition", lambda: repetition_vector(graph)
+        )
+        return dict(value)  # defensive copy: callers often scale γ in place
+
+    def symbolic_iteration(self, graph: SDFGraph):
+        from repro.core.symbolic import symbolic_iteration
+
+        return self.get_or_compute(
+            graph, "symbolic_iteration", lambda: symbolic_iteration(graph)
+        )
+
+    def throughput(self, graph: SDFGraph, method: str = "symbolic"):
+        from repro.analysis.throughput import throughput
+
+        return self.get_or_compute(
+            graph,
+            "throughput",
+            lambda: throughput(graph, method=method),
+            params={"method": method},
+        )
+
+    def latency(self, graph: SDFGraph):
+        from repro.analysis.latency import latency
+
+        return self.get_or_compute(graph, "latency", lambda: latency(graph))
+
+    # ------------------------------------------------------------------
+    # observability / management
+    # ------------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                coalesced=self._coalesced,
+                size=len(self._store),
+                maxsize=self.maxsize,
+            )
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._store.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = self._misses = self._evictions = self._coalesced = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key: Tuple[str, str, Tuple]) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"AnalysisCache(size={s.size}/{s.maxsize}, hits={s.hits}, "
+            f"misses={s.misses}, hit_rate={s.hit_rate:.2f})"
+        )
+
+
+_default_cache = AnalysisCache(maxsize=4096)
+_default_lock = threading.Lock()
+
+
+def default_cache() -> AnalysisCache:
+    """The process-wide shared cache (used by the CLI and batch runner
+    when no explicit cache is given)."""
+    return _default_cache
+
+
+def set_default_cache(cache: AnalysisCache) -> AnalysisCache:
+    """Swap the process-wide cache (returns the previous one)."""
+    global _default_cache
+    with _default_lock:
+        previous = _default_cache
+        _default_cache = cache
+    return previous

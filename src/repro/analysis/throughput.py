@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import cached_property
 from typing import Dict, Optional
 
 from repro.errors import ValidationError
@@ -63,9 +64,13 @@ class ThroughputResult:
     def unbounded(self) -> bool:
         return self.cycle_time is None or self.cycle_time == 0
 
-    @property
+    @cached_property
     def per_actor(self) -> Dict[str, Fraction]:
-        """Guaranteed firings per time unit for every actor: γ(a)/λ."""
+        """Guaranteed firings per time unit for every actor: γ(a)/λ.
+
+        Computed once and memoized on the instance (hot paths read it
+        per actor in tight loops); treat the returned dict as read-only.
+        """
         if self.unbounded:
             raise ValidationError(
                 "throughput is unbounded (no recurrent timing constraint); "

@@ -4,6 +4,7 @@ Gives the library's analyses a design-flow-friendly surface::
 
     python -m repro info graph.json
     python -m repro throughput graph.xml --method symbolic
+    python -m repro batch --registry --workers 4 --analysis throughput latency
     python -m repro convert graph.json -o compact.json
     python -m repro convert graph.json --traditional -o expanded.xml
     python -m repro abstract graph.json --strategy name -o abstract.json
@@ -128,6 +129,59 @@ def cmd_latency(args) -> int:
     for actor, value in result.first_completion.items():
         print(f"  first completion({actor}) = {_fmt(value)}")
     return 0
+
+
+def cmd_batch(args) -> int:
+    from repro.analysis.batch import ANALYSES, run_batch
+    from repro.analysis.cache import default_cache
+
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    specs = list(args.graphs)
+    graphs = []
+    if args.registry:
+        for case in TABLE1_CASES:
+            graphs.append(case.build())
+    for spec in specs:
+        graphs.append(load_graph(spec))
+    if not graphs:
+        print("error: no graphs given (pass specs and/or --registry)", file=sys.stderr)
+        return 2
+
+    cache = default_cache()
+    before = cache.stats()
+    report = run_batch(
+        graphs,
+        analyses=tuple(args.analysis),
+        method=args.method,
+        backend=args.backend,
+        workers=args.workers,
+        cache=cache,
+    )
+    after = report.cache_stats
+
+    print(f"{'graph':<26} {'status':<8} {'cycle time':>14} {'time':>9}")
+    for result in report.results:
+        if result.ok:
+            tr = result.values.get("throughput")
+            cycle = "-" if tr is None else (
+                "unbounded" if tr.unbounded else _fmt(tr.cycle_time)
+            )
+            print(f"{result.name:<26} {'ok':<8} {cycle:>14} {result.duration:>8.3f}s")
+        else:
+            print(f"{result.name:<26} {'FAILED':<8} {result.error_type:>14} "
+                  f"{result.duration:>8.3f}s")
+            print(f"  {result.error}")
+    hits = after.hits - before.hits
+    misses = after.misses - before.misses
+    rate = hits / (hits + misses) if hits + misses else 0.0
+    print(f"\n{len(report.ok)}/{len(report.results)} ok in {report.duration:.3f}s "
+          f"({report.backend}, {report.workers} workers)")
+    print(f"cache: {hits} hits / {misses} misses this run "
+          f"(hit rate {rate:.0%}; lifetime {after.hit_rate:.0%}, "
+          f"{after.size}/{after.maxsize} entries)")
+    return 0 if not report.failures else 1
 
 
 def cmd_convert(args) -> int:
@@ -330,6 +384,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=("symbolic", "simulation", "hsdf"),
                    default="symbolic")
     p.set_defaults(func=cmd_throughput)
+
+    p = sub.add_parser("batch", help="analyse many graphs concurrently (cached)")
+    p.add_argument("graphs", nargs="*", metavar="graph",
+                   help="graph files or builtin:<name> specs")
+    p.add_argument("--registry", action="store_true",
+                   help="include all Table-1 registry graphs")
+    p.add_argument("--analysis", nargs="+",
+                   choices=("repetition", "throughput", "latency",
+                            "symbolic_iteration"),
+                   default=["throughput"])
+    p.add_argument("--method", choices=("symbolic", "simulation", "hsdf"),
+                   default="symbolic", help="throughput back-end")
+    p.add_argument("--backend", choices=("thread", "process", "serial"),
+                   default="thread")
+    p.add_argument("--workers", type=int, default=4)
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("latency", help="single-iteration latency")
     p.add_argument("graph")

@@ -14,11 +14,16 @@ removes the redundant ones).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 from numbers import Rational
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ValidationError
+
+#: Version tag baked into every fingerprint so that a change to the
+#: canonical form can never collide with hashes from older releases.
+_FINGERPRINT_VERSION = "sdfg-v1"
 
 
 def _check_execution_time(value):
@@ -99,6 +104,10 @@ class SDFGraph:
         self._out: Dict[str, List[str]] = {}
         self._in: Dict[str, List[str]] = {}
         self._edge_counter = 0
+        self._fingerprint: Optional[str] = None
+
+    def _invalidate_fingerprint(self) -> None:
+        self._fingerprint = None
 
     # ------------------------------------------------------------------
     # construction
@@ -112,6 +121,7 @@ class SDFGraph:
         self._actors[name] = actor
         self._out[name] = []
         self._in[name] = []
+        self._invalidate_fingerprint()
         return actor
 
     def add_actors(self, *names: str, execution_time: Rational = 0) -> None:
@@ -122,6 +132,7 @@ class SDFGraph:
     def set_execution_time(self, actor: str, execution_time: Rational) -> None:
         self._require_actor(actor)
         self._actors[actor] = replace(self._actors[actor], execution_time=execution_time)
+        self._invalidate_fingerprint()
 
     def add_edge(
         self,
@@ -147,6 +158,7 @@ class SDFGraph:
         self._edges[name] = edge
         self._out[source].append(name)
         self._in[target].append(name)
+        self._invalidate_fingerprint()
         return edge
 
     def remove_edge(self, name: str) -> Edge:
@@ -155,6 +167,7 @@ class SDFGraph:
         edge = self._edges.pop(name)
         self._out[edge.source].remove(name)
         self._in[edge.target].remove(name)
+        self._invalidate_fingerprint()
         return edge
 
     def set_tokens(self, edge_name: str, tokens: int) -> Edge:
@@ -164,6 +177,17 @@ class SDFGraph:
             raise ValidationError(f"no edge named {edge_name!r}")
         new = replace(old, tokens=tokens)
         self._edges[edge_name] = new
+        self._invalidate_fingerprint()
+        return new
+
+    def set_rates(self, edge_name: str, production: int, consumption: int) -> Edge:
+        """Replace the production/consumption rates of an edge."""
+        old = self._edges.get(edge_name)
+        if old is None:
+            raise ValidationError(f"no edge named {edge_name!r}")
+        new = replace(old, production=production, consumption=consumption)
+        self._edges[edge_name] = new
+        self._invalidate_fingerprint()
         return new
 
     # ------------------------------------------------------------------
@@ -362,6 +386,33 @@ class SDFGraph:
             for e in other._edges.values()
         )
         return mine == theirs
+
+    def fingerprint(self) -> str:
+        """A canonical content hash of the graph (see `analysis/cache`).
+
+        The fingerprint covers actors (names, execution times) and edges
+        (names, endpoints, rates, initial tokens) in a *sorted* canonical
+        order, so it is invariant under actor/edge insertion order; it
+        deliberately excludes the graph's display ``name`` so renamed
+        copies share cached analyses.  Every builder mutator
+        (:meth:`add_actor`, :meth:`add_edge`, :meth:`remove_edge`,
+        :meth:`set_execution_time`, :meth:`set_tokens`,
+        :meth:`set_rates`) invalidates the memoized value, so repeated
+        calls between mutations are O(1).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(_FINGERPRINT_VERSION.encode())
+            for name in sorted(self._actors):
+                time = self._actors[name].execution_time
+                digest.update(f"|A{name}\x1f{time!s}".encode())
+            for key in sorted(
+                (e.name, e.source, e.target, e.production, e.consumption, e.tokens)
+                for e in self._edges.values()
+            ):
+                digest.update(("|E" + "\x1f".join(str(part) for part in key)).encode())
+            self._fingerprint = f"{_FINGERPRINT_VERSION}:{digest.hexdigest()}"
+        return self._fingerprint
 
     def stats(self) -> Dict[str, int]:
         return {

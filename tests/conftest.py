@@ -2,11 +2,30 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.sdf.graph import SDFGraph
+
+# Hypothesis profiles: "dev" (default) keeps runs quick; "ci" disables
+# the wall-clock deadline (shared runners jitter) and derandomizes so
+# every CI run covers the same example corpus.  Select with
+# HYPOTHESIS_PROFILE=ci (the GitHub Actions workflow does).
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -150,6 +150,59 @@ class TestCommands:
         assert "error:" in capsys.readouterr().err
 
 
+class TestBatchCommand:
+    def test_batch_registry(self, capsys):
+        assert main(["batch", "--registry", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "modem" in out and "satellite" in out
+        assert "8/8 ok" in out
+        assert "cache:" in out and "hit rate" in out
+
+    def test_batch_specs_and_analyses(self, capsys):
+        assert main([
+            "batch", "builtin:figure3", "builtin:modem",
+            "--analysis", "throughput", "latency", "--backend", "serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 ok" in out
+
+    def test_batch_warm_run_hits_cache(self, capsys):
+        assert main(["batch", "builtin:figure3"]) == 0
+        capsys.readouterr()
+        assert main(["batch", "builtin:figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "1 hits / 0 misses" in out
+
+    def test_batch_reports_per_graph_failure(self, capsys, tmp_path):
+        from repro.sdf.io import to_json
+
+        bad = _inconsistent_graph()
+        path = tmp_path / "bad.json"
+        path.write_text(to_json(bad))
+        assert main(["batch", str(path), "builtin:figure3"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "1/2 ok" in out
+
+    def test_batch_without_graphs_errors(self, capsys):
+        assert main(["batch"]) == 2
+        assert "no graphs" in capsys.readouterr().err
+
+    def test_batch_zero_workers_clean_error(self, capsys):
+        assert main(["batch", "builtin:figure3", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+def _inconsistent_graph():
+    from repro.sdf.graph import SDFGraph
+
+    g = SDFGraph("bad")
+    g.add_actor("A", 1)
+    g.add_actor("B", 1)
+    g.add_edge("A", "B", production=2, consumption=3)
+    g.add_edge("B", "A", production=1, consumption=1, tokens=1)
+    return g
+
+
 class TestCsdfCommand:
     @pytest.fixture
     def csdf_file(self, tmp_path):

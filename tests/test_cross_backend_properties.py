@@ -1,0 +1,103 @@
+"""Property suite: back-end agreement and cache coherence.
+
+Two families of properties over hypothesis-generated graphs:
+
+* the three throughput back-ends (``symbolic``, ``simulation``,
+  ``hsdf``) compute the same iteration period on arbitrary consistent
+  live graphs — the reproduction's central cross-check, here quantified
+  over 200+ random graphs;
+* everything served from an :class:`AnalysisCache` is *identical* to a
+  cold computation, including for structurally equal graphs built in a
+  different insertion order (content addressing must not change any
+  analysis outcome).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from strategies import consistent_connected_sdf_graphs, shuffled_clones
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.latency import latency
+from repro.analysis.throughput import throughput
+from repro.sdf.repetition import repetition_vector
+
+thorough = settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+quick = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestBackendAgreement:
+    @given(g=consistent_connected_sdf_graphs(max_actors=4, max_repetition=3,
+                                             min_time=1, max_extra_tokens=2))
+    @thorough
+    def test_all_three_backends_agree(self, g):
+        symbolic = throughput(g, method="symbolic")
+        simulation = throughput(g, method="simulation")
+        hsdf = throughput(g, method="hsdf")
+        assert symbolic.cycle_time == simulation.cycle_time == hsdf.cycle_time
+        assert symbolic.repetition == simulation.repetition == hsdf.repetition
+
+    @given(g=consistent_connected_sdf_graphs(max_actors=5, max_repetition=4,
+                                             min_time=1, max_extra_edges=4))
+    @quick
+    def test_per_actor_rates_agree(self, g):
+        symbolic = throughput(g, method="symbolic")
+        hsdf = throughput(g, method="hsdf")
+        assert symbolic.per_actor == hsdf.per_actor
+
+
+class TestCacheCoherence:
+    @given(g=consistent_connected_sdf_graphs(max_actors=4, max_repetition=3))
+    @quick
+    def test_cached_equals_cold(self, g):
+        cache = AnalysisCache(maxsize=64)
+        cold = throughput(g)
+        warm = cache.throughput(g)
+        again = cache.throughput(g)
+        assert warm.cycle_time == cold.cycle_time
+        assert warm.repetition == cold.repetition
+        if not cold.unbounded:
+            assert warm.per_actor == cold.per_actor
+        assert again is warm  # second lookup is the memoized object
+        assert cache.repetition_vector(g) == repetition_vector(g)
+        assert cache.latency(g).makespan == latency(g).makespan
+        assert cache.latency(g).first_completion == latency(g).first_completion
+
+    @given(g=consistent_connected_sdf_graphs(max_actors=4, max_repetition=3),
+           data=st.data())
+    @quick
+    def test_shuffled_clone_shares_entries(self, g, data):
+        """A clone built in another insertion order has the same
+        fingerprint, hits the same cache entry, and the shared result
+        equals the clone's own cold result."""
+        clone = data.draw(shuffled_clones(g))
+        assert clone.fingerprint() == g.fingerprint()
+        cache = AnalysisCache(maxsize=64)
+        warm = cache.throughput(g)
+        shared = cache.throughput(clone)
+        assert shared is warm
+        assert cache.stats().misses == 1 and cache.stats().hits == 1
+        cold_clone = throughput(clone)
+        assert shared.cycle_time == cold_clone.cycle_time
+        assert shared.repetition == cold_clone.repetition
+
+    @given(g=consistent_connected_sdf_graphs(max_actors=4, max_repetition=3))
+    @quick
+    def test_all_backends_share_no_entries(self, g):
+        """Different methods are distinct cache keys, never conflated."""
+        cache = AnalysisCache(maxsize=64)
+        symbolic = cache.throughput(g, method="symbolic")
+        hsdf = cache.throughput(g, method="hsdf")
+        assert cache.stats().misses == 2
+        assert symbolic.cycle_time == hsdf.cycle_time

@@ -7,6 +7,7 @@ import doctest
 
 import pytest
 
+import repro.analysis.cache
 import repro.maxplus.algebra
 import repro.maxplus.matrix
 import repro.sdf.graph
@@ -17,6 +18,7 @@ MODULES = [
     repro.sdf.simulation,
     repro.maxplus.algebra,
     repro.maxplus.matrix,
+    repro.analysis.cache,
 ]
 
 
