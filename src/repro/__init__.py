@@ -47,6 +47,7 @@ from repro.core.conservativity import dominates
 from repro.core.hsdf_conversion import convert_to_hsdf, sdf_to_maxplus_matrix
 from repro.core.pruning import prune_redundant_edges
 from repro.core.grouping import discover_abstraction
+from repro.lint import Diagnostic, LintReport, ensure_lint_clean, run_lint
 
 __all__ = [
     "Actor",
@@ -73,6 +74,10 @@ __all__ = [
     "sdf_to_maxplus_matrix",
     "prune_redundant_edges",
     "discover_abstraction",
+    "Diagnostic",
+    "LintReport",
+    "run_lint",
+    "ensure_lint_clean",
 ]
 
 __version__ = "1.0.0"

@@ -108,14 +108,26 @@ def analyse_graph(
     analyses: Sequence[str] = ("throughput",),
     method: str = "symbolic",
     cache: Optional[AnalysisCache] = None,
+    lint: Optional[str] = None,
 ) -> GraphResult:
-    """Run ``analyses`` on one graph through ``cache`` (errors captured)."""
+    """Run ``analyses`` on one graph through ``cache`` (errors captured).
+
+    ``lint`` arms the pre-analysis gate: ``"error"`` fails the graph on
+    error-severity lint findings before any analysis runs, ``"warning"``
+    also fails on warnings (``None`` — the default — skips the gate).
+    Lint reports go through the same cache, so the gate is O(1) on
+    repeated graphs.
+    """
     analyses = _check_analyses(analyses)
     if cache is None:
         cache = default_cache()
     result = GraphResult(name=graph.name, fingerprint=graph.fingerprint())
     start = time.perf_counter()
     try:
+        if lint is not None:
+            from repro.lint.engine import ensure_lint_clean
+
+            ensure_lint_clean(graph, cache=cache, fail_on=lint)
         for analysis in analyses:
             if analysis == "repetition":
                 result.values[analysis] = cache.repetition_vector(graph)
@@ -133,11 +145,15 @@ def analyse_graph(
     return result
 
 
-def _analyse_cold(payload: Tuple[SDFGraph, Tuple[str, ...], str]) -> GraphResult:
+def _analyse_cold(
+    payload: Tuple[SDFGraph, Tuple[str, ...], str, Optional[str]]
+) -> GraphResult:
     """Process-pool worker: analyse without a shared cache (module level
     so it pickles)."""
-    graph, analyses, method = payload
-    return analyse_graph(graph, analyses, method, cache=AnalysisCache(maxsize=8))
+    graph, analyses, method, lint = payload
+    return analyse_graph(
+        graph, analyses, method, cache=AnalysisCache(maxsize=8), lint=lint
+    )
 
 
 def _store_back(
@@ -156,6 +172,7 @@ def run_batch(
     backend: str = "thread",
     workers: int = 4,
     cache: Optional[AnalysisCache] = None,
+    lint: Optional[str] = None,
 ) -> BatchReport:
     """Analyse every graph in ``graphs`` concurrently.
 
@@ -164,21 +181,32 @@ def run_batch(
     of the cache that served it (the shared default cache unless one is
     passed), so ``report.hit_rate`` reflects the whole cache lifetime;
     compare snapshots around the call for per-run rates.
+
+    ``lint`` (``None``, ``"error"`` or ``"warning"``) arms the
+    pre-analysis lint gate per graph: a gated graph fails fast with
+    ``error_type == "LintError"`` and never reaches the analyses, while
+    the rest of the batch proceeds normally.
     """
     graphs = list(graphs)
     analyses = _check_analyses(analyses)
     if workers < 1:
         raise ValueError(f"workers must be positive, got {workers!r}")
+    if lint not in (None, "error", "warning"):
+        raise ValueError(
+            f"lint gate must be None, 'error' or 'warning', got {lint!r}"
+        )
     if cache is None:
         cache = default_cache()
 
     start = time.perf_counter()
     if backend == "serial" or not graphs:
-        results = [analyse_graph(g, analyses, method, cache) for g in graphs]
+        results = [analyse_graph(g, analyses, method, cache, lint) for g in graphs]
     elif backend == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
             results = list(
-                pool.map(lambda g: analyse_graph(g, analyses, method, cache), graphs)
+                pool.map(
+                    lambda g: analyse_graph(g, analyses, method, cache, lint), graphs
+                )
             )
     elif backend == "process":
         # Serve what the local cache already has; farm the rest out.
@@ -190,13 +218,13 @@ def run_batch(
                 in cache
                 for a in analyses
             ):
-                results[index] = analyse_graph(graph, analyses, method, cache)
+                results[index] = analyse_graph(graph, analyses, method, cache, lint)
             else:
                 cold.append((index, graph))
         if cold:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 outcomes = pool.map(
-                    _analyse_cold, [(g, analyses, method) for _, g in cold]
+                    _analyse_cold, [(g, analyses, method, lint) for _, g in cold]
                 )
                 for (index, graph), outcome in zip(cold, outcomes):
                     if outcome.ok:

@@ -257,6 +257,17 @@ class AnalysisCache:
 
         return self.get_or_compute(graph, "latency", lambda: latency(graph))
 
+    def lint(self, graph: SDFGraph, config=None):
+        """The cached lint report of ``graph`` (see :mod:`repro.lint`).
+
+        Keyed on the graph fingerprint plus the config digest, so runs
+        with different rule selections or severity overrides do not
+        alias; any builder mutation invalidates via the fingerprint.
+        """
+        from repro.lint.engine import run_lint
+
+        return run_lint(graph, config=config, cache=self)
+
     # ------------------------------------------------------------------
     # observability / management
     # ------------------------------------------------------------------

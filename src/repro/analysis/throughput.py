@@ -111,13 +111,25 @@ def hsdf_cycle_ratio_graph(graph: SDFGraph) -> RatioGraph:
     return ratio
 
 
-def throughput(graph: SDFGraph, method: str = "symbolic") -> ThroughputResult:
+def throughput(
+    graph: SDFGraph, method: str = "symbolic", precheck: bool = False
+) -> ThroughputResult:
     """Compute the exact throughput of ``graph`` (see module docstring).
 
     Raises :class:`DeadlockError` for deadlocked graphs,
     :class:`InconsistentGraphError` for inconsistent ones and
     :class:`UnboundedThroughputError` when an actor has no incoming edges.
+
+    With ``precheck=True`` the graph is first run through the lint
+    engine (:func:`repro.lint.ensure_lint_clean`) and any error-severity
+    finding raises :class:`repro.errors.LintError` *before* analysis
+    work starts — a complete structured diagnosis instead of the first
+    exception an algorithm happens to trip over.
     """
+    if precheck:
+        from repro.lint.engine import ensure_lint_clean
+
+        ensure_lint_clean(graph)
     gamma = repetition_vector(graph)
     if method == "symbolic":
         iteration = symbolic_iteration(graph)

@@ -11,7 +11,7 @@ Gives the library's analyses a design-flow-friendly surface::
     python -m repro bottleneck graph.json
     python -m repro schedule graph.json
     python -m repro gantt builtin:figure1 --horizon 46
-    python -m repro lint graph.json
+    python -m repro lint graph.json --format sarif --fail-on error
     python -m repro csdf csdf-graph.json
     python -m repro dot builtin:modem -o modem.dot
     python -m repro table1
@@ -112,7 +112,7 @@ def cmd_info(args) -> int:
 
 def cmd_throughput(args) -> int:
     g = load_graph(args.graph)
-    result = throughput(g, method=args.method)
+    result = throughput(g, method=args.method, precheck=args.lint)
     if result.unbounded:
         print("throughput: unbounded (no recurrent timing constraint)")
         return 0
@@ -158,6 +158,7 @@ def cmd_batch(args) -> int:
         backend=args.backend,
         workers=args.workers,
         cache=cache,
+        lint=args.lint,
     )
     after = report.cache_stats
 
@@ -321,12 +322,78 @@ def cmd_map(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.sdf.validation import validate_graph
+    from repro.analysis.cache import default_cache
+    from repro.lint import (
+        lint_csdf,
+        load_baseline,
+        load_config,
+        render_json,
+        render_sarif,
+        render_text,
+        rule_codes,
+        run_lint,
+        write_baseline,
+    )
 
-    g = load_graph(args.graph)
-    report = validate_graph(g)
-    print(report)
-    return 0 if report.ok else 1
+    def split_codes(raw):
+        if not raw:
+            return ()
+        codes = tuple(code.strip() for code in raw.split(",") if code.strip())
+        unknown = [code for code in codes if code not in rule_codes()]
+        if unknown:
+            print(
+                f"error: unknown rule code(s) {', '.join(unknown)}; "
+                f"registered: {', '.join(rule_codes())}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return codes
+
+    config = load_config(args.config).merged(
+        select=split_codes(args.select),
+        ignore=split_codes(args.ignore),
+        baseline=args.baseline,
+    )
+
+    if args.csdf:
+        reports = [lint_csdf(load_csdf(spec), config=config) for spec in args.graphs]
+    else:
+        graphs = []
+        if args.registry:
+            graphs += [case.build() for case in TABLE1_CASES]
+        graphs += [load_graph(spec) for spec in args.graphs]
+        cache = default_cache()
+        reports = [run_lint(g, config=config, cache=cache) for g in graphs]
+    if not reports:
+        print("error: no graphs given (pass specs and/or --registry)", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, reports)
+        print(
+            f"baseline written to {args.write_baseline} ({count} finding(s))",
+            file=sys.stderr,
+        )
+    if config.baseline:
+        reports = [r.without_fingerprints(load_baseline(config.baseline)) for r in reports]
+
+    render = {"text": render_text, "json": render_json, "sarif": render_sarif}
+    text = render[args.format](reports)
+    if args.output:
+        pathlib.Path(args.output).write_text(text + "\n")
+        print(f"written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    if args.fail_on == "never":
+        return 0
+    if errors:
+        return 2
+    if warnings and args.fail_on == "warning":
+        return 1
+    return 0
 
 
 def cmd_gantt(args) -> int:
@@ -383,6 +450,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.add_argument("--method", choices=("symbolic", "simulation", "hsdf"),
                    default="symbolic")
+    p.add_argument("--lint", action="store_true",
+                   help="lint first; refuse graphs with error findings")
     p.set_defaults(func=cmd_throughput)
 
     p = sub.add_parser("batch", help="analyse many graphs concurrently (cached)")
@@ -399,6 +468,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("thread", "process", "serial"),
                    default="thread")
     p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--lint", choices=("error", "warning"), default=None,
+                   help="pre-analysis lint gate: fail graphs with findings "
+                        "at this severity before analysing them")
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("latency", help="single-iteration latency")
@@ -436,8 +508,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the compact HSDF equivalent (.json/.xml/.dot)")
     p.set_defaults(func=cmd_csdf)
 
-    p = sub.add_parser("lint", help="semantic validation report")
-    p.add_argument("graph")
+    p = sub.add_parser(
+        "lint", help="static analysis: structured diagnostics (text/json/sarif)"
+    )
+    p.add_argument("graphs", nargs="*", metavar="graph",
+                   help="graph files or builtin:<name> specs")
+    p.add_argument("--registry", action="store_true",
+                   help="also lint every Table-1 registry graph")
+    p.add_argument("--csdf", action="store_true",
+                   help="treat the inputs as CSDF JSON graphs")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="output format (default text)")
+    p.add_argument("--fail-on", dest="fail_on",
+                   choices=("error", "warning", "never"), default="error",
+                   help="exit 2 on errors; 'warning' also exits 1 on "
+                        "warnings-only; 'never' always exits 0")
+    p.add_argument("--select", metavar="CODES",
+                   help="comma-separated rule codes to run (default: all)")
+    p.add_argument("--ignore", metavar="CODES",
+                   help="comma-separated rule codes to suppress")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="subtract the accepted findings in this baseline file")
+    p.add_argument("--write-baseline", dest="write_baseline", metavar="FILE",
+                   help="write the current findings as a new baseline")
+    p.add_argument("--config", metavar="FILE",
+                   help="lint config (default: ./.reprolint.json when present)")
+    p.add_argument("-o", "--output", help="write the report to a file")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("gantt", help="ASCII Gantt chart of self-timed execution")

@@ -138,6 +138,18 @@ def abstract_graph(
             "presents the construction for HSDF); pass allow_multirate=True "
             "to apply the same formulas to a multirate graph"
         )
+    # Pre-application lint gate: the Definition 3/4 preconditions as
+    # structured diagnostics (code "abstraction-unsafe-group"), so a
+    # refusal carries machine-readable evidence, not just prose.
+    from repro.lint.rules import check_abstraction_safety
+
+    diagnostics = check_abstraction_safety(graph, abstraction)
+    if diagnostics:
+        error = NotAbstractableError(
+            "; ".join(f"[{d.code}] {d.message}" for d in diagnostics)
+        )
+        error.diagnostics = diagnostics
+        raise error
     abstraction.validate(graph)
     n = abstraction.phase_count
 

@@ -59,6 +59,18 @@ class ConvergenceError(ReproError, RuntimeError):
     """An iterative analysis exceeded its step budget without converging."""
 
 
+class LintError(ReproError, ValueError):
+    """A model failed a pre-analysis lint gate.
+
+    ``report`` is the full :class:`repro.lint.LintReport`, so callers can
+    render every finding instead of just the summary message.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class NotAbstractableError(ReproError, ValueError):
     """A proposed actor grouping violates the abstraction conditions of
     Definition 3 of the paper (equal repetition entries, injective indices

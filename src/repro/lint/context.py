@@ -1,0 +1,193 @@
+"""Shared, memoized analysis context for one lint pass.
+
+Several rules need the same derived analyses — the repetition vector,
+a sequential schedule, strongly connected components.  The context
+computes each at most once per pass and remembers negative outcomes
+(inconsistency, deadlock) as facts rather than exceptions, so the whole
+pass stays near-linear and rules can run *independently*: a rule that
+does not require consistency still runs on an inconsistent graph.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Any, Dict, List, Optional
+
+from repro.errors import DeadlockError, InconsistentGraphError
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import get_rule
+
+
+class BaseLintContext:
+    """Option store + diagnostic factory shared by all model kinds."""
+
+    #: Which :data:`repro.lint.registry.MODELS` kind this context lints.
+    model = "sdf"
+
+    def __init__(self, options: Optional[Dict[str, Any]] = None):
+        self.options = dict(options or {})
+
+    def diag(
+        self,
+        code: str,
+        message: str,
+        *,
+        severity: Optional[str] = None,
+        actors=(),
+        edges=(),
+        data: Optional[Dict[str, Any]] = None,
+        fix: Optional[str] = None,
+    ) -> Diagnostic:
+        """A diagnostic for ``code``, category and default severity
+        filled in from the rule's registered metadata."""
+        meta = get_rule(code).meta
+        return Diagnostic(
+            code=code,
+            severity=severity or meta.default_severity,
+            message=message,
+            category=meta.category,
+            actors=tuple(actors),
+            edges=tuple(edges),
+            data=data or {},
+            fix=fix,
+        )
+
+    def satisfies(self, requirement: str) -> bool:
+        """Whether a rule precondition holds (see ``RuleMeta.requires``)."""
+        if requirement == "consistent":
+            return getattr(self, "gamma", None) is not None
+        raise ValueError(f"unknown rule requirement {requirement!r}")
+
+
+class LintContext(BaseLintContext):
+    """Memoized analyses of one SDF graph."""
+
+    model = "sdf"
+
+    def __init__(self, graph, options: Optional[Dict[str, Any]] = None):
+        super().__init__(options)
+        self.graph = graph
+
+    @cached_property
+    def gamma(self) -> Optional[Dict[str, int]]:
+        """The repetition vector, or ``None`` when inconsistent (the
+        witnessing error is kept in :attr:`inconsistency`)."""
+        from repro.sdf.repetition import repetition_vector
+
+        try:
+            return repetition_vector(self.graph)
+        except InconsistentGraphError as error:
+            self.inconsistency = error
+            return None
+
+    @cached_property
+    def inconsistency(self) -> Optional[InconsistentGraphError]:
+        self.gamma  # populates the attribute on failure
+        return self.__dict__.get("inconsistency")
+
+    @cached_property
+    def schedule(self) -> Optional[List[str]]:
+        """A sequential single-iteration schedule, or ``None`` when the
+        graph deadlocks (error kept in :attr:`deadlock`) or is
+        inconsistent."""
+        from repro.sdf.schedule import sequential_schedule
+
+        if self.gamma is None:
+            return None
+        try:
+            return sequential_schedule(self.graph, repetitions=dict(self.gamma))
+        except DeadlockError as error:
+            self.deadlock = error
+            return None
+
+    @cached_property
+    def deadlock(self) -> Optional[DeadlockError]:
+        self.schedule  # populates the attribute on failure
+        return self.__dict__.get("deadlock")
+
+    @cached_property
+    def components(self) -> List[List[str]]:
+        return self.graph.undirected_components()
+
+    @cached_property
+    def sccs(self) -> List[List[str]]:
+        return self.graph.strongly_connected_components()
+
+
+class CSDFLintContext(BaseLintContext):
+    """Memoized analyses of one CSDF graph."""
+
+    model = "csdf"
+
+    def __init__(self, graph, options: Optional[Dict[str, Any]] = None):
+        super().__init__(options)
+        self.graph = graph
+
+    @cached_property
+    def gamma(self) -> Optional[Dict[str, int]]:
+        from repro.csdf.analysis import csdf_repetition_vector
+
+        try:
+            return csdf_repetition_vector(self.graph)
+        except InconsistentGraphError as error:
+            self.inconsistency = error
+            return None
+
+    @cached_property
+    def inconsistency(self) -> Optional[InconsistentGraphError]:
+        self.gamma
+        return self.__dict__.get("inconsistency")
+
+    @cached_property
+    def phases_ok(self) -> bool:
+        """Whether every edge's rate sequences match its endpoints'
+        phase counts (the firing rule is undefined otherwise)."""
+        graph = self.graph
+        return all(
+            len(edge.production) == graph.phase_count(edge.source)
+            and len(edge.consumption) == graph.phase_count(edge.target)
+            for edge in graph.edges
+        )
+
+    @cached_property
+    def live(self) -> Optional[bool]:
+        """Whether one iteration completes (``None`` when inconsistent
+        or when broken phase vectors leave the firing rule undefined)."""
+        from repro.csdf.analysis import is_csdf_live
+
+        if self.gamma is None or not self.phases_ok:
+            return None
+        return is_csdf_live(self.graph)
+
+
+class ScenarioLintContext(BaseLintContext):
+    """Context over an FSM-SADF model: named scenarios plus the FSM."""
+
+    model = "scenario"
+
+    def __init__(self, scenarios, fsm, options: Optional[Dict[str, Any]] = None):
+        super().__init__(options)
+        self.scenarios = dict(scenarios)
+        self.fsm = fsm
+
+    @cached_property
+    def reachable_states(self) -> List[Any]:
+        seen = {self.fsm.initial}
+        frontier = [self.fsm.initial]
+        while frontier:
+            state = frontier.pop()
+            for _, target in self.fsm.outgoing(state):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return list(seen)
+
+    @cached_property
+    def reachable_scenarios(self) -> List[str]:
+        """Scenario labels on transitions leaving reachable states."""
+        seen: Dict[str, None] = {}
+        reachable = set(self.reachable_states)
+        for source, scenario, _ in self.fsm.transitions:
+            if source in reachable:
+                seen.setdefault(scenario)
+        return list(seen)

@@ -1,0 +1,135 @@
+"""The lint driver: run registered rules over a model, cached.
+
+:func:`run_lint` is the SDF entry point every surface (CLI, batch
+runner, analysis pre-checks) goes through.  Rules execute in dependency
+order — ``structural`` → ``rate`` → ``temporal`` — over one shared
+:class:`~repro.lint.context.LintContext`, so the expensive derived
+analyses (repetition vector, schedule, SCCs) are computed at most once
+per pass and the pass stays near-linear in the graph size.
+
+SDF reports are memoized through the content-addressed
+:class:`~repro.analysis.cache.AnalysisCache`: linting an unchanged graph
+again is O(1), and any builder mutation changes the fingerprint and
+misses the cache.  The cache key includes the config digest, so runs
+with different severity overrides or selections do not alias.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.analysis.cache import AnalysisCache, default_cache
+from repro.errors import LintError
+from repro.lint import rules as _builtin_rules  # noqa: F401  (registers rules)
+from repro.lint.config import LintConfig
+from repro.lint.context import (
+    BaseLintContext,
+    CSDFLintContext,
+    LintContext,
+    ScenarioLintContext,
+)
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.registry import all_rules
+
+__all__ = ["run_lint", "lint_csdf", "lint_scenarios", "ensure_lint_clean"]
+
+
+def _run_rules(ctx: BaseLintContext, config: LintConfig) -> List[Diagnostic]:
+    severity_map = config.severity_map
+    selected = set(config.select)
+    ignored = set(config.ignore)
+    findings: List[Diagnostic] = []
+    for registered in all_rules(model=ctx.model):
+        meta = registered.meta
+        if selected and meta.code not in selected:
+            continue
+        if meta.code in ignored:
+            continue
+        if not all(ctx.satisfies(req) for req in meta.requires):
+            continue
+        for diagnostic in registered.check(ctx):
+            override = severity_map.get(diagnostic.code)
+            if override:
+                diagnostic = diagnostic.with_severity(override)
+            findings.append(diagnostic)
+    return findings
+
+
+def _finish(name: str, findings: Iterable[Diagnostic], fingerprint=None) -> LintReport:
+    import dataclasses
+
+    stamped = tuple(
+        dataclasses.replace(f, graph=name) if not f.graph else f for f in findings
+    )
+    return LintReport(graph=name, findings=stamped, fingerprint=fingerprint)
+
+
+def run_lint(
+    graph,
+    config: Optional[LintConfig] = None,
+    cache: Optional[AnalysisCache] = None,
+    options: Optional[Dict[str, Any]] = None,
+) -> LintReport:
+    """Lint an SDF graph; returns the (possibly cached) report.
+
+    ``config`` selects/suppresses codes and overrides severities;
+    ``options`` feeds extra per-call rule inputs (e.g. a proposed
+    ``abstraction``) and *bypasses the cache*, since such inputs are not
+    part of the graph's content hash.  Pass ``cache=None`` to use the
+    process-wide default cache.
+    """
+    config = config or LintConfig()
+
+    def compute() -> LintReport:
+        ctx = LintContext(graph, options={**config.option_map, **(options or {})})
+        return _finish(graph.name, _run_rules(ctx, config), graph.fingerprint())
+
+    if options:
+        return compute()
+    if cache is None:
+        cache = default_cache()
+    return cache.get_or_compute(graph, "lint", compute, params=config.cache_params())
+
+
+def lint_csdf(graph, config: Optional[LintConfig] = None) -> LintReport:
+    """Lint a CSDF graph (uncached: CSDF graphs carry no content hash)."""
+    config = config or LintConfig()
+    ctx = CSDFLintContext(graph, options=config.option_map)
+    return _finish(graph.name, _run_rules(ctx, config))
+
+
+def lint_scenarios(
+    scenarios, fsm, config: Optional[LintConfig] = None, name: str = "scenarios"
+) -> LintReport:
+    """Lint an FSM-SADF model: scenario dict plus scenario FSM."""
+    config = config or LintConfig()
+    ctx = ScenarioLintContext(scenarios, fsm, options=config.option_map)
+    return _finish(name, _run_rules(ctx, config))
+
+
+def ensure_lint_clean(
+    graph,
+    cache: Optional[AnalysisCache] = None,
+    config: Optional[LintConfig] = None,
+    fail_on: str = "error",
+) -> LintReport:
+    """Lint ``graph`` and raise :class:`repro.errors.LintError` when it
+    has findings at or above ``fail_on`` (``"error"`` or ``"warning"``).
+
+    This is the pre-analysis hook: entry points call it before spending
+    work on a model that static analysis already knows is broken.  The
+    raised error carries the full report.
+    """
+    report = run_lint(graph, config=config, cache=cache)
+    gating = (
+        report.errors if fail_on == "error" else report.errors + report.warnings
+    )
+    if gating:
+        summary = "; ".join(str(f) for f in gating[:3])
+        more = f" (+{len(gating) - 3} more)" if len(gating) > 3 else ""
+        raise LintError(
+            f"graph {graph.name!r} fails lint with {len(gating)} "
+            f"{fail_on}-level finding(s): {summary}{more}",
+            report=report,
+        )
+    return report

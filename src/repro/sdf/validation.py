@@ -1,20 +1,24 @@
 """Model linting: one call that tells you everything wrong with a graph.
 
-Structural rules are enforced eagerly by the builders; the checks here
-are the *semantic* ones an analysis would trip over later, collected
-into a single report so a design flow can fail fast with a complete
-diagnosis instead of one error at a time.
+This module is the historical surface of the linter; the engine behind
+it now lives in :mod:`repro.lint` (rule registry, structured
+diagnostics, SARIF/JSON output, caching, configuration).
+:func:`validate_graph` remains as the stable convenience API: it runs
+every registered SDF rule and returns a flat :class:`ValidationReport`
+of ``(severity, code, message)`` findings.
+
+Unlike the pre-engine implementation, an inconsistent graph no longer
+short-circuits the pass: rate-independent rules (unbounded actors,
+zero-token self-loops, zero-time cycles, connectivity) still run and
+report, so a broken model gets a complete diagnosis in one shot.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
-from repro.errors import DeadlockError, InconsistentGraphError
 from repro.sdf.graph import SDFGraph
-from repro.sdf.repetition import repetition_vector
-from repro.sdf.schedule import sequential_schedule
 
 
 @dataclass(frozen=True)
@@ -58,101 +62,17 @@ class ValidationReport:
 
 
 def validate_graph(graph: SDFGraph) -> ValidationReport:
-    """Run every semantic check and return the combined report.
+    """Run every registered SDF lint rule and return the flat report.
 
-    Checks, in dependency order:
-
-    * ``empty``: the graph has no actors (warning);
-    * ``disconnected``: multiple weakly connected components (warning —
-      legal, but usually a modelling accident);
-    * ``inconsistent``: the balance equations have no solution (error);
-    * ``deadlock``: no iteration can complete (error);
-    * ``unbounded-actor``: an actor without incoming edges fires
-      unboundedly often under self-timed execution (warning; symbolic
-      analyses reject such graphs);
-    * ``zero-time-cycle``: a cycle of zero-execution-time actors with
-      tokens spins infinitely fast (warning; simulation rejects it);
-    * ``never-fires``: an actor with repetition entry 0 cannot occur —
-      repetition entries are positive by construction, so instead we
-      flag actors whose channels can never all fill (covered by the
-      deadlock check) — and ``unread-tokens``: initial tokens on a
-      channel whose consumer never needs them all in one iteration
-      (warning: often an off-by-one in a model).
+    This is a thin adapter over :func:`repro.lint.run_lint` (which is
+    cached, configurable and emits structured diagnostics — use it
+    directly for anything beyond a quick check).  Codes and severities
+    are those of the rule registry; the full catalogue is documented in
+    ``docs/lint.md``.
     """
+    from repro.lint.engine import run_lint
+
     report = ValidationReport()
-    if graph.actor_count() == 0:
-        report.add("warning", "empty", "graph has no actors")
-        return report
-
-    if not graph.is_connected():
-        count = len(graph.undirected_components())
-        report.add(
-            "warning",
-            "disconnected",
-            f"graph has {count} weakly connected components",
-        )
-
-    try:
-        gamma = repetition_vector(graph)
-    except InconsistentGraphError as error:
-        report.add("error", "inconsistent", str(error))
-        return report
-
-    try:
-        sequential_schedule(graph, repetitions=dict(gamma))
-    except DeadlockError as error:
-        report.add("error", "deadlock", str(error))
-
-    for actor in graph.actor_names:
-        if not graph.in_edges(actor):
-            report.add(
-                "warning",
-                "unbounded-actor",
-                f"actor {actor!r} has no incoming edges; add a one-token "
-                "self-edge to bound its self-timed firing rate",
-            )
-
-    cycle = _zero_time_token_cycle(graph)
-    if cycle:
-        report.add(
-            "warning",
-            "zero-time-cycle",
-            "cycle through "
-            + " -> ".join(cycle)
-            + " has tokens but zero total execution time; self-timed "
-            "execution spins infinitely fast on it",
-        )
-
-    for edge in graph.edges:
-        consumed_per_iteration = gamma[edge.target] * edge.consumption
-        if edge.tokens > consumed_per_iteration:
-            report.add(
-                "warning",
-                "unread-tokens",
-                f"channel {edge.name!r} holds {edge.tokens} initial tokens "
-                f"but one iteration consumes only {consumed_per_iteration}; "
-                "the surplus is dead weight (or the delay is misplaced)",
-            )
+    for diagnostic in run_lint(graph).findings:
+        report.add(diagnostic.severity, diagnostic.code, diagnostic.message)
     return report
-
-
-def _zero_time_token_cycle(graph: SDFGraph) -> Optional[List[str]]:
-    """A cycle of zero-time actors whose edges all lie between them and
-    carry at least one token somewhere (so it can actually spin)."""
-    zero_actors = {a for a in graph.actor_names if graph.execution_time(a) == 0}
-    if not zero_actors:
-        return None
-    from repro.mcm.graphlib import RatioGraph
-
-    sub = RatioGraph()
-    for actor in zero_actors:
-        sub.add_node(actor)
-    for edge in graph.edges:
-        if edge.source in zero_actors and edge.target in zero_actors:
-            sub.add_edge(edge.source, edge.target, 0, edge.tokens)
-    for scc in sub.nontrivial_sccs():
-        # Strong connectivity means any internal token edge closes a
-        # spinning cycle through it.
-        if any(e.transit > 0 for e in scc.edges):
-            return [str(node) for node in scc.nodes]
-    return None

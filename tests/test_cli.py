@@ -107,7 +107,7 @@ class TestCommands:
             '"edges": [{"source": "a", "target": "b"}, '
             '{"source": "b", "target": "a"}]}'
         )
-        assert main(["lint", str(bad)]) == 1
+        assert main(["lint", str(bad)]) == 2
         assert "deadlock" in capsys.readouterr().out
 
     def test_gantt(self, capsys):

@@ -1,0 +1,108 @@
+"""Lint output formats: text, versioned JSON, SARIF 2.1.0."""
+
+import json
+
+import pytest
+
+from repro.analysis.cache import AnalysisCache
+from repro.graphs.examples import figure3_graph
+from repro.lint import render_json, render_sarif, render_text, run_lint, to_sarif
+from repro.lint.formats import JSON_FORMAT_VERSION, SARIF_VERSION, TOOL_NAME
+from repro.lint.registry import all_rules
+from repro.sdf.graph import SDFGraph
+
+
+@pytest.fixture
+def reports():
+    stuck = SDFGraph("stuck")
+    stuck.add_actors("a", "b")
+    stuck.add_edge("a", "b")
+    stuck.add_edge("b", "a")
+    cache = AnalysisCache()
+    return [run_lint(figure3_graph(), cache=cache), run_lint(stuck, cache=cache)]
+
+
+class TestText:
+    def test_clean_and_dirty_blocks(self, reports):
+        text = render_text(reports)
+        assert "figure3: clean" in text
+        assert "stuck: 1 error(s), 0 warning(s)" in text
+        assert "[error] deadlock:" in text
+
+    def test_fix_suggestions_are_indented_sublines(self):
+        g = SDFGraph("loose")
+        g.add_actor("src", 1)
+        g.add_actor("dst", 1)
+        g.add_edge("src", "dst")
+        g.add_edge("dst", "dst", tokens=1)
+        text = render_text([run_lint(g, cache=AnalysisCache())])
+        assert "\n      fix: add a one-token self-edge" in text
+
+
+class TestJson:
+    def test_envelope(self, reports):
+        payload = json.loads(render_json(reports))
+        assert payload["version"] == JSON_FORMAT_VERSION
+        assert payload["tool"]["name"] == TOOL_NAME
+        assert payload["summary"] == {
+            "graphs": 2,
+            "findings": 1,
+            "errors": 1,
+            "warnings": 0,
+        }
+        clean, dirty = payload["runs"]
+        assert clean["graph"] == "figure3" and clean["findings"] == []
+        (finding,) = dirty["findings"]
+        assert finding["code"] == "deadlock"
+        assert finding["severity"] == "error"
+        assert set(finding["actors"]) == {"a", "b"}
+        assert finding["fingerprint"]
+
+    def test_reports_carry_content_fingerprints(self, reports):
+        payload = json.loads(render_json(reports))
+        for run in payload["runs"]:
+            assert run["fingerprint"].startswith("sdfg-")
+
+
+class TestSarif:
+    def test_log_shape(self, reports):
+        log = json.loads(render_sarif(reports))
+        assert log["version"] == SARIF_VERSION
+        assert log["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == TOOL_NAME
+        assert len(driver["rules"]) == len(all_rules())
+        (result,) = run["results"]
+        assert result["ruleId"] == "deadlock"
+        assert result["level"] == "error"
+        assert driver["rules"][result["ruleIndex"]]["id"] == "deadlock"
+
+    def test_rules_carry_metadata(self, reports):
+        (run,) = to_sarif(reports)["runs"]
+        for entry in run["tool"]["driver"]["rules"]:
+            assert entry["shortDescription"]["text"]
+            assert entry["helpUri"].endswith(f"#{entry['id']}")
+            assert entry["defaultConfiguration"]["level"] in (
+                "error",
+                "warning",
+                "note",
+            )
+
+    def test_results_anchor_with_logical_locations(self, reports):
+        (run,) = to_sarif(reports)["runs"]
+        (result,) = run["results"]
+        names = {
+            loc["logicalLocations"][0]["fullyQualifiedName"]
+            for loc in result["locations"]
+        }
+        assert names == {"stuck::a", "stuck::b"}
+
+    def test_partial_fingerprints_are_stable(self, reports):
+        first = to_sarif(reports)
+        second = to_sarif(reports)
+        fp = lambda log: [
+            r["partialFingerprints"]["reproLint/v1"]
+            for r in log["runs"][0]["results"]
+        ]
+        assert fp(first) == fp(second)

@@ -1,0 +1,55 @@
+"""Property tests: the linter is total, and its verdicts mean something.
+
+Two contracts hold over the whole strategy space:
+
+* :func:`repro.lint.run_lint` never raises — broken models come back as
+  findings, not exceptions;
+* a report with zero errors certifies the graph analysable: exact
+  throughput analysis succeeds on it.
+
+Plus the repository hygiene gate: every benchmark graph in the Table-1
+registry is free of error-severity findings (CI runs the same check via
+``repro lint --registry --format sarif --fail-on error``).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.throughput import throughput
+from repro.graphs.registry import TABLE1_CASES
+from repro.lint import run_lint
+from tests.strategies import consistent_connected_sdf_graphs
+
+
+@settings(max_examples=200, deadline=None)
+@given(graph=consistent_connected_sdf_graphs(max_extra_tokens=3))
+def test_lint_never_raises_and_clean_means_analysable(graph):
+    report = run_lint(graph, cache=AnalysisCache(maxsize=2))
+    assert report.graph == graph.name
+    assert report.fingerprint == graph.fingerprint()
+    for finding in report.findings:
+        assert finding.severity in ("info", "warning", "error")
+        assert finding.message
+    if report.ok:
+        # Zero errors certifies analysability: exact throughput must
+        # not hit deadlock/inconsistency (the strategy's graphs are
+        # correct by construction, so lint must agree).
+        result = throughput(graph)
+        assert result.cycle_time is not None
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=consistent_connected_sdf_graphs())
+def test_lint_is_deterministic(graph):
+    first = run_lint(graph, cache=AnalysisCache(maxsize=2))
+    second = run_lint(graph, cache=AnalysisCache(maxsize=2))
+    assert [f.as_dict() for f in first.findings] == [
+        f.as_dict() for f in second.findings
+    ]
+
+
+@pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name)
+def test_registry_graphs_are_lint_error_free(case):
+    report = run_lint(case.build(), cache=AnalysisCache(maxsize=2))
+    assert report.ok, "\n".join(str(f) for f in report.errors)

@@ -42,7 +42,7 @@ class TestFindings:
         g.add_edge("b", "b", tokens=1)
         assert "disconnected" in codes(validate_graph(g))
 
-    def test_inconsistent_is_error_and_stops(self):
+    def test_inconsistent_is_error(self):
         g = SDFGraph()
         g.add_actors("a", "b")
         g.add_edge("a", "b", production=2, consumption=1)
@@ -50,6 +50,18 @@ class TestFindings:
         report = validate_graph(g)
         assert not report.ok
         assert codes(report) == {"inconsistent"}
+
+    def test_inconsistent_does_not_mask_structural_findings(self):
+        # Inconsistency used to short-circuit validation; now every
+        # rate-independent rule still reports.
+        g = SDFGraph()
+        g.add_actors("a", "b", "src")
+        g.add_edge("a", "b", production=2, consumption=1)
+        g.add_edge("b", "a", production=1, consumption=1)
+        g.add_edge("src", "a")  # src never blocks: no incoming edge
+        report = validate_graph(g)
+        assert not report.ok
+        assert {"inconsistent", "unbounded-actor"} <= codes(report)
 
     def test_deadlock_is_error(self):
         g = SDFGraph()
