@@ -1,0 +1,176 @@
+"""Resilience-layer baseline: deadline overhead and the fallback win.
+
+Two measurements, persisted to ``BENCH_resilience.json`` at the
+repository root:
+
+* **deadline-check overhead** — the max-plus MCM hot path (symbolic
+  matrix -> Karp's algorithm) run bare vs. under a generous
+  :class:`Deadline`.  The checks are strided (the clock is consulted on
+  every 64th poll), so the budget is < 3% — making it affordable to
+  leave deadlines on in production flows.
+* **fallback wall-clock win** — on the worst registry graph (largest
+  iteration length, i.e. the worst classical-expansion blowup), the
+  tiered policy's Theorem-1 conservative bound vs. the exact analysis
+  through the traditional HSDF expansion the fallback spares us.  The
+  bound must also actually *bound* (>= the exact iteration period).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.analysis.deadline import Deadline
+from repro.analysis.resilience import CONSERVATIVE, AnalysisPolicy
+from repro.analysis.throughput import throughput
+from repro.core.symbolic import symbolic_iteration
+from repro.graphs import TABLE1_CASES
+from repro.maxplus.spectral import eigenvalue
+from repro.sdf.repetition import iteration_length
+
+BENCH_FILE = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+)
+
+#: Repeats per timing; min-of-N suppresses scheduler noise.
+REPEATS = 7
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_deadline_overhead() -> dict:
+    """Strided deadline checks on the MCM hot loop, bare vs. timed.
+
+    Single runs of the MCM are dominated by scheduler/allocator jitter
+    (±10% run to run), so each timing *sample* batches ``BATCH`` full
+    Karp analyses of the worst registry graph's symbolic matrix and the
+    bare/timed samples are interleaved; min-of-samples then isolates the
+    systematic cost of the checks from the noise."""
+    # Largest symbolic matrix in the registry: per-call costs amortise
+    # over the longest Karp runs, so the fraction reflects the strided
+    # checks and not call-setup noise.
+    graph = max(
+        (case.build() for case in TABLE1_CASES),
+        key=lambda g: symbolic_iteration(g).matrix.nrows,
+    )
+    matrix = symbolic_iteration(graph).matrix
+    deadline = Deadline.after(3000.0)
+
+    # The strided checks must not change the answer.
+    assert eigenvalue(matrix) == eigenvalue(matrix, deadline=deadline)
+
+    def run_bare() -> None:
+        for _ in range(BATCH):
+            eigenvalue(matrix)
+
+    def run_timed() -> None:
+        for _ in range(BATCH):
+            eigenvalue(matrix, deadline=deadline)
+
+    BATCH = 40
+    bare = timed = float("inf")
+    for repeat in range(REPEATS):
+        # Alternate which variant goes first: whatever runs second in a
+        # pair pays the first one's allocator/GC debt (~2-3% measured),
+        # so a fixed order would masquerade as deadline overhead.
+        pair = ((run_bare, run_timed) if repeat % 2 == 0
+                else (run_timed, run_bare))
+        for fn in pair:
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            if fn is run_bare:
+                bare = min(bare, elapsed)
+            else:
+                timed = min(timed, elapsed)
+    overhead = (timed - bare) / bare if bare else 0.0
+    return {
+        "graph": graph.name,
+        "matrix_order": matrix.nrows,
+        "repeats": REPEATS,
+        "batch": BATCH,
+        "bare_seconds": round(bare, 6),
+        "deadline_seconds": round(timed, 6),
+        "overhead_fraction": round(overhead, 4),
+        "target_fraction": 0.03,
+    }
+
+
+def measure_fallback_win() -> dict:
+    """Theorem-1 fallback vs. exact-through-expansion on the worst graph."""
+    worst = max(TABLE1_CASES, key=lambda case: iteration_length(case.build()))
+    graph = worst.build()
+    exact_result = throughput(graph, method="symbolic")
+
+    exact_seconds = _best_of(3, lambda: throughput(graph, method="hsdf"))
+
+    policy = AnalysisPolicy(
+        timeout=60.0,
+        stage_timeouts={"simulation": 0.001, "symbolic": 0.001},
+    )
+    outcome = policy.run(graph)
+    assert outcome.status == CONSERVATIVE, outcome.describe()
+    assert outcome.cycle_time_bound >= exact_result.cycle_time
+    fallback_seconds = _best_of(3, lambda: policy.run(graph))
+
+    return {
+        "graph": graph.name,
+        "iteration_length": iteration_length(graph),
+        "exact_hsdf_seconds": round(exact_seconds, 6),
+        "fallback_seconds": round(fallback_seconds, 6),
+        "speedup": round(exact_seconds / fallback_seconds, 2),
+        "exact_cycle_time": str(exact_result.cycle_time),
+        "bound_cycle_time": str(outcome.cycle_time_bound),
+        "bound_phase_count": outcome.bound_phase_count,
+        "bound_strategy": outcome.bound_strategy,
+        "overestimation_factor": round(
+            float(outcome.cycle_time_bound / exact_result.cycle_time), 3
+        ),
+    }
+
+
+def test_resilience_baseline(report):
+    overhead = measure_deadline_overhead()
+    fallback = measure_fallback_win()
+    data = {"deadline_overhead": overhead, "fallback_win": fallback}
+
+    report("Resilience: deadline overhead + fallback win (BENCH_resilience.json)")
+    report(f"MCM hot loop on {overhead['graph']} "
+           f"(order-{overhead['matrix_order']} matrix x "
+           f"{overhead['batch']} analyses/sample): "
+           f"bare {overhead['bare_seconds']:.4f}s, "
+           f"with deadline {overhead['deadline_seconds']:.4f}s "
+           f"({overhead['overhead_fraction']:+.1%}, target < 3%)")
+    report(f"{fallback['graph']} "
+           f"(iteration length {fallback['iteration_length']}): "
+           f"exact via expansion {fallback['exact_hsdf_seconds']:.3f}s, "
+           f"Theorem-1 fallback {fallback['fallback_seconds']:.3f}s "
+           f"({fallback['speedup']:.1f}x); bound "
+           f"{fallback['bound_cycle_time']} vs exact "
+           f"{fallback['exact_cycle_time']} "
+           f"({fallback['overestimation_factor']:.2f}x over)")
+    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+    report(f"written to {BENCH_FILE.name}")
+    report.save("resilience")
+
+    # Acceptance: strided checks stay under the 3% budget, and the
+    # fallback actually wins wall-clock against the exact expansion.
+    assert overhead["overhead_fraction"] < 0.03
+    assert fallback["fallback_seconds"] < fallback["exact_hsdf_seconds"]
+
+
+if __name__ == "__main__":  # standalone: regenerate the JSON baseline
+    baseline = {
+        "deadline_overhead": measure_deadline_overhead(),
+        "fallback_win": measure_fallback_win(),
+    }
+    BENCH_FILE.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(json.dumps(baseline, indent=2))

@@ -39,6 +39,15 @@ from repro.analysis.cache import (
     set_default_cache,
 )
 from repro.analysis.batch import BatchReport, GraphResult, analyse_graph, run_batch
+from repro.analysis.deadline import CancelToken, Deadline
+from repro.analysis.faults import FaultPlan, FaultRule, parse_fault
+from repro.analysis.journal import BatchJournal, JournalRecord
+from repro.analysis.resilience import (
+    AnalysisOutcome,
+    AnalysisPolicy,
+    StageAttempt,
+    analyse_with_policy,
+)
 
 __all__ = [
     "AnalysisCache",
@@ -49,6 +58,17 @@ __all__ = [
     "GraphResult",
     "analyse_graph",
     "run_batch",
+    "CancelToken",
+    "Deadline",
+    "FaultPlan",
+    "FaultRule",
+    "parse_fault",
+    "BatchJournal",
+    "JournalRecord",
+    "AnalysisOutcome",
+    "AnalysisPolicy",
+    "StageAttempt",
+    "analyse_with_policy",
     "ThroughputResult",
     "throughput",
     "hsdf_cycle_ratio_graph",

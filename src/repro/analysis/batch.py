@@ -1,4 +1,4 @@
-"""Concurrent batch analysis of many SDF graphs.
+"""Concurrent, fault-tolerant batch analysis of many SDF graphs.
 
 Registry suites, random sweeps and scenario sets all reduce to "analyse
 this list of graphs and collect the numbers".  :func:`run_batch` does
@@ -20,25 +20,60 @@ that through a selectable backend:
     A plain loop with the same result/reporting shape (baseline and
     fallback when no executor is available).
 
-Per-graph failures never kill the pool: each :class:`GraphResult`
-carries either a value or the error, and :class:`BatchReport` separates
-the two.
+Resilience guarantees (all backends unless noted):
+
+* **Per-graph isolation** — an analysis error, a ``MemoryError`` or (in
+  workers) a ``KeyboardInterrupt`` fails only that graph; every error
+  record carries the graph's content fingerprint.
+* **Deadlines** — ``timeout`` bounds each graph's analysis attempt
+  cooperatively (:mod:`repro.analysis.deadline`); a pathological graph
+  times out instead of hanging the sweep.
+* **Retries** — failures classified transient
+  (:class:`repro.errors.TransientWorkerError`, ``OSError``) are retried
+  with exponential backoff before being recorded.
+* **Crash recovery** (process backend) — a worker that dies takes only
+  its own pool down: completed results are kept, in-flight graphs are
+  re-dispatched one-per-fresh-pool, and the graph that reproducibly
+  kills its worker is *quarantined* (``error_type == "WorkerCrashed"``)
+  while everything else completes.
+* **Journal / resume** — with ``journal=`` every finished graph is
+  appended (flushed + fsynced) to a fingerprint-keyed JSONL file;
+  ``resume=True`` skips every fingerprint the journal already records
+  as completed, so a killed sweep restarts where it stopped.
+* **Fault injection** — a :class:`repro.analysis.faults.FaultPlan`
+  deterministically plants delays/exceptions/worker-kills, which is how
+  the recovery paths above are exercised in CI.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.cache import AnalysisCache, CacheStats, default_cache
+from repro.analysis.deadline import CancelToken, Deadline
+from repro.analysis.faults import FaultPlan
+from repro.analysis.journal import BatchJournal, JournalRecord, summarise_value
+from repro.errors import TransientWorkerError
 from repro.sdf.graph import SDFGraph
 
-__all__ = ["ANALYSES", "BatchReport", "GraphResult", "analyse_graph", "run_batch"]
+__all__ = [
+    "ANALYSES",
+    "BatchReport",
+    "GraphResult",
+    "analyse_graph",
+    "run_batch",
+]
 
 #: Analyses the batch runner knows how to dispatch, by name.
 ANALYSES = ("repetition", "throughput", "latency", "symbolic_iteration")
+
+#: Error types treated as transient (retried with backoff).
+_TRANSIENT = (TransientWorkerError, OSError, ConnectionError)
 
 
 @dataclass
@@ -51,10 +86,21 @@ class GraphResult:
     error: Optional[str] = None
     error_type: Optional[str] = None
     duration: float = 0.0
+    #: How many attempts were made (> 1 when transient retries fired).
+    attempts: int = 1
+    #: The graph reproducibly killed its worker process and was isolated.
+    quarantined: bool = False
+    #: The result was replayed from a journal, not analysed in this run
+    #: (``values`` then holds the journal's JSON summaries).
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def timed_out(self) -> bool:
+        return self.error_type in ("AnalysisTimeout", "AnalysisCancelled")
 
     def value(self, analysis: str) -> Any:
         if not self.ok:
@@ -71,6 +117,7 @@ class BatchReport:
     workers: int
     duration: float
     cache_stats: CacheStats
+    journal_path: Optional[str] = None
 
     @property
     def ok(self) -> List[GraphResult]:
@@ -81,12 +128,29 @@ class BatchReport:
         return [r for r in self.results if not r.ok]
 
     @property
+    def quarantined(self) -> List[GraphResult]:
+        return [r for r in self.results if r.quarantined]
+
+    @property
+    def timed_out(self) -> List[GraphResult]:
+        return [r for r in self.results if r.timed_out]
+
+    @property
+    def resumed(self) -> List[GraphResult]:
+        return [r for r in self.results if r.resumed]
+
+    @property
     def hit_rate(self) -> float:
         return self.cache_stats.hit_rate
 
     def __repr__(self) -> str:
+        extras = ""
+        if self.quarantined:
+            extras += f", {len(self.quarantined)} quarantined"
+        if self.resumed:
+            extras += f", {len(self.resumed)} resumed"
         return (
-            f"BatchReport({len(self.ok)} ok, {len(self.failures)} failed, "
+            f"BatchReport({len(self.ok)} ok, {len(self.failures)} failed{extras}, "
             f"backend={self.backend!r}, workers={self.workers}, "
             f"{self.duration:.3f}s, hit_rate={self.hit_rate:.2f})"
         )
@@ -109,6 +173,13 @@ def analyse_graph(
     method: str = "symbolic",
     cache: Optional[AnalysisCache] = None,
     lint: Optional[str] = None,
+    timeout: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+    retries: int = 0,
+    backoff: float = 0.05,
+    token: Optional[CancelToken] = None,
+    allow_kill: bool = False,
+    isolate_interrupts: bool = False,
 ) -> GraphResult:
     """Run ``analyses`` on one graph through ``cache`` (errors captured).
 
@@ -117,42 +188,114 @@ def analyse_graph(
     also fails on warnings (``None`` — the default — skips the gate).
     Lint reports go through the same cache, so the gate is O(1) on
     repeated graphs.
+
+    ``timeout`` bounds *each attempt* with a cooperative
+    :class:`~repro.analysis.deadline.Deadline`; an expired budget is
+    recorded as ``error_type == "AnalysisTimeout"``.  Failures whose
+    type is transient (:data:`repro.errors.TransientWorkerError`,
+    ``OSError``) are retried up to ``retries`` times with exponential
+    ``backoff``.  ``faults`` (a deterministic
+    :class:`~repro.analysis.faults.FaultPlan`) fires at the start of
+    every attempt.  ``isolate_interrupts`` converts a per-graph
+    ``KeyboardInterrupt`` into an error record instead of propagating —
+    that is how worker processes keep one interrupted graph from
+    poisoning a whole pool; in the parent process the default
+    (propagate) preserves Ctrl-C semantics.  ``allow_kill`` marks a real
+    worker process, in which an injected ``kill`` fault may hard-exit.
     """
     analyses = _check_analyses(analyses)
     if cache is None:
         cache = default_cache()
-    result = GraphResult(name=graph.name, fingerprint=graph.fingerprint())
+    name = graph.name
+    fingerprint = graph.fingerprint()
+    result = GraphResult(name=name, fingerprint=fingerprint)
+    tag = f"[graph {name!r} {fingerprint[:12]}]"
     start = time.perf_counter()
-    try:
-        if lint is not None:
-            from repro.lint.engine import ensure_lint_clean
 
-            ensure_lint_clean(graph, cache=cache, fail_on=lint)
-        for analysis in analyses:
-            if analysis == "repetition":
-                result.values[analysis] = cache.repetition_vector(graph)
-            elif analysis == "throughput":
-                result.values[analysis] = cache.throughput(graph, method=method)
-            elif analysis == "latency":
-                result.values[analysis] = cache.latency(graph)
-            else:  # symbolic_iteration
-                result.values[analysis] = cache.symbolic_iteration(graph)
-    except Exception as error:  # per-graph isolation: the pool survives
-        result.error = str(error)
-        result.error_type = type(error).__name__
+    for attempt in range(max(0, retries) + 1):
+        result.attempts = attempt + 1
         result.values.clear()
+        deadline = (
+            Deadline(budget=timeout, token=token)
+            if timeout is not None or token is not None
+            else None
+        )
+        try:
+            if faults is not None:
+                faults.fire(
+                    name, fingerprint,
+                    attempt=attempt, deadline=deadline, allow_kill=allow_kill,
+                )
+            if lint is not None:
+                from repro.lint.engine import ensure_lint_clean
+
+                ensure_lint_clean(graph, cache=cache, fail_on=lint)
+            for analysis in analyses:
+                if analysis == "repetition":
+                    result.values[analysis] = cache.repetition_vector(graph)
+                elif analysis == "throughput":
+                    result.values[analysis] = cache.throughput(
+                        graph, method=method, deadline=deadline
+                    )
+                elif analysis == "latency":
+                    result.values[analysis] = cache.latency(graph)
+                else:  # symbolic_iteration
+                    result.values[analysis] = cache.symbolic_iteration(
+                        graph, deadline=deadline
+                    )
+            result.error = None
+            result.error_type = None
+            break
+        except MemoryError as error:
+            # Distinct from analysis errors: the graph exhausted memory,
+            # which says "isolate me", not "my semantics are broken".
+            result.error = f"out of memory during analysis {tag}: {error}"
+            result.error_type = "MemoryError"
+            result.values.clear()
+            break
+        except KeyboardInterrupt as error:
+            if not isolate_interrupts:
+                raise
+            result.error = f"analysis interrupted {tag}: {error or 'SIGINT'}"
+            result.error_type = "KeyboardInterrupt"
+            result.values.clear()
+            break
+        except Exception as error:  # per-graph isolation: the pool survives
+            result.error = f"{error} {tag}"
+            result.error_type = type(error).__name__
+            result.values.clear()
+            if attempt < retries and isinstance(error, _TRANSIENT):
+                time.sleep(backoff * (2 ** attempt))
+                continue
+            break
     result.duration = time.perf_counter() - start
     return result
 
 
-def _analyse_cold(
-    payload: Tuple[SDFGraph, Tuple[str, ...], str, Optional[str]]
-) -> GraphResult:
+#: Payload shipped to process-pool workers (primitives + picklable plan).
+_ColdPayload = Tuple[
+    SDFGraph, Tuple[str, ...], str, Optional[str],
+    Optional[float], Optional[FaultPlan], int, float,
+]
+
+
+def _analyse_cold(payload: _ColdPayload) -> GraphResult:
     """Process-pool worker: analyse without a shared cache (module level
-    so it pickles)."""
-    graph, analyses, method, lint = payload
+    so it pickles).  Interrupts are isolated and injected ``kill``
+    faults may genuinely terminate this process."""
+    graph, analyses, method, lint, timeout, faults, retries, backoff = payload
     return analyse_graph(
-        graph, analyses, method, cache=AnalysisCache(maxsize=8), lint=lint
+        graph,
+        analyses,
+        method,
+        cache=AnalysisCache(maxsize=8),
+        lint=lint,
+        timeout=timeout,
+        faults=faults,
+        retries=retries,
+        backoff=backoff,
+        allow_kill=True,
+        isolate_interrupts=True,
     )
 
 
@@ -165,6 +308,36 @@ def _store_back(
         cache.store(graph, analysis, value, params=params)
 
 
+def _journal_record(journal: Optional[BatchJournal], result: GraphResult) -> None:
+    if journal is None or result.resumed:
+        return
+    journal.record(JournalRecord(
+        name=result.name,
+        fingerprint=result.fingerprint,
+        ok=result.ok,
+        values={
+            analysis: summarise_value(analysis, value)
+            for analysis, value in result.values.items()
+        },
+        error=result.error,
+        error_type=result.error_type,
+        duration=result.duration,
+        quarantined=result.quarantined,
+        attempts=result.attempts,
+    ))
+
+
+def _resumed_result(graph: SDFGraph, record: JournalRecord) -> GraphResult:
+    return GraphResult(
+        name=graph.name,
+        fingerprint=record.fingerprint,
+        values=dict(record.values),
+        duration=0.0,
+        attempts=record.attempts,
+        resumed=True,
+    )
+
+
 def run_batch(
     graphs: Iterable[SDFGraph],
     analyses: Sequence[str] = ("throughput",),
@@ -173,8 +346,15 @@ def run_batch(
     workers: int = 4,
     cache: Optional[AnalysisCache] = None,
     lint: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.05,
+    faults: Optional[FaultPlan] = None,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    token: Optional[CancelToken] = None,
 ) -> BatchReport:
-    """Analyse every graph in ``graphs`` concurrently.
+    """Analyse every graph in ``graphs`` concurrently and resiliently.
 
     Results come back in input order regardless of completion order.
     ``cache_stats`` in the returned report is a snapshot *after* the run
@@ -186,6 +366,12 @@ def run_batch(
     pre-analysis lint gate per graph: a gated graph fails fast with
     ``error_type == "LintError"`` and never reaches the analyses, while
     the rest of the batch proceeds normally.
+
+    See :func:`analyse_graph` for ``timeout``/``retries``/``backoff``/
+    ``faults`` and the module docstring for the journal/resume and
+    worker-crash-recovery contracts.  ``token`` cancels the whole batch
+    cooperatively (thread/serial backends; already-dispatched process
+    workers run their current graph to completion).
     """
     graphs = list(graphs)
     analyses = _check_analyses(analyses)
@@ -195,45 +381,60 @@ def run_batch(
         raise ValueError(
             f"lint gate must be None, 'error' or 'warning', got {lint!r}"
         )
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal path")
     if cache is None:
         cache = default_cache()
 
-    start = time.perf_counter()
-    if backend == "serial" or not graphs:
-        results = [analyse_graph(g, analyses, method, cache, lint) for g in graphs]
-    elif backend == "thread":
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            results = list(
-                pool.map(
-                    lambda g: analyse_graph(g, analyses, method, cache, lint), graphs
-                )
-            )
-    elif backend == "process":
-        # Serve what the local cache already has; farm the rest out.
-        results: List[Optional[GraphResult]] = [None] * len(graphs)
-        cold: List[Tuple[int, SDFGraph]] = []
-        for index, graph in enumerate(graphs):
-            if all(
-                cache.key(graph, a, {"method": method} if a == "throughput" else None)
-                in cache
-                for a in analyses
-            ):
-                results[index] = analyse_graph(graph, analyses, method, cache, lint)
-            else:
-                cold.append((index, graph))
-        if cold:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = pool.map(
-                    _analyse_cold, [(g, analyses, method, lint) for _, g in cold]
-                )
-                for (index, graph), outcome in zip(cold, outcomes):
-                    if outcome.ok:
-                        _store_back(cache, graph, outcome, method)
-                    results[index] = outcome
-    else:
-        raise ValueError(
-            f"unknown backend {backend!r}; use thread, process or serial"
+    journal_store = BatchJournal(journal) if journal is not None else None
+    completed: Dict[str, JournalRecord] = {}
+    if resume:
+        completed = {
+            fp: rec for fp, rec in journal_store.load().items() if rec.ok
+        }
+
+    def analyse(graph: SDFGraph) -> GraphResult:
+        result = analyse_graph(
+            graph, analyses, method, cache, lint,
+            timeout=timeout, faults=faults, retries=retries, backoff=backoff,
+            token=token,
         )
+        _journal_record(journal_store, result)
+        return result
+
+    start = time.perf_counter()
+    try:
+        # Replay journaled successes first; only the rest is analysed.
+        results: List[Optional[GraphResult]] = [None] * len(graphs)
+        todo: List[Tuple[int, SDFGraph]] = []
+        for index, graph in enumerate(graphs):
+            record = completed.get(graph.fingerprint())
+            if record is not None:
+                results[index] = _resumed_result(graph, record)
+            else:
+                todo.append((index, graph))
+
+        if backend == "serial" or not todo:
+            for index, graph in todo:
+                results[index] = analyse(graph)
+        elif backend == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for (index, _), result in zip(
+                    todo, pool.map(lambda item: analyse(item[1]), todo)
+                ):
+                    results[index] = result
+        elif backend == "process":
+            _run_process_backend(
+                todo, results, analyses, method, lint, timeout, faults,
+                retries, backoff, workers, cache, journal_store,
+            )
+        else:
+            raise ValueError(
+                f"unknown backend {backend!r}; use thread, process or serial"
+            )
+    finally:
+        if journal_store is not None:
+            journal_store.close()
     duration = time.perf_counter() - start
 
     return BatchReport(
@@ -242,4 +443,95 @@ def run_batch(
         workers=workers,
         duration=duration,
         cache_stats=cache.stats(),
+        journal_path=None if journal is None else str(journal),
     )
+
+
+def _run_process_backend(
+    todo: List[Tuple[int, SDFGraph]],
+    results: List[Optional[GraphResult]],
+    analyses: Tuple[str, ...],
+    method: str,
+    lint: Optional[str],
+    timeout: Optional[float],
+    faults: Optional[FaultPlan],
+    retries: int,
+    backoff: float,
+    workers: int,
+    cache: AnalysisCache,
+    journal_store: Optional[BatchJournal],
+) -> None:
+    """Dispatch cold graphs to a process pool; survive worker deaths.
+
+    Graphs fully warm in the local cache are served in-process.  When a
+    worker dies (``BrokenProcessPool``), every graph whose future was
+    lost is re-dispatched in its *own* single-worker pool: survivors
+    complete there, and a graph that kills its private pool too is
+    definitively the poison one — it is quarantined with
+    ``error_type == "WorkerCrashed"`` and the batch carries on.
+    """
+
+    def payload(graph: SDFGraph) -> _ColdPayload:
+        return (graph, analyses, method, lint, timeout, faults, retries, backoff)
+
+    def adopt(index: int, graph: SDFGraph, outcome: GraphResult) -> None:
+        if outcome.ok and not outcome.values and analyses:
+            # Defensive: a worker returning an empty success is a bug.
+            outcome.error = "worker returned no values"
+            outcome.error_type = "WorkerProtocolError"
+        if outcome.ok:
+            _store_back(cache, graph, outcome, method)
+        results[index] = outcome
+        _journal_record(journal_store, outcome)
+
+    # Serve what the local cache already has; farm the rest out.
+    cold: List[Tuple[int, SDFGraph]] = []
+    for index, graph in todo:
+        if all(
+            cache.key(graph, a, {"method": method} if a == "throughput" else None)
+            in cache
+            for a in analyses
+        ):
+            adopt(index, graph, analyse_graph(
+                graph, analyses, method, cache, lint,
+                timeout=timeout, faults=faults, retries=retries, backoff=backoff,
+            ))
+        else:
+            cold.append((index, graph))
+    if not cold:
+        return
+
+    lost: List[Tuple[int, SDFGraph]] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            (pool.submit(_analyse_cold, payload(graph)), index, graph)
+            for index, graph in cold
+        ]
+        for future, index, graph in futures:
+            try:
+                outcome = future.result()
+            except BrokenProcessPool:
+                lost.append((index, graph))
+                continue
+            adopt(index, graph, outcome)
+
+    # Re-dispatch every graph the dead worker took down with it, each in
+    # a private pool: deterministic isolation of the poison graph.
+    for index, graph in lost:
+        try:
+            with ProcessPoolExecutor(max_workers=1) as solo:
+                outcome = solo.submit(_analyse_cold, payload(graph)).result()
+        except BrokenProcessPool:
+            fingerprint = graph.fingerprint()
+            outcome = GraphResult(
+                name=graph.name,
+                fingerprint=fingerprint,
+                error=(
+                    f"worker process died analysing graph {graph.name!r} "
+                    f"[{fingerprint[:12]}]; graph quarantined after killing "
+                    "its private pool"
+                ),
+                error_type="WorkerCrashed",
+                quarantined=True,
+            )
+        adopt(index, graph, outcome)

@@ -52,6 +52,11 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     coalesced: int = 0
+    #: Computations that raised instead of producing a value.  Errors are
+    #: never cached: the in-flight entry is evicted so later callers
+    #: retry (transient failures — timeouts, cancellations — must not
+    #: poison the key).
+    errors: int = 0
     size: int = 0
     maxsize: int = 0
 
@@ -70,6 +75,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "coalesced": self.coalesced,
+            "errors": self.errors,
             "size": self.size,
             "maxsize": self.maxsize,
             "hit_rate": self.hit_rate,
@@ -123,6 +129,7 @@ class AnalysisCache:
         self._misses = 0
         self._evictions = 0
         self._coalesced = 0
+        self._errors = 0
 
     # ------------------------------------------------------------------
     # core protocol
@@ -184,8 +191,14 @@ class AnalysisCache:
         it with ``compute()`` on a miss.
 
         Concurrent misses on one key run ``compute`` exactly once; the
-        other threads wait for it (an exception is re-raised in every
-        waiter and cached in no one — the next lookup retries).
+        other threads wait for it.  A ``compute`` that raises poisons
+        nothing: the in-flight entry is evicted *unconditionally* (even
+        if bookkeeping itself fails), the error is re-raised in the
+        leader and every waiter retries from scratch — so a transient
+        failure (an :class:`repro.errors.AnalysisTimeout`, a cancelled
+        token, an injected fault) never leaves a stale error or a
+        wedged in-flight marker behind.  Failed computations count in
+        ``stats().errors``.
         """
         key = self.key(graph, analysis, params)
         while True:
@@ -206,18 +219,21 @@ class AnalysisCache:
             if leader:
                 try:
                     value = compute()
-                except BaseException as error:
                     with self._lock:
-                        del self._inflight[key]
+                        self._insert(key, value)
+                    flight.value = value
+                    return value
+                except BaseException as error:
                     flight.error = error
-                    flight.done.set()
+                    with self._lock:
+                        self._errors += 1
                     raise
-                with self._lock:
-                    self._insert(key, value)
-                    del self._inflight[key]
-                flight.value = value
-                flight.done.set()
-                return value
+                finally:
+                    # Unconditional eviction: whatever happened, the key
+                    # must not stay in flight, and waiters must wake.
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    flight.done.set()
             flight.done.wait()
             if flight.error is None:
                 return flight.value
@@ -235,20 +251,30 @@ class AnalysisCache:
         )
         return dict(value)  # defensive copy: callers often scale γ in place
 
-    def symbolic_iteration(self, graph: SDFGraph):
+    def symbolic_iteration(self, graph: SDFGraph, deadline=None):
         from repro.core.symbolic import symbolic_iteration
 
         return self.get_or_compute(
-            graph, "symbolic_iteration", lambda: symbolic_iteration(graph)
+            graph,
+            "symbolic_iteration",
+            lambda: symbolic_iteration(graph, deadline=deadline),
         )
 
-    def throughput(self, graph: SDFGraph, method: str = "symbolic"):
+    def throughput(self, graph: SDFGraph, method: str = "symbolic", deadline=None):
+        """Cached exact throughput.
+
+        ``deadline`` bounds a cache-miss computation but is *not* part
+        of the key: an exact result does not depend on how long it was
+        allowed to take, and a timed-out computation raises before
+        anything is inserted — timed-out results are never cached as
+        final, so a later call with a larger budget recomputes.
+        """
         from repro.analysis.throughput import throughput
 
         return self.get_or_compute(
             graph,
             "throughput",
-            lambda: throughput(graph, method=method),
+            lambda: throughput(graph, method=method, deadline=deadline),
             params={"method": method},
         )
 
@@ -279,6 +305,7 @@ class AnalysisCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 coalesced=self._coalesced,
+                errors=self._errors,
                 size=len(self._store),
                 maxsize=self.maxsize,
             )
@@ -290,7 +317,8 @@ class AnalysisCache:
 
     def reset_stats(self) -> None:
         with self._lock:
-            self._hits = self._misses = self._evictions = self._coalesced = 0
+            self._hits = self._misses = self._evictions = 0
+            self._coalesced = self._errors = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,287 @@
+"""Deterministic fault injection for the analysis runtime.
+
+Robustness code is only trustworthy if its failure paths run in CI, so
+this module lets tests (and the ``batch --inject`` CLI) plant precise
+faults into the batch pipeline: a *delay* (a cooperative hang that
+honours deadlines), a *raise* (any named exception, e.g. a transient
+flake or a ``MemoryError``), or a *kill* (hard ``os._exit`` of the
+worker process, provoking ``BrokenProcessPool`` recovery).
+
+Faults select their victims by graph **fingerprint prefix**, by graph
+**name**, or by **probability** — the probabilistic choice is derived
+from a seeded hash of ``(seed, fingerprint, rule)``, so it is fully
+deterministic per graph and independent of scheduling order, worker
+count or backend.  Rules can be limited to the first ``attempts``
+attempts of a graph, which is how the retry-with-backoff path is
+exercised: fail attempt 0, succeed on the retry.
+
+The whole plan is a value object of primitives, so it pickles cleanly
+into process-pool workers.
+
+>>> from repro.analysis.faults import FaultPlan, FaultRule
+>>> plan = FaultPlan((FaultRule(action="raise", name="modem",
+...                             exception="TransientWorkerError",
+...                             attempts=1),), seed=7)
+>>> plan  # doctest: +ELLIPSIS
+FaultPlan(1 rule, seed=7)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro import errors as _errors
+from repro.errors import ReproError, TransientWorkerError, WorkerCrashed
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "parse_fault",
+]
+
+#: Actions a rule may take when it matches.
+ACTIONS = ("delay", "hang", "raise", "kill")
+
+#: Exceptions injectable by name: the :mod:`repro.errors` family plus a
+#: small allow-list of builtins that matter for isolation testing.
+_BUILTIN_EXCEPTIONS = {
+    "ValueError": ValueError,
+    "RuntimeError": RuntimeError,
+    "MemoryError": MemoryError,
+    "KeyboardInterrupt": KeyboardInterrupt,
+    "OSError": OSError,
+}
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """Default exception of a ``raise`` rule with no explicit class."""
+
+
+def _resolve_exception(name: Optional[str]):
+    if name is None:
+        return FaultInjected
+    if name in _BUILTIN_EXCEPTIONS:
+        return _BUILTIN_EXCEPTIONS[name]
+    candidate = getattr(_errors, name, None)
+    if isinstance(candidate, type) and issubclass(candidate, BaseException):
+        return candidate
+    if name == "FaultInjected":
+        return FaultInjected
+    raise ValueError(
+        f"unknown injectable exception {name!r}; use a repro.errors class "
+        f"or one of {', '.join(sorted(_BUILTIN_EXCEPTIONS))}"
+    )
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault: *who* (selector) and *what* (action).
+
+    Exactly one selector should be set: ``fingerprint`` (a hex prefix of
+    the victim's content hash), ``name`` (exact graph name) or
+    ``probability`` (per-graph seeded coin flip).  ``attempts`` limits
+    the rule to the first N attempts of each graph (``None`` = every
+    attempt), which lets tests model transient faults that a retry
+    clears.
+    """
+
+    action: str
+    fingerprint: Optional[str] = None
+    name: Optional[str] = None
+    probability: Optional[float] = None
+    #: Seconds for ``delay``; ignored by other actions.
+    seconds: float = 0.0
+    #: Exception class name for ``raise`` (see :func:`_resolve_exception`).
+    exception: Optional[str] = None
+    #: Fire only on attempt numbers < ``attempts`` (None = always).
+    attempts: Optional[int] = None
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; use one of {ACTIONS}"
+            )
+        selectors = [
+            s for s in (self.fingerprint, self.name, self.probability)
+            if s is not None
+        ]
+        if len(selectors) != 1:
+            raise ValueError(
+                "exactly one of fingerprint=, name=, probability= must be set"
+            )
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability!r}"
+            )
+        if self.exception is not None:
+            _resolve_exception(self.exception)  # validate eagerly
+
+    def matches(self, name: str, fingerprint: str, attempt: int, seed: int,
+                index: int) -> bool:
+        if self.attempts is not None and attempt >= self.attempts:
+            return False
+        if self.fingerprint is not None:
+            return fingerprint.startswith(self.fingerprint)
+        if self.name is not None:
+            return name == self.name
+        # Probability: a coin flip keyed on (seed, fingerprint, rule index)
+        # only — the same graph draws the same verdict in any backend, any
+        # worker, any order.
+        digest = hashlib.sha256(
+            f"{seed}:{fingerprint}:{index}".encode()
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < self.probability
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable set of fault rules with a seed.
+
+    ``fire`` is the single entry point: the batch pipeline calls it once
+    per analysis attempt, and the plan sleeps/raises/kills according to
+    the first matching rule.  ``allow_kill`` distinguishes real process
+    workers (where ``kill`` may hard-exit) from thread/serial contexts
+    (where it degrades to raising :class:`repro.errors.WorkerCrashed`,
+    so a test cannot take the whole interpreter down by accident).
+    """
+
+    rules: Tuple[FaultRule, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def matching(self, name: str, fingerprint: str, attempt: int) -> Tuple[FaultRule, ...]:
+        return tuple(
+            rule
+            for index, rule in enumerate(self.rules)
+            if rule.matches(name, fingerprint, attempt, self.seed, index)
+        )
+
+    def fire(
+        self,
+        name: str,
+        fingerprint: str,
+        attempt: int = 0,
+        deadline=None,
+        allow_kill: bool = False,
+    ) -> None:
+        """Trigger every matching rule (deterministic order).
+
+        ``delay``/``hang`` sleep cooperatively in 1 ms slices, polling
+        ``deadline`` between slices — an injected hang therefore ends in
+        a clean :class:`repro.errors.AnalysisTimeout` whenever the
+        caller set a budget, never in a real hang.
+        """
+        for rule in self.matching(name, fingerprint, attempt):
+            if rule.action in ("delay", "hang"):
+                self._sleep(rule, deadline)
+            elif rule.action == "raise":
+                exc = _resolve_exception(rule.exception)
+                raise exc(
+                    f"injected fault for graph {name!r} "
+                    f"[{fingerprint[:12]}] (attempt {attempt})"
+                )
+            elif rule.action == "kill":
+                if allow_kill:
+                    os._exit(86)  # hard death: no cleanup, no excepthook
+                raise WorkerCrashed(
+                    f"injected worker kill for graph {name!r} "
+                    f"[{fingerprint[:12]}] (thread/serial backend: "
+                    "simulated as an error)",
+                    fingerprint=fingerprint,
+                )
+
+    @staticmethod
+    def _sleep(rule: FaultRule, deadline) -> None:
+        # "hang" = sleep forever (cooperatively); "delay" = bounded sleep.
+        end = None if rule.action == "hang" else time.monotonic() + rule.seconds
+        while end is None or time.monotonic() < end:
+            if deadline is not None:
+                deadline.check_now()
+            elif end is None:
+                raise FaultInjected(
+                    "injected hang with no deadline to honour; set a "
+                    "timeout or the analysis would block forever"
+                )
+            time.sleep(0.001)
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def __repr__(self) -> str:
+        n = len(self.rules)
+        return f"FaultPlan({n} rule{'s' if n != 1 else ''}, seed={self.seed})"
+
+
+def parse_fault(spec: str) -> FaultRule:
+    """Parse a CLI fault spec: ``<selector>:<action>[:<arg>][@attempts]``.
+
+    Selectors: ``fp=<hex-prefix>``, ``name=<graph name>``, ``p=<prob>``.
+    Actions: ``hang``, ``delay:<seconds>``, ``raise[:<ExceptionName>]``,
+    ``kill``.  A trailing ``@N`` fires only on the first N attempts.
+
+    >>> parse_fault("name=modem:kill")
+    FaultRule(action='kill', fingerprint=None, name='modem', probability=None, seconds=0.0, exception=None, attempts=None)
+    >>> parse_fault("p=0.25:raise:TransientWorkerError@1").attempts
+    1
+    """
+    attempts: Optional[int] = None
+    body = spec
+    if "@" in spec:
+        body, _, suffix = spec.rpartition("@")
+        try:
+            attempts = int(suffix)
+        except ValueError:
+            raise ValueError(f"bad attempts suffix in fault spec {spec!r}")
+    kind, eq, rest = body.partition("=")
+    pieces = rest.split(":")
+    # The selector value may itself contain ':' (fingerprints look like
+    # 'sdfg-v1:...'), so locate the action token instead of splitting at
+    # the first colon: it is the first piece past the value that names
+    # an action.
+    action_at = next(
+        (i for i in range(1, len(pieces)) if pieces[i] in ACTIONS), None
+    )
+    if not eq or action_at is None:
+        raise ValueError(
+            f"bad fault spec {spec!r}; expected "
+            "'<fp|name|p>=<value>:<action>[:<arg>][@attempts]'"
+        )
+    value = ":".join(pieces[:action_at])
+    action, args = pieces[action_at], pieces[action_at + 1:]
+
+    kwargs: Dict[str, Any] = {"attempts": attempts}
+    if kind == "fp":
+        kwargs["fingerprint"] = value
+    elif kind == "name":
+        kwargs["name"] = value
+    elif kind == "p":
+        kwargs["probability"] = float(value)
+    else:
+        raise ValueError(
+            f"unknown fault selector {kind!r} in {spec!r}; use fp=, name= or p="
+        )
+
+    if action == "delay":
+        if len(args) != 1:
+            raise ValueError(f"delay needs seconds, e.g. 'delay:0.5' ({spec!r})")
+        kwargs["seconds"] = float(args[0])
+    elif action == "raise":
+        if len(args) > 1:
+            raise ValueError(f"raise takes at most one exception name ({spec!r})")
+        kwargs["exception"] = args[0] if args else None
+    elif action in ("hang", "kill"):
+        if args:
+            raise ValueError(f"{action} takes no argument ({spec!r})")
+    else:
+        raise ValueError(
+            f"unknown fault action {action!r} in {spec!r}; use one of {ACTIONS}"
+        )
+    return FaultRule(action=action, **kwargs)

@@ -1,0 +1,176 @@
+"""Crash-safe, fingerprint-keyed journaling of batch runs.
+
+A long registry sweep that dies at graph 900 of 1000 — a worker
+segfault, an OOM kill, an operator Ctrl-C — should not cost the first
+899 results.  :class:`BatchJournal` appends one JSON line per finished
+graph, flushed and fsynced immediately, so the journal on disk is
+always a prefix of the truth: every line describes an analysis that
+really completed (or really failed), and a half-written trailing line
+from a mid-write crash is detected and ignored on load.
+
+Records are keyed by the graph's content fingerprint
+(:meth:`repro.sdf.graph.SDFGraph.fingerprint`), not its name or its
+position in the input list, so a resumed run may reorder, rename or
+extend the graph list and still skip exactly the work that is already
+done.  ``run_batch(..., resume=True)`` replays completed fingerprints
+from the journal and analyses only the rest.
+
+Values are journaled as JSON *summaries* (cycle times as exact
+fraction strings, repetition vectors as dicts) — enough to rebuild the
+report a human reads; replaying a resumed graph's full typed result
+object requires re-analysis (which the content-addressed cache makes
+cheap if the process is still warm).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Union
+
+__all__ = ["BatchJournal", "JournalRecord", "summarise_value"]
+
+
+def summarise_value(analysis: str, value: Any) -> Any:
+    """A JSON-able summary of one analysis value."""
+    if value is None:
+        return None
+    if analysis == "throughput":
+        return {
+            "cycle_time": None if value.cycle_time is None else str(value.cycle_time),
+            "method": value.method,
+            "unbounded": value.unbounded,
+        }
+    if analysis == "latency":
+        return {"makespan": str(value.makespan)}
+    if analysis == "repetition":
+        return dict(value)
+    if analysis == "symbolic_iteration":
+        return {
+            "tokens": value.token_count,
+            "firings": len(value.schedule),
+        }
+    if isinstance(value, Fraction):
+        return str(value)
+    return repr(value)
+
+
+@dataclass
+class JournalRecord:
+    """One journaled per-graph outcome."""
+
+    name: str
+    fingerprint: str
+    ok: bool
+    values: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    duration: float = 0.0
+    quarantined: bool = False
+    attempts: int = 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "result",
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "ok": self.ok,
+            "values": self.values,
+            "error": self.error,
+            "error_type": self.error_type,
+            "duration": self.duration,
+            "quarantined": self.quarantined,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JournalRecord":
+        return cls(
+            name=data["name"],
+            fingerprint=data["fingerprint"],
+            ok=bool(data.get("ok", False)),
+            values=dict(data.get("values") or {}),
+            error=data.get("error"),
+            error_type=data.get("error_type"),
+            duration=float(data.get("duration", 0.0)),
+            quarantined=bool(data.get("quarantined", False)),
+            attempts=int(data.get("attempts", 1)),
+        )
+
+
+class BatchJournal:
+    """Append-only JSONL journal of one (possibly resumed) batch run.
+
+    Opened lazily on the first write; every record is flushed *and*
+    fsynced before :meth:`record` returns, so a crash immediately after
+    a graph finishes cannot lose that graph.  Reading tolerates a
+    truncated final line (the crash landed mid-write) and later records
+    for a fingerprint supersede earlier ones (a resumed run re-analysing
+    a previously failed graph rewrites its verdict).
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._file: Optional[IO[str]] = None
+
+    # -- writing --------------------------------------------------------
+
+    def record(self, record: JournalRecord) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("a", encoding="utf-8")
+        line = json.dumps(record.as_dict(), sort_keys=True)
+        self._file.write(line + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading --------------------------------------------------------
+
+    def load(self) -> Dict[str, JournalRecord]:
+        """All journaled records, keyed by fingerprint (last one wins).
+
+        Missing file → empty dict (a fresh run).  A corrupt *trailing*
+        line is skipped (interrupted write); a corrupt line in the
+        middle raises, because it means the file is not ours.
+        """
+        if not self.path.exists():
+            return {}
+        records: Dict[str, JournalRecord] = {}
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break  # torn tail from a crash mid-write: ignore
+                raise ValueError(
+                    f"corrupt journal line {index + 1} in {self.path}: {line[:80]!r}"
+                )
+            if data.get("kind") != "result":
+                continue
+            record = JournalRecord.from_dict(data)
+            records[record.fingerprint] = record
+        return records
+
+    def completed_fingerprints(self) -> List[str]:
+        """Fingerprints whose latest record is a success (resume skips these)."""
+        return [fp for fp, rec in self.load().items() if rec.ok]
+
+    def __repr__(self) -> str:
+        return f"BatchJournal({str(self.path)!r})"

@@ -1,0 +1,444 @@
+"""Tiered, deadline-bounded throughput analysis with sound degradation.
+
+The paper's practical insight (Theorem 1) is that an answer does not
+have to be exact to be useful — it has to be *sound*.  The abstracted
+graph's throughput, divided by the phase count N, lower-bounds the real
+throughput: τ(a) ≥ τ'(α(a))/N.  So when exact analysis blows its time
+budget, a much cheaper conservative bound is still available, and a
+production service should degrade to it rather than hang or fail.
+
+:class:`AnalysisPolicy` encodes that degradation as an explicit fallback
+chain.  The default chain mirrors the paper's cost ladder:
+
+1. ``simulation`` — exact state-space exploration (reference [8]); the
+   most literal semantics, but with state spaces that can explode;
+2. ``symbolic`` — exact max-plus analysis through the symbolic N(N+2)
+   conversion (Algorithm 1) + Karp's MCM, the paper's cheaper exact path;
+3. ``abstraction`` — the Theorem 1 lower bound: abstract the graph
+   (automatic grouping discovery), analyse the small abstract graph
+   exactly, scale by N.  Conservative, orders of magnitude cheaper.
+
+Each stage runs under a sub-deadline carved out of the overall budget;
+a stage that times out (or fails) is recorded in the outcome's
+*provenance* and the chain moves on.  The result is always an
+:class:`AnalysisOutcome` tagged ``exact``, ``conservative-bound`` or
+``timed-out`` — callers get the best sound answer the budget allowed,
+and they can see exactly where it came from.
+
+Timed-out computations are never cached as final: the cache layer only
+stores values that were actually produced, and exact results reached
+through a policy are shared with plain :func:`throughput` calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.deadline import CancelToken, Deadline
+from repro.analysis.throughput import ThroughputResult, throughput
+from repro.errors import (
+    AnalysisCancelled,
+    AnalysisInterrupted,
+    AnalysisTimeout,
+    NoAbstractionFoundError,
+    ReproError,
+)
+from repro.sdf.graph import SDFGraph
+
+__all__ = [
+    "AnalysisOutcome",
+    "AnalysisPolicy",
+    "StageAttempt",
+    "analyse_with_policy",
+    "DEFAULT_STAGES",
+]
+
+#: The paper's cost ladder: exact state-space, exact symbolic, Theorem 1.
+DEFAULT_STAGES: Tuple[str, ...] = ("simulation", "symbolic", "abstraction")
+
+#: Stages a policy may name (``hsdf`` is exact but usually dominated by
+#: ``symbolic``; it is available for cross-checking policies).
+KNOWN_STAGES: Tuple[str, ...] = ("simulation", "symbolic", "hsdf", "abstraction")
+
+#: Outcome tags.
+EXACT = "exact"
+CONSERVATIVE = "conservative-bound"
+TIMED_OUT = "timed-out"
+
+
+@dataclass(frozen=True)
+class StageAttempt:
+    """Provenance of one fallback-chain stage: what ran, how it ended."""
+
+    stage: str
+    status: str  # "ok" | "timeout" | "cancelled" | "error" | "skipped"
+    duration: float
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    #: Partial-progress counters from an interrupted stage (how far the
+    #: hot loop got before the deadline fired).
+    progress: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "status": self.status,
+            "duration": self.duration,
+            "error": self.error,
+            "error_type": self.error_type,
+            "progress": dict(self.progress),
+        }
+
+
+@dataclass
+class AnalysisOutcome:
+    """The best sound answer a policy could produce within budget.
+
+    ``status`` is one of
+
+    ``exact``
+        ``result`` holds the exact :class:`ThroughputResult`;
+        ``cycle_time_bound`` equals its cycle time.
+    ``conservative-bound``
+        No exact stage finished, but the Theorem 1 chain did:
+        ``cycle_time_bound`` is a sound *upper* bound on the iteration
+        period (equivalently, ``per_actor_bounds`` are sound *lower*
+        bounds on every actor's throughput).  ``bound_phase_count`` and
+        ``bound_abstract_cycle_time`` record the bound's provenance
+        (bound = N · λ').
+    ``timed-out``
+        Nothing sound could be produced in budget; ``provenance`` shows
+        how far each stage got.
+    """
+
+    graph_name: str
+    fingerprint: str
+    status: str
+    method: Optional[str] = None
+    result: Optional[ThroughputResult] = None
+    cycle_time_bound: Optional[Fraction] = None
+    repetition: Optional[Dict[str, int]] = None
+    provenance: List[StageAttempt] = field(default_factory=list)
+    elapsed: float = 0.0
+    #: Theorem 1 ingredients (conservative-bound outcomes only).
+    bound_phase_count: Optional[int] = None
+    bound_abstract_cycle_time: Optional[Fraction] = None
+    bound_strategy: Optional[str] = None
+
+    @property
+    def sound(self) -> bool:
+        """Did the policy produce a usable (exact or conservative) answer?"""
+        return self.status in (EXACT, CONSERVATIVE)
+
+    @property
+    def unbounded(self) -> bool:
+        """No recurrent timing constraint (within what was established)."""
+        return self.sound and (
+            self.cycle_time_bound is None or self.cycle_time_bound == 0
+        )
+
+    @property
+    def per_actor_bounds(self) -> Dict[str, Fraction]:
+        """Sound per-actor throughput lower bounds: γ(a)/bound.
+
+        For ``exact`` outcomes these are the exact rates; for
+        ``conservative-bound`` they satisfy Theorem 1's
+        τ(a) ≥ γ(a)/(N·λ').
+        """
+        if not self.sound:
+            raise ReproError(
+                f"outcome for {self.graph_name!r} is {self.status}; "
+                "no sound rates are available"
+            )
+        if self.unbounded:
+            raise ReproError(
+                "throughput is unbounded; check .unbounded before reading rates"
+            )
+        assert self.repetition is not None
+        return {
+            a: Fraction(g, 1) / self.cycle_time_bound
+            for a, g in self.repetition.items()
+        }
+
+    def describe(self) -> str:
+        lines = [f"{self.graph_name}: {self.status}"]
+        if self.status == EXACT:
+            lines[0] += f" via {self.method} (cycle time {self.cycle_time_bound})"
+        elif self.status == CONSERVATIVE:
+            lines[0] += (
+                f" via {self.method} (cycle time <= {self.cycle_time_bound} "
+                f"= {self.bound_phase_count} x {self.bound_abstract_cycle_time}, "
+                f"Theorem 1)"
+            )
+        for attempt in self.provenance:
+            detail = "" if attempt.ok else f" [{attempt.error_type}: {attempt.error}]"
+            if attempt.progress and not attempt.ok:
+                detail += f" progress={attempt.progress}"
+            lines.append(
+                f"  {attempt.stage}: {attempt.status} "
+                f"({attempt.duration:.3f}s){detail}"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "graph": self.graph_name,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "method": self.method,
+            "cycle_time_bound": (
+                None if self.cycle_time_bound is None else str(self.cycle_time_bound)
+            ),
+            "bound_phase_count": self.bound_phase_count,
+            "bound_abstract_cycle_time": (
+                None
+                if self.bound_abstract_cycle_time is None
+                else str(self.bound_abstract_cycle_time)
+            ),
+            "bound_strategy": self.bound_strategy,
+            "elapsed": self.elapsed,
+            "provenance": [a.as_dict() for a in self.provenance],
+        }
+
+
+@dataclass(frozen=True)
+class AnalysisPolicy:
+    """A fallback chain with a wall-clock budget.
+
+    ``timeout`` bounds the whole chain; each stage additionally gets
+    ``stage_timeouts.get(stage, timeout/len(stages))`` (so one slow
+    exact stage cannot starve the cheap conservative one), clamped to
+    the overall remaining budget.  With ``timeout=None`` stages run
+    unbounded — the chain then only degrades on *errors* (deadlocks
+    excluded: those are definitive, not degradable, and re-raise).
+
+    >>> from repro.graphs.examples import figure3_graph
+    >>> AnalysisPolicy(timeout=30.0).run(figure3_graph()).status
+    'exact'
+    """
+
+    stages: Tuple[str, ...] = DEFAULT_STAGES
+    timeout: Optional[float] = None
+    stage_timeouts: Optional[Dict[str, float]] = None
+    #: Grouping strategies tried (in order) by the abstraction stage.
+    abstraction_strategies: Tuple[str, ...] = ("name", "structural")
+
+    def __post_init__(self):
+        if not self.stages:
+            raise ValueError("policy needs at least one stage")
+        unknown = [s for s in self.stages if s not in KNOWN_STAGES]
+        if unknown:
+            raise ValueError(
+                f"unknown stages {unknown!r}; available: {', '.join(KNOWN_STAGES)}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout!r}")
+
+    # ------------------------------------------------------------------
+
+    def _stage_budget(self, stage: str, overall: Deadline) -> Deadline:
+        if self.stage_timeouts and stage in self.stage_timeouts:
+            return overall.sub(self.stage_timeouts[stage])
+        if self.timeout is None:
+            return overall.sub(None)
+        return overall.sub(self.timeout / len(self.stages))
+
+    def run(
+        self,
+        graph: SDFGraph,
+        cache: Optional[AnalysisCache] = None,
+        token: Optional[CancelToken] = None,
+    ) -> AnalysisOutcome:
+        """Walk the chain on ``graph``; always returns an outcome.
+
+        Definitive analysis verdicts — deadlock, inconsistency,
+        unbounded throughput — are *not* degradable (a fallback cannot
+        make a deadlocked graph run) and re-raise immediately.  Timeouts
+        and cancellations degrade to the next stage; a cancellation of
+        the shared token aborts the whole chain with ``timed-out``.
+        """
+        overall = Deadline(budget=self.timeout, token=token)
+        outcome = AnalysisOutcome(
+            graph_name=graph.name,
+            fingerprint=graph.fingerprint(),
+            status=TIMED_OUT,
+        )
+
+        for stage in self.stages:
+            budget = self._stage_budget(stage, overall)
+            start = overall.elapsed()
+            try:
+                if stage == "abstraction":
+                    self._run_abstraction(graph, budget, cache, outcome)
+                else:
+                    self._run_exact(graph, stage, budget, cache, outcome)
+            except AnalysisCancelled as interrupt:
+                outcome.provenance.append(StageAttempt(
+                    stage=stage,
+                    status="cancelled",
+                    duration=overall.elapsed() - start,
+                    error=str(interrupt),
+                    error_type=type(interrupt).__name__,
+                    progress=interrupt.progress,
+                ))
+                break  # a cancelled token stops the whole chain
+            except AnalysisTimeout as interrupt:
+                outcome.provenance.append(StageAttempt(
+                    stage=stage,
+                    status="timeout",
+                    duration=overall.elapsed() - start,
+                    error=str(interrupt),
+                    error_type=type(interrupt).__name__,
+                    progress=interrupt.progress,
+                ))
+            except (NoAbstractionFoundError, _DegradableStageError) as error:
+                cause = getattr(error, "__cause__", None) or error
+                outcome.provenance.append(StageAttempt(
+                    stage=stage,
+                    status="error",
+                    duration=overall.elapsed() - start,
+                    error=str(cause),
+                    error_type=type(cause).__name__,
+                ))
+            else:
+                outcome.provenance.append(StageAttempt(
+                    stage=stage, status="ok",
+                    duration=overall.elapsed() - start,
+                ))
+                break
+        outcome.elapsed = overall.elapsed()
+        return outcome
+
+    # -- stages ---------------------------------------------------------
+
+    def _run_exact(self, graph: SDFGraph, stage: str, budget: Deadline,
+                   cache: Optional[AnalysisCache],
+                   outcome: AnalysisOutcome) -> None:
+        from repro.errors import ConvergenceError
+
+        try:
+            if cache is not None:
+                result = cache.throughput(graph, method=stage, deadline=budget)
+            else:
+                result = throughput(graph, method=stage, deadline=budget)
+        except ConvergenceError as error:
+            # Method-specific surrender (e.g. the state space did not
+            # recur within max_states) — another stage may still answer,
+            # unlike definitive verdicts (deadlock, inconsistency).
+            raise _DegradableStageError(str(error)) from error
+        outcome.status = EXACT
+        outcome.method = stage
+        outcome.result = result
+        outcome.cycle_time_bound = result.cycle_time
+        outcome.repetition = dict(result.repetition)
+
+    def _run_abstraction(self, graph: SDFGraph, budget: Deadline,
+                         cache: Optional[AnalysisCache],
+                         outcome: AnalysisOutcome) -> None:
+        """The Theorem 1 stage: abstract, analyse small, scale by N.
+
+        Theorem 1 is stated (and sound) for homogeneous graphs, so a
+        multirate input is first run through the paper's *compact*
+        conversion (Algorithm 1) — which preserves the iteration period
+        exactly and is bounded by N(N+2) in the token count — and the
+        abstraction is discovered on that homogeneous equivalent.
+        Applying the Definition 4 edge formula directly to a multirate
+        graph is *not* conservative in general (property-tested), so
+        this stage never does.
+        """
+        from repro.core.abstraction import abstract_graph
+        from repro.core.grouping import discover_abstraction
+        from repro.core.hsdf_conversion import convert_to_hsdf
+        from repro.core.pruning import prune_redundant_edges
+        from repro.core.symbolic import symbolic_iteration
+        from repro.errors import DeadlockError
+        from repro.sdf.repetition import repetition_vector
+
+        if graph.is_homogeneous():
+            base = graph
+        else:
+            if cache is not None:
+                iteration = cache.symbolic_iteration(graph, deadline=budget)
+            else:
+                iteration = symbolic_iteration(graph, deadline=budget)
+            base = convert_to_hsdf(graph, iteration=iteration).graph
+            budget.check_now()
+
+        abstraction = None
+        strategy_used = None
+        errors: List[str] = []
+        for strategy in self.abstraction_strategies:
+            budget.check_now()
+            try:
+                candidate = discover_abstraction(base, strategy=strategy)
+            except NoAbstractionFoundError as error:
+                errors.append(f"{strategy}: {error}")
+                continue
+            # Identity-sized abstractions bound nothing better than the
+            # graph itself; require an actual reduction.
+            if len(candidate.groups()) < base.actor_count():
+                abstraction = candidate
+                strategy_used = strategy
+                break
+            errors.append(f"{strategy}: abstraction is trivial (no grouping)")
+        if abstraction is None:
+            raise NoAbstractionFoundError(
+                "no usable abstraction for the Theorem 1 bound: "
+                + "; ".join(errors)
+            )
+        abstract = prune_redundant_edges(
+            abstract_graph(base, abstraction), name=f"{graph.name}-abstract"
+        )
+        n = abstraction.phase_count
+        try:
+            if cache is not None:
+                bound = cache.throughput(abstract, method="symbolic",
+                                         deadline=budget)
+            else:
+                bound = throughput(abstract, method="symbolic", deadline=budget)
+        except DeadlockError as error:
+            # A valid abstraction may still deadlock (delays shuffled
+            # between phases): Theorem 1 then only certifies the vacuous
+            # zero-throughput bound, which helps no caller — degrade.
+            raise _DegradableStageError(
+                "abstract graph deadlocks; Theorem 1 bound is vacuous"
+            ) from error
+
+        outcome.status = CONSERVATIVE
+        outcome.method = "abstraction"
+        # Theorem 1: cycle_time(original) <= N * cycle_time(abstract).
+        outcome.cycle_time_bound = (
+            None if bound.cycle_time is None else n * bound.cycle_time
+        )
+        outcome.repetition = repetition_vector(graph)
+        outcome.bound_phase_count = n
+        outcome.bound_abstract_cycle_time = bound.cycle_time
+        outcome.bound_strategy = strategy_used
+
+
+class _DegradableStageError(ReproError, RuntimeError):
+    """Internal: a stage failed in a way the chain may degrade past."""
+
+
+def analyse_with_policy(
+    graph: SDFGraph,
+    timeout: Optional[float] = None,
+    stages: Sequence[str] = DEFAULT_STAGES,
+    cache: Optional[AnalysisCache] = None,
+    token: Optional[CancelToken] = None,
+) -> AnalysisOutcome:
+    """One-call convenience over :class:`AnalysisPolicy`.
+
+    >>> from repro.graphs.examples import figure3_graph
+    >>> analyse_with_policy(figure3_graph(), timeout=30.0).sound
+    True
+    """
+    policy = AnalysisPolicy(stages=tuple(stages), timeout=timeout)
+    return policy.run(graph, cache=cache, token=token)

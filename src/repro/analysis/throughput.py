@@ -112,7 +112,10 @@ def hsdf_cycle_ratio_graph(graph: SDFGraph) -> RatioGraph:
 
 
 def throughput(
-    graph: SDFGraph, method: str = "symbolic", precheck: bool = False
+    graph: SDFGraph,
+    method: str = "symbolic",
+    precheck: bool = False,
+    deadline=None,
 ) -> ThroughputResult:
     """Compute the exact throughput of ``graph`` (see module docstring).
 
@@ -125,6 +128,13 @@ def throughput(
     finding raises :class:`repro.errors.LintError` *before* analysis
     work starts — a complete structured diagnosis instead of the first
     exception an algorithm happens to trip over.
+
+    ``deadline`` (a :class:`repro.analysis.deadline.Deadline`) bounds
+    the analysis cooperatively: every back-end polls it in its hot loop
+    and raises :class:`repro.errors.AnalysisTimeout` with
+    partial-progress metadata instead of running on.  The input graph
+    is never mutated, so a timed-out call can be retried (or degraded
+    through :class:`repro.analysis.resilience.AnalysisPolicy`).
     """
     if precheck:
         from repro.lint.engine import ensure_lint_clean
@@ -132,11 +142,11 @@ def throughput(
         ensure_lint_clean(graph)
     gamma = repetition_vector(graph)
     if method == "symbolic":
-        iteration = symbolic_iteration(graph)
-        lam = eigenvalue(iteration.matrix)
+        iteration = symbolic_iteration(graph, deadline=deadline)
+        lam = eigenvalue(iteration.matrix, deadline=deadline)
         return ThroughputResult(cycle_time=lam, repetition=gamma, method=method)
     if method == "simulation":
-        measured = simulation_throughput(graph)
+        measured = simulation_throughput(graph, deadline=deadline)
         # Iterations per period: firings(a)/γ(a) is equal for all actors
         # in the periodic phase of a consistent graph.
         any_actor = next(iter(gamma))
@@ -157,9 +167,13 @@ def throughput(
         from repro.errors import DeadlockError
         from repro.mcm.graphlib import ZeroTransitCycleError
 
-        expanded = graph if graph.is_homogeneous() else traditional_hsdf(graph)
+        expanded = (
+            graph
+            if graph.is_homogeneous()
+            else traditional_hsdf(graph, deadline=deadline)
+        )
         try:
-            result = howard_mcr(hsdf_cycle_ratio_graph(expanded))
+            result = howard_mcr(hsdf_cycle_ratio_graph(expanded), deadline=deadline)
         except ZeroTransitCycleError as error:
             # A token-free dependency cycle is a deadlock; report it in
             # the same vocabulary as the other back-ends.

@@ -111,8 +111,28 @@ def cmd_info(args) -> int:
 
 
 def cmd_throughput(args) -> int:
+    from repro.analysis.deadline import Deadline
+    from repro.errors import AnalysisTimeout
+
     g = load_graph(args.graph)
-    result = throughput(g, method=args.method, precheck=args.lint)
+    if args.fallback:
+        from repro.analysis.resilience import analyse_with_policy
+
+        outcome = analyse_with_policy(g, timeout=args.timeout)
+        print(outcome.describe())
+        return 0 if outcome.status != "timed-out" else 3
+    deadline = Deadline.after(args.timeout) if args.timeout else None
+    try:
+        result = throughput(g, method=args.method, precheck=args.lint,
+                            deadline=deadline)
+    except AnalysisTimeout as error:
+        progress = ", ".join(f"{k}={v}" for k, v in error.progress.items())
+        print(f"error: analysis timed out after {error.elapsed:.2f}s "
+              f"in stage {error.stage or '?'}"
+              + (f" ({progress})" if progress else ""), file=sys.stderr)
+        print("hint: re-run with --fallback for a conservative bound "
+              "(Theorem 1)", file=sys.stderr)
+        return 3
     if result.unbounded:
         print("throughput: unbounded (no recurrent timing constraint)")
         return 0
@@ -134,10 +154,18 @@ def cmd_latency(args) -> int:
 def cmd_batch(args) -> int:
     from repro.analysis.batch import ANALYSES, run_batch
     from repro.analysis.cache import default_cache
+    from repro.analysis.faults import FaultPlan, parse_fault
 
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    journal = args.journal or args.resume
+    faults = None
+    if args.inject:
+        faults = FaultPlan(
+            tuple(parse_fault(spec) for spec in args.inject),
+            seed=args.fault_seed,
+        )
     specs = list(args.graphs)
     graphs = []
     if args.registry:
@@ -159,26 +187,46 @@ def cmd_batch(args) -> int:
         workers=args.workers,
         cache=cache,
         lint=args.lint,
+        timeout=args.timeout,
+        retries=args.retries,
+        faults=faults,
+        journal=journal,
+        resume=bool(args.resume),
     )
     after = report.cache_stats
 
-    print(f"{'graph':<26} {'status':<8} {'cycle time':>14} {'time':>9}")
+    print(f"{'graph':<26} {'status':<11} {'cycle time':>14} {'time':>9}")
     for result in report.results:
         if result.ok:
             tr = result.values.get("throughput")
-            cycle = "-" if tr is None else (
-                "unbounded" if tr.unbounded else _fmt(tr.cycle_time)
-            )
-            print(f"{result.name:<26} {'ok':<8} {cycle:>14} {result.duration:>8.3f}s")
+            if isinstance(tr, dict):  # resumed from journal: JSON summary
+                cycle = "unbounded" if tr.get("unbounded") else tr.get("cycle_time", "-")
+            elif tr is None:
+                cycle = "-"
+            else:
+                cycle = "unbounded" if tr.unbounded else _fmt(tr.cycle_time)
+            status = "resumed" if result.resumed else "ok"
+            print(f"{result.name:<26} {status:<11} {cycle:>14} "
+                  f"{result.duration:>8.3f}s")
         else:
-            print(f"{result.name:<26} {'FAILED':<8} {result.error_type:>14} "
+            status = "QUARANTINE" if result.quarantined else (
+                "TIMEOUT" if result.timed_out else "FAILED")
+            print(f"{result.name:<26} {status:<11} {result.error_type:>14} "
                   f"{result.duration:>8.3f}s")
             print(f"  {result.error}")
     hits = after.hits - before.hits
     misses = after.misses - before.misses
     rate = hits / (hits + misses) if hits + misses else 0.0
-    print(f"\n{len(report.ok)}/{len(report.results)} ok in {report.duration:.3f}s "
-          f"({report.backend}, {report.workers} workers)")
+    summary = (f"\n{len(report.ok)}/{len(report.results)} ok in "
+               f"{report.duration:.3f}s ({report.backend}, "
+               f"{report.workers} workers)")
+    if report.resumed:
+        summary += f", {len(report.resumed)} resumed from journal"
+    if report.quarantined:
+        summary += f", {len(report.quarantined)} quarantined"
+    print(summary)
+    if journal:
+        print(f"journal: {journal}")
     print(f"cache: {hits} hits / {misses} misses this run "
           f"(hit rate {rate:.0%}; lifetime {after.hit_rate:.0%}, "
           f"{after.size}/{after.maxsize} entries)")
@@ -452,6 +500,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default="symbolic")
     p.add_argument("--lint", action="store_true",
                    help="lint first; refuse graphs with error findings")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="cooperative deadline for the analysis")
+    p.add_argument("--fallback", action="store_true",
+                   help="on timeout, degrade through the tiered policy "
+                        "(exact -> symbolic -> Theorem-1 conservative bound)")
     p.set_defaults(func=cmd_throughput)
 
     p = sub.add_parser("batch", help="analyse many graphs concurrently (cached)")
@@ -471,6 +524,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lint", choices=("error", "warning"), default=None,
                    help="pre-analysis lint gate: fail graphs with findings "
                         "at this severity before analysing them")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-graph cooperative deadline")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retries (with backoff) for transient failures")
+    p.add_argument("--journal", metavar="FILE",
+                   help="append every finished graph to this crash-safe "
+                        "JSONL journal")
+    p.add_argument("--resume", metavar="JOURNAL",
+                   help="skip graphs this journal records as completed and "
+                        "keep journaling to it")
+    p.add_argument("--inject", action="append", metavar="SPEC", default=[],
+                   help="deterministic fault injection, e.g. "
+                        "'name=modem:kill', 'p=0.2:raise:"
+                        "TransientWorkerError@1', 'fp=sdfg-v1:ab:hang' "
+                        "(repeatable)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for probabilistic fault selectors")
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("latency", help="single-iteration latency")

@@ -78,7 +78,7 @@ def initial_token_ids(graph: SDFGraph) -> Tuple[TokenId, ...]:
 
 
 def symbolic_iteration(
-    graph: SDFGraph, schedule: Optional[List[str]] = None
+    graph: SDFGraph, schedule: Optional[List[str]] = None, deadline=None
 ) -> SymbolicIteration:
     """Execute one iteration of ``graph`` symbolically (Algorithm 1, lines 2-11).
 
@@ -89,6 +89,11 @@ def symbolic_iteration(
     * :class:`DeadlockError` (via scheduling) when no iteration completes,
     * :class:`UnboundedThroughputError` when an actor has no incoming
       edges (its firing times would be unconstrained).
+
+    One iteration is Σγ(a) firings, so graphs with large repetition
+    vectors make even the symbolic walk slow; ``deadline`` (a
+    :class:`repro.analysis.deadline.Deadline`) is polled once per firing
+    and :class:`repro.errors.AnalysisTimeout` reports the firing reached.
     """
     for actor in graph.actor_names:
         if not graph.in_edges(actor):
@@ -112,7 +117,17 @@ def symbolic_iteration(
     firing_completions: Dict[Tuple[str, int], MaxPlusVector] = {}
     firing_counts: Dict[str, int] = {a: 0 for a in graph.actor_names}
 
-    for actor in schedule:
+    progress = (
+        deadline.checkpoint(
+            "symbolic-iteration", {"firing": 0, "firings_total": len(schedule)}
+        )
+        if deadline is not None
+        else None
+    )
+    for firing_index, actor in enumerate(schedule):
+        if deadline is not None:
+            progress["firing"] = firing_index
+            deadline.check()
         consumed: List[MaxPlusVector] = []
         for edge in graph.in_edges(actor):
             channel = channels[edge.name]

@@ -59,6 +59,63 @@ class ConvergenceError(ReproError, RuntimeError):
     """An iterative analysis exceeded its step budget without converging."""
 
 
+class AnalysisInterrupted(ReproError, RuntimeError):
+    """An analysis stopped before producing a result (base of the
+    deadline/cancellation family; see :mod:`repro.analysis.deadline`).
+
+    ``stage`` names the analysis phase that was interrupted and
+    ``progress`` is a small dict of partial-progress counters (e.g. the
+    Karp level reached, events simulated) — enough to report how far the
+    work got and to size a retry budget.
+    """
+
+    def __init__(self, message: str, stage=None, progress=None, elapsed=None):
+        super().__init__(message)
+        self.stage = stage
+        self.progress = dict(progress or {})
+        self.elapsed = elapsed
+
+
+class AnalysisTimeout(AnalysisInterrupted):
+    """A deadline expired mid-analysis (cooperative check, not a signal).
+
+    ``budget`` is the wall-clock allowance in seconds; ``elapsed`` how
+    long the analysis actually ran before noticing.
+    """
+
+    def __init__(self, message: str, stage=None, progress=None, elapsed=None,
+                 budget=None):
+        super().__init__(message, stage=stage, progress=progress, elapsed=elapsed)
+        self.budget = budget
+
+
+class AnalysisCancelled(AnalysisInterrupted):
+    """A :class:`repro.analysis.deadline.CancelToken` was cancelled."""
+
+
+class TransientWorkerError(ReproError, RuntimeError):
+    """A failure presumed transient (I/O hiccup, injected flake).
+
+    The batch runner retries these with backoff (``retries``/``backoff``
+    of :func:`repro.analysis.batch.run_batch`) before recording a
+    failure; any other error is treated as deterministic and fails the
+    graph immediately.
+    """
+
+
+class WorkerCrashed(ReproError, RuntimeError):
+    """A batch worker process died mid-analysis (segfault, kill, OOM).
+
+    Raised by the batch runner's process backend after it has isolated
+    the responsible graph; ``fingerprint`` identifies the quarantined
+    graph.
+    """
+
+    def __init__(self, message: str, fingerprint=None):
+        super().__init__(message)
+        self.fingerprint = fingerprint
+
+
 class LintError(ReproError, ValueError):
     """A model failed a pre-analysis lint gate.
 

@@ -223,7 +223,9 @@ def _unfolding_blowup(ctx: LintContext) -> Iterator[Diagnostic]:
                 "symbolic_bound": tokens * (tokens + 2),
             },
             fix="use convert_to_hsdf / throughput(method='symbolic') instead "
-            "of traditional_hsdf or large unfolding factors",
+            "of traditional_hsdf or large unfolding factors; if even that "
+            "is too slow, analyse_with_policy(graph, timeout=...) degrades "
+            "to a Theorem-1 conservative bound (see docs/robustness.md)",
         )
 
 

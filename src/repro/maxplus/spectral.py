@@ -40,33 +40,35 @@ def precedence_graph(matrix: MaxPlusMatrix) -> RatioGraph:
     return graph
 
 
-def eigenvalue(matrix: MaxPlusMatrix) -> Optional[Fraction]:
+def eigenvalue(matrix: MaxPlusMatrix, deadline=None) -> Optional[Fraction]:
     """The largest max-plus eigenvalue, or ``None`` for a nilpotent matrix.
 
     Computed exactly as the maximum cycle mean of the precedence graph
     (Karp's algorithm per strongly connected component).  ``None`` means
     the precedence graph is acyclic: ``M^k`` is eventually all-ε and no
-    recurrent timing constraint exists.
+    recurrent timing constraint exists.  ``deadline`` (a
+    :class:`repro.analysis.deadline.Deadline`) bounds the MCM iteration
+    cooperatively.
     """
-    result = karp_mcm(precedence_graph(matrix))
+    result = karp_mcm(precedence_graph(matrix), deadline=deadline)
     return result.value
 
 
-def critical_indices(matrix: MaxPlusMatrix) -> Tuple[Optional[Fraction], list]:
+def critical_indices(matrix: MaxPlusMatrix, deadline=None) -> Tuple[Optional[Fraction], list]:
     """Eigenvalue plus the index cycle that attains it (critical cycle)."""
-    result = karp_mcm(precedence_graph(matrix))
+    result = karp_mcm(precedence_graph(matrix), deadline=deadline)
     if result.value is None:
         return None, []
     return result.value, result.cycle_nodes()
 
 
-def cycle_time(matrix: MaxPlusMatrix) -> Fraction:
+def cycle_time(matrix: MaxPlusMatrix, deadline=None) -> Fraction:
     """Like :func:`eigenvalue` but returns 0 for nilpotent matrices.
 
     Zero cycle time means one iteration imposes no recurrent lower bound:
     iterations can overlap without limit.
     """
-    value = eigenvalue(matrix)
+    value = eigenvalue(matrix, deadline=deadline)
     return Fraction(0) if value is None else value
 
 
@@ -74,6 +76,7 @@ def power_iteration_cycle_time(
     matrix: MaxPlusMatrix,
     start: Optional[MaxPlusVector] = None,
     max_steps: int = 100_000,
+    deadline=None,
 ) -> Fraction:
     """Cycle time via the max-plus power method (cross-check for Karp).
 
@@ -88,7 +91,15 @@ def power_iteration_cycle_time(
         raise ValueError("power iteration requires a square matrix")
     x = start if start is not None else MaxPlusVector.zeros(matrix.nrows)
     seen: dict = {}
+    progress = (
+        deadline.checkpoint("power-iteration", {"step": 0, "max_steps": max_steps})
+        if deadline is not None
+        else None
+    )
     for step in range(max_steps):
+        if deadline is not None:
+            progress["step"] = step
+            deadline.check()
         norm = x.norm()
         key = x.normalised()
         if key in seen:

@@ -28,11 +28,18 @@ from repro.mcm.graphlib import (
 )
 
 
-def howard_mcr(graph: RatioGraph, max_iterations: Optional[int] = None) -> CycleRatioResult:
+def howard_mcr(
+    graph: RatioGraph,
+    max_iterations: Optional[int] = None,
+    deadline=None,
+) -> CycleRatioResult:
     """Maximum cycle ratio of ``graph`` via policy iteration.
 
     Raises :class:`ZeroTransitCycleError` when a token-free cycle exists
     (the ratio would be unbounded — a deadlock in dataflow terms).
+    ``deadline`` (a :class:`repro.analysis.deadline.Deadline`) is polled
+    once per policy-iteration round; on expiry the raised
+    :class:`repro.errors.AnalysisTimeout` reports the SCC and round.
     """
     zero_cycle = graph.find_zero_transit_cycle()
     if zero_cycle is not None:
@@ -40,15 +47,23 @@ def howard_mcr(graph: RatioGraph, max_iterations: Optional[int] = None) -> Cycle
 
     best: Optional[Fraction] = None
     best_cycle = None
-    for scc in graph.nontrivial_sccs():
-        value, cycle = _howard_scc(scc, max_iterations)
+    progress = (
+        deadline.checkpoint("howard-mcr", {"scc": 0, "round": 0})
+        if deadline is not None
+        else None
+    )
+    for scc_index, scc in enumerate(graph.nontrivial_sccs()):
+        if progress is not None:
+            progress["scc"] = scc_index
+        value, cycle = _howard_scc(scc, max_iterations, deadline, progress)
         if best is None or value > best:
             best = value
             best_cycle = cycle
     return CycleRatioResult(best, best_cycle).check()
 
 
-def _howard_scc(scc: RatioGraph, max_iterations: Optional[int]):
+def _howard_scc(scc: RatioGraph, max_iterations: Optional[int],
+                deadline=None, progress=None):
     nodes = scc.nodes
     order = {node: i for i, node in enumerate(nodes)}
     if max_iterations is None:
@@ -61,7 +76,11 @@ def _howard_scc(scc: RatioGraph, max_iterations: Optional[int]):
         for node in nodes
     }
 
-    for _ in range(max_iterations):
+    for round_index in range(max_iterations):
+        if deadline is not None:
+            if progress is not None:
+                progress["round"] = round_index
+            deadline.check_now()
         value, dist = _evaluate_policy(scc, nodes, order, policy)
 
         # Stage 1: value improvement — switch to edges whose target sees a

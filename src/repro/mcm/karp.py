@@ -18,18 +18,26 @@ which is where the paper's HSDF conversion needs it.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.mcm.graphlib import CycleRatioResult, RatioGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.deadline import Deadline
 
 _EPS = float("-inf")
 
 
-def karp_mcm(graph: RatioGraph) -> CycleRatioResult:
+def karp_mcm(
+    graph: RatioGraph, deadline: Optional["Deadline"] = None
+) -> CycleRatioResult:
     """Maximum cycle mean of ``graph`` (all transit times must be 1).
 
     Returns :class:`CycleRatioResult` with the exact MCM and a critical
-    cycle, or ``value=None`` for an acyclic graph.
+    cycle, or ``value=None`` for an acyclic graph.  ``deadline`` is
+    polled once per dynamic-programming level per SCC (the O(n·m) hot
+    loop); on expiry :class:`repro.errors.AnalysisTimeout` reports the
+    SCC and level reached.
     """
     for e in graph.edges:
         if e.transit != 1:
@@ -39,24 +47,37 @@ def karp_mcm(graph: RatioGraph) -> CycleRatioResult:
             )
     best: Optional[Fraction] = None
     best_cycle = None
-    for scc in graph.nontrivial_sccs():
-        value, cycle = _karp_scc(scc)
+    progress = (
+        deadline.checkpoint("karp-mcm", {"scc": 0, "level": 0, "levels": 0})
+        if deadline is not None
+        else None
+    )
+    for scc_index, scc in enumerate(graph.nontrivial_sccs()):
+        if progress is not None:
+            progress["scc"] = scc_index
+        value, cycle = _karp_scc(scc, deadline, progress)
         if best is None or value > best:
             best = value
             best_cycle = cycle
     return CycleRatioResult(best, best_cycle).check()
 
 
-def _karp_scc(scc: RatioGraph):
+def _karp_scc(scc: RatioGraph, deadline=None, progress=None):
     nodes = scc.nodes
     n = len(nodes)
     source = nodes[0]
+    if progress is not None:
+        progress["levels"] = n
 
     # D[k][v]: max weight of a k-edge walk source -> v; parent edge for traceback.
     level = {source: Fraction(0)}
     parent: list[dict] = [dict()]
     levels = [level]
-    for _ in range(n):
+    for k in range(n):
+        if deadline is not None:
+            if progress is not None:
+                progress["level"] = k
+            deadline.check()
         nxt: dict = {}
         par: dict = {}
         for u, du in levels[-1].items():
@@ -72,6 +93,8 @@ def _karp_scc(scc: RatioGraph):
     best_value: Optional[Fraction] = None
     best_node = None
     for v, dn in final.items():
+        if deadline is not None:
+            deadline.check()
         v_min: Optional[Fraction] = None
         for k in range(n):
             dk = levels[k].get(v)

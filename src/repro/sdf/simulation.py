@@ -48,7 +48,7 @@ class SelfTimedSimulation:
     #: often at one instant).
     MAX_STARTS_PER_INSTANT = 1_000_000
 
-    def __init__(self, graph: SDFGraph, record_trace: bool = False):
+    def __init__(self, graph: SDFGraph, record_trace: bool = False, deadline=None):
         for actor in graph.actor_names:
             if not graph.in_edges(actor):
                 raise UnboundedThroughputError(
@@ -58,6 +58,7 @@ class SelfTimedSimulation:
                     actor=actor,
                 )
         self.graph = graph
+        self.deadline = deadline
         self.now: Fraction = Fraction(0)
         self.tokens: Dict[str, int] = {e.name: e.tokens for e in graph.edges}
         #: Ongoing firings as a sorted list of (completion time, actor).
@@ -77,6 +78,8 @@ class SelfTimedSimulation:
         while progress:
             progress = False
             for actor in self.graph.actor_names:
+                if self.deadline is not None:
+                    self.deadline.check()
                 while self._enabled(actor):
                     for e in self.graph.in_edges(actor):
                         self.tokens[e.name] -= e.consumption
@@ -169,7 +172,7 @@ class SimulatedThroughput:
 
 
 def simulation_throughput(
-    graph: SDFGraph, max_states: int = 200_000
+    graph: SDFGraph, max_states: int = 200_000, deadline=None
 ) -> SimulatedThroughput:
     """Throughput by explicit state-space exploration.
 
@@ -179,11 +182,30 @@ def simulation_throughput(
     deadlocked graphs and :class:`ConvergenceError` when no recurrence
     shows up within ``max_states`` events (e.g. unbounded token build-up
     in a non-strongly-connected graph).
+
+    ``deadline`` (a :class:`repro.analysis.deadline.Deadline`) is polled
+    once per event; on expiry :class:`repro.errors.AnalysisTimeout`
+    reports how many events and states were explored.  The input graph
+    is never mutated, so a timed-out exploration can simply be re-run.
     """
-    sim = SelfTimedSimulation(graph)
+    # Register the checkpoint before building the simulation, so even a
+    # timeout raised from the constructor's first firings is attributed.
+    progress = (
+        deadline.checkpoint(
+            "state-space-exploration",
+            {"events": 0, "max_states": max_states, "states_seen": 1},
+        )
+        if deadline is not None
+        else None
+    )
+    sim = SelfTimedSimulation(graph, deadline=deadline)
     seen: Dict[Tuple, Tuple[Fraction, Dict[str, int]]] = {}
     seen[sim.state_key()] = (sim.now, dict(sim.firings))
-    for _ in range(max_states):
+    for event in range(max_states):
+        if deadline is not None:
+            progress["events"] = event
+            progress["states_seen"] = len(seen)
+            deadline.check()
         if sim.is_deadlocked:
             raise DeadlockError(
                 f"self-timed execution of {graph.name!r} deadlocked at time {sim.now}"

@@ -31,7 +31,9 @@ def firing_name(actor: str, index: int) -> str:
 
 
 def traditional_hsdf(
-    graph: SDFGraph, repetitions: Optional[Dict[str, int]] = None
+    graph: SDFGraph,
+    repetitions: Optional[Dict[str, int]] = None,
+    deadline=None,
 ) -> SDFGraph:
     """The classical homogeneous expansion of a consistent SDF graph.
 
@@ -40,13 +42,35 @@ def traditional_hsdf(
     every per-firing dependency is preserved one-to-one (unlike the
     paper's compact conversion, which preserves only the aggregate
     timing).
+
+    The expansion has Σγ(a) actors, which is exponential in the rates —
+    exactly the blow-up the paper's Table 1 quantifies — so ``deadline``
+    (a :class:`repro.analysis.deadline.Deadline`) is polled throughout;
+    on expiry :class:`repro.errors.AnalysisTimeout` reports how many
+    copies and dependency edges had been materialised.
     """
     if repetitions is None:
         repetitions = repetition_vector(graph)
 
+    progress = (
+        deadline.checkpoint(
+            "traditional-hsdf",
+            {
+                "copies": 0,
+                "copies_total": sum(repetitions.values()),
+                "dependencies": 0,
+            },
+        )
+        if deadline is not None
+        else None
+    )
+
     hsdf = SDFGraph(f"{graph.name}-hsdf")
     for actor in graph.actors:
         for i in range(repetitions[actor.name]):
+            if deadline is not None:
+                progress["copies"] += 1
+                deadline.check()
             hsdf.add_actor(firing_name(actor.name, i), actor.execution_time)
 
     # Collect minimal delays for each copy pair before materialising edges.
@@ -54,6 +78,9 @@ def traditional_hsdf(
     for edge in graph.edges:
         gamma_src = repetitions[edge.source]
         for i in range(repetitions[edge.target]):
+            if deadline is not None:
+                progress["dependencies"] = len(delays)
+                deadline.check()
             for l in range(edge.consumption):
                 m = i * edge.consumption + l
                 produced_at = m - edge.tokens

@@ -1,0 +1,238 @@
+"""Batch hardening: journal/resume, retries, quarantine, isolation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.batch import analyse_graph, run_batch
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.deadline import CancelToken
+from repro.analysis.faults import FaultPlan, FaultRule
+from repro.analysis.journal import BatchJournal, JournalRecord
+from repro.analysis.throughput import throughput
+from repro.graphs.dsp import modem, satellite_receiver
+from repro.graphs.examples import figure3_graph
+from repro.graphs.multimedia import mp3_playback
+
+
+def small_graphs():
+    return [figure3_graph(), modem(), satellite_receiver()]
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with BatchJournal(path) as journal:
+            journal.record(JournalRecord(
+                name="g", fingerprint="fp-1", ok=True,
+                values={"throughput": {"cycle_time": "41"}},
+            ))
+            journal.record(JournalRecord(
+                name="h", fingerprint="fp-2", ok=False,
+                error="boom", error_type="ValueError",
+            ))
+        records = BatchJournal(path).load()
+        assert set(records) == {"fp-1", "fp-2"}
+        assert records["fp-1"].ok
+        assert records["fp-1"].values["throughput"]["cycle_time"] == "41"
+        assert records["fp-2"].error_type == "ValueError"
+        assert BatchJournal(path).completed_fingerprints() == ["fp-1"]
+
+    def test_last_record_wins(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with BatchJournal(path) as journal:
+            journal.record(JournalRecord(name="g", fingerprint="fp", ok=False,
+                                         error="first try"))
+            journal.record(JournalRecord(name="g", fingerprint="fp", ok=True))
+        assert BatchJournal(path).load()["fp"].ok
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with BatchJournal(path) as journal:
+            journal.record(JournalRecord(name="g", fingerprint="fp-1", ok=True))
+        with path.open("a") as f:
+            f.write('{"kind": "result", "name": "h", "fing')  # crash mid-write
+        records = BatchJournal(path).load()
+        assert set(records) == {"fp-1"}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        good = json.dumps(JournalRecord(name="g", fingerprint="fp", ok=True).as_dict())
+        path.write_text("not json at all\n" + good + "\n")
+        with pytest.raises(ValueError, match="corrupt journal"):
+            BatchJournal(path).load()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert BatchJournal(tmp_path / "absent.jsonl").load() == {}
+
+
+class TestResume:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_resume_skips_completed_fingerprints(self, tmp_path, backend):
+        path = tmp_path / "run.jsonl"
+        graphs = small_graphs()
+        first = run_batch(graphs, backend=backend, workers=2,
+                          journal=path, cache=AnalysisCache())
+        assert len(first.ok) == 3
+
+        second = run_batch(graphs, backend=backend, workers=2,
+                           journal=path, resume=True, cache=AnalysisCache())
+        assert len(second.resumed) == 3
+        assert all(r.ok and r.duration == 0.0 for r in second.results)
+        # Resumed values are the journal's JSON summaries.
+        for graph, result in zip(graphs, second.results):
+            expected = str(throughput(graph).cycle_time)
+            assert result.values["throughput"]["cycle_time"] == expected
+
+    def test_resume_reanalyses_failures(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        graphs = small_graphs()
+        flake = FaultPlan((FaultRule(action="raise", name="modem"),))
+        first = run_batch(graphs, backend="serial", journal=path,
+                          faults=flake, cache=AnalysisCache())
+        assert [r.ok for r in first.results] == [True, False, True]
+
+        second = run_batch(graphs, backend="serial", journal=path,
+                           resume=True, cache=AnalysisCache())
+        assert [r.resumed for r in second.results] == [True, False, True]
+        assert all(r.ok for r in second.results)
+        # The journal now records modem's success; a third resume skips all.
+        third = run_batch(graphs, backend="serial", journal=path,
+                          resume=True, cache=AnalysisCache())
+        assert len(third.resumed) == 3
+
+    def test_resume_is_fingerprint_keyed_not_order_keyed(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_batch([figure3_graph(), modem()], backend="serial",
+                  journal=path, cache=AnalysisCache())
+        # Reordered + extended list: only the new graph is analysed.
+        report = run_batch([modem(), satellite_receiver(), figure3_graph()],
+                           backend="serial", journal=path, resume=True,
+                           cache=AnalysisCache())
+        assert [r.resumed for r in report.results] == [True, False, True]
+
+    def test_resume_without_journal_rejected(self):
+        with pytest.raises(ValueError, match="journal"):
+            run_batch([figure3_graph()], resume=True)
+
+
+class TestRetries:
+    def test_transient_failure_retried(self):
+        plan = FaultPlan((FaultRule(
+            action="raise", name="modem",
+            exception="TransientWorkerError", attempts=2,
+        ),))
+        result = analyse_graph(modem(), faults=plan, retries=3, backoff=0.001)
+        assert result.ok
+        assert result.attempts == 3  # two injected failures + success
+
+    def test_retries_exhausted_records_failure(self):
+        plan = FaultPlan((FaultRule(
+            action="raise", name="modem", exception="TransientWorkerError",
+        ),))
+        result = analyse_graph(modem(), faults=plan, retries=2, backoff=0.001)
+        assert not result.ok
+        assert result.attempts == 3
+        assert result.error_type == "TransientWorkerError"
+
+    def test_deterministic_failures_not_retried(self):
+        plan = FaultPlan((FaultRule(
+            action="raise", name="modem", exception="ValueError",
+        ),))
+        result = analyse_graph(modem(), faults=plan, retries=5, backoff=0.001)
+        assert not result.ok
+        assert result.attempts == 1
+
+
+class TestIsolation:
+    def test_error_record_carries_fingerprint(self):
+        plan = FaultPlan((FaultRule(action="raise", name="modem"),))
+        result = analyse_graph(modem(), faults=plan)
+        assert result.fingerprint[:12] in result.error
+
+    def test_memory_error_isolated_distinctly(self):
+        plan = FaultPlan((FaultRule(
+            action="raise", name="modem", exception="MemoryError",
+        ),))
+        result = analyse_graph(modem(), faults=plan, retries=2)
+        assert result.error_type == "MemoryError"
+        assert result.attempts == 1  # OOM is not transient
+        assert "out of memory" in result.error
+
+    def test_keyboard_interrupt_propagates_in_parent(self):
+        plan = FaultPlan((FaultRule(
+            action="raise", name="modem", exception="KeyboardInterrupt",
+        ),))
+        with pytest.raises(KeyboardInterrupt):
+            analyse_graph(modem(), faults=plan)
+
+    def test_keyboard_interrupt_isolated_in_workers(self):
+        plan = FaultPlan((FaultRule(
+            action="raise", name="modem", exception="KeyboardInterrupt",
+        ),))
+        result = analyse_graph(modem(), faults=plan, isolate_interrupts=True)
+        assert not result.ok
+        assert result.error_type == "KeyboardInterrupt"
+        assert result.fingerprint[:12] in result.error
+
+    def test_timeout_recorded_not_raised(self):
+        result = analyse_graph(mp3_playback(), method="hsdf", timeout=0.005,
+                               cache=AnalysisCache())
+        assert not result.ok
+        assert result.timed_out
+        assert result.error_type == "AnalysisTimeout"
+
+    def test_cancel_token_recorded(self):
+        token = CancelToken()
+        token.cancel("shutdown")
+        result = analyse_graph(modem(), token=token, cache=AnalysisCache())
+        assert result.error_type == "AnalysisCancelled"
+        assert result.timed_out
+
+
+class TestQuarantine:
+    def test_worker_kill_quarantines_only_the_poison_graph(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        graphs = small_graphs()
+        plan = FaultPlan((FaultRule(action="kill", name="modem"),))
+        report = run_batch(graphs, backend="process", workers=2,
+                           faults=plan, journal=path, cache=AnalysisCache())
+        by_name = {r.name: r for r in report.results}
+        assert by_name["modem"].quarantined
+        assert by_name["modem"].error_type == "WorkerCrashed"
+        assert by_name["modem"].fingerprint[:12] in by_name["modem"].error
+        others = [r for r in report.results if r.name != "modem"]
+        assert all(r.ok for r in others)
+        # The quarantine verdict is journaled.
+        records = BatchJournal(path).load()
+        assert records[by_name["modem"].fingerprint].quarantined
+
+    def test_kill_in_thread_backend_degrades_to_error(self):
+        plan = FaultPlan((FaultRule(action="kill", name="modem"),))
+        report = run_batch([modem()], backend="thread", faults=plan,
+                           cache=AnalysisCache())
+        result = report.results[0]
+        assert not result.ok
+        assert result.error_type == "WorkerCrashed"
+        assert not result.quarantined  # no process actually died
+
+
+class TestHangAndCancel:
+    def test_injected_hang_ends_in_timeout(self):
+        plan = FaultPlan((FaultRule(action="hang", name="modem"),))
+        report = run_batch(small_graphs(), backend="serial", timeout=0.2,
+                           faults=plan, cache=AnalysisCache())
+        by_name = {r.name: r for r in report.results}
+        assert by_name["modem"].timed_out
+        assert by_name["modem"].error_type == "AnalysisTimeout"
+        assert by_name["figure3"].ok or by_name["figure3"].timed_out
+
+    def test_report_accessors(self):
+        plan = FaultPlan((FaultRule(action="hang", name="modem"),))
+        report = run_batch(small_graphs(), backend="serial", timeout=0.2,
+                           faults=plan, cache=AnalysisCache())
+        assert [r.name for r in report.timed_out] == ["modem"]
+        assert report.quarantined == []
+        assert report.resumed == []

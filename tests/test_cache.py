@@ -268,3 +268,74 @@ class TestThreadSafety:
         # The stragglers either coalesced onto the in-flight compute or
         # (if descheduled past it) hit the stored entry; never recompute.
         assert stats.coalesced + stats.hits == 3
+
+
+class TestErrorAccounting:
+    """Satellite of the resilience PR: failed computes are observable and
+    never poison the single-flight machinery."""
+
+    def test_errors_counted_in_stats(self):
+        cache = AnalysisCache()
+        g = two_actor()
+        with pytest.raises(ValidationError):
+            cache.get_or_compute(g, "custom", lambda: (_ for _ in ()).throw(
+                ValidationError("nope")))
+        stats = cache.stats()
+        assert stats.errors == 1
+        assert "errors" in stats.as_dict()
+        cache.reset_stats()
+        assert cache.stats().errors == 0
+
+    def test_failed_leader_does_not_poison_followers(self):
+        """A compute that raises must not wedge concurrent waiters or
+        leave a stale in-flight entry: every follower either recomputes
+        successfully or fails with the *fresh* error, and a later call
+        succeeds."""
+        cache = AnalysisCache()
+        g = two_actor()
+        started = threading.Barrier(4)
+        fail_first = threading.Event()
+
+        def compute():
+            if not fail_first.is_set():
+                fail_first.set()
+                time.sleep(0.02)  # let followers pile onto the flight
+                raise ValidationError("leader failed")
+            return "recovered"
+
+        def worker():
+            started.wait()
+            try:
+                return cache.get_or_compute(g, "flaky", compute)
+            except ValidationError:
+                return "error"
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = [f.result() for f in
+                       [pool.submit(worker) for _ in range(4)]]
+        # At least the leader saw the error; nobody hung; at least one
+        # follower recovered by recomputing after the leader's failure.
+        assert "error" in results
+        assert "recovered" in results
+        assert set(results) <= {"error", "recovered"}
+        # The in-flight table is clean: a fresh call computes normally.
+        assert cache.get_or_compute(g, "flaky", lambda: "clean") == "recovered" \
+            or cache.lookup(g, "flaky") == "recovered"
+        assert cache.stats().errors >= 1
+
+    def test_interrupted_compute_not_cached(self):
+        from repro.analysis.deadline import Deadline
+        from repro.errors import AnalysisTimeout
+
+        cache = AnalysisCache()
+        g = two_actor()
+
+        def timed_out():
+            Deadline.after(0.0).check_now()
+            raise AssertionError("unreachable")
+
+        with pytest.raises(AnalysisTimeout):
+            cache.get_or_compute(g, "slowthing", timed_out)
+        assert cache.lookup(g, "slowthing") is None
+        assert cache.stats().errors == 1
+        assert cache.get_or_compute(g, "slowthing", lambda: 7) == 7
