@@ -1,7 +1,9 @@
 """Cache/batch acceleration baseline: cold vs. warm vs. batched.
 
 Three measurements over real suites, persisted to ``BENCH_cache.json``
-at the repository root so the performance trajectory has a baseline:
+at the repository root (``repro-bench-v1`` schema, see
+``benchmarks/bench_common.py``) so the performance trajectory has a
+baseline:
 
 * **registry cold** — throughput of every Table-1 registry graph through
   a fresh :class:`AnalysisCache` (every lookup misses);
@@ -16,7 +18,6 @@ at the repository root so the performance trajectory has a baseline:
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 
@@ -26,6 +27,7 @@ from repro.analysis.throughput import throughput
 from repro.graphs import TABLE1_CASES
 from repro.graphs.synthetic import regular_prefetch
 
+from bench_common import entry, write_bench
 from bench_scalability import multirate_pair
 
 BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_cache.json"
@@ -62,50 +64,58 @@ def measure_cache_baseline() -> dict:
     batch_report = run_batch(suite, backend="thread", workers=4, cache=batch_cache)
     assert not batch_report.failures
 
-    return {
-        "registry": {
-            "graphs": len(registry),
-            "cold_seconds": round(cold, 6),
-            "warm_seconds": round(warm, 6),
-            "warm_speedup": round(cold / warm, 2) if warm else float("inf"),
-        },
-        "scalability_suite": {
-            "jobs": len(suite),
-            "distinct_fingerprints": len({g.fingerprint() for g in suite}),
-            "sequential_cold_seconds": round(sequential, 6),
-            "batch_4workers_seconds": round(batch_report.duration, 6),
-            "batch_speedup": round(sequential / batch_report.duration, 2),
-            "batch_hit_rate": round(batch_report.hit_rate, 4),
-            "backend": batch_report.backend,
-            "workers": batch_report.workers,
-        },
-    }
+    warm_speedup = round(cold / warm, 2) if warm else float("inf")
+    distinct = len({g.fingerprint() for g in suite})
+    return [
+        entry("registry_cold_seconds", "s", round(cold, 6),
+              graphs=len(registry)),
+        entry("registry_warm_seconds", "s", round(warm, 6),
+              graphs=len(registry)),
+        entry("registry_warm_speedup", "x", warm_speedup, baseline=5.0,
+              note="baseline is the asserted floor"),
+        entry("suite_sequential_cold_seconds", "s", round(sequential, 6),
+              jobs=len(suite), distinct_fingerprints=distinct),
+        entry("suite_batch_seconds", "s", round(batch_report.duration, 6),
+              backend=batch_report.backend, workers=batch_report.workers),
+        entry("suite_batch_speedup", "x",
+              round(sequential / batch_report.duration, 2)),
+        entry("suite_batch_hit_rate", "ratio",
+              round(batch_report.hit_rate, 4)),
+    ]
+
+
+def _by_name(entries):
+    return {e["name"]: e for e in entries}
 
 
 def test_cache_acceleration_baseline(report):
-    data = measure_cache_baseline()
-    registry, suite = data["registry"], data["scalability_suite"]
+    entries = measure_cache_baseline()
+    values = _by_name(entries)
     report("Analysis cache: cold vs. warm vs. batched (BENCH_cache.json)")
-    report(f"registry ({registry['graphs']} graphs): "
-           f"cold {registry['cold_seconds']:.4f}s, "
-           f"warm {registry['warm_seconds']:.4f}s "
-           f"({registry['warm_speedup']:.0f}x)")
-    report(f"scalability suite ({suite['jobs']} jobs, "
-           f"{suite['distinct_fingerprints']} distinct): "
-           f"sequential cold {suite['sequential_cold_seconds']:.4f}s, "
-           f"batch x4 {suite['batch_4workers_seconds']:.4f}s "
-           f"({suite['batch_speedup']:.2f}x, "
-           f"hit rate {suite['batch_hit_rate']:.0%})")
-    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+    report(f"registry ({values['registry_cold_seconds']['meta']['graphs']} "
+           f"graphs): cold {values['registry_cold_seconds']['value']:.4f}s, "
+           f"warm {values['registry_warm_seconds']['value']:.4f}s "
+           f"({values['registry_warm_speedup']['value']:.0f}x)")
+    suite_meta = values['suite_sequential_cold_seconds']['meta']
+    report(f"scalability suite ({suite_meta['jobs']} jobs, "
+           f"{suite_meta['distinct_fingerprints']} distinct): "
+           f"sequential cold "
+           f"{values['suite_sequential_cold_seconds']['value']:.4f}s, "
+           f"batch x4 {values['suite_batch_seconds']['value']:.4f}s "
+           f"({values['suite_batch_speedup']['value']:.2f}x, "
+           f"hit rate {values['suite_batch_hit_rate']['value']:.0%})")
+    write_bench(BENCH_FILE, "cache", entries)
     report(f"written to {BENCH_FILE.name}")
     report.save("cache_acceleration")
 
     # Acceptance floors: warm >= 5x cold; batch beats the cold loop.
-    assert registry["warm_speedup"] >= 5.0
-    assert suite["batch_4workers_seconds"] < suite["sequential_cold_seconds"]
+    assert values["registry_warm_speedup"]["value"] >= 5.0
+    assert (values["suite_batch_seconds"]["value"]
+            < values["suite_sequential_cold_seconds"]["value"])
 
 
 if __name__ == "__main__":  # standalone: regenerate the JSON baseline
-    baseline = measure_cache_baseline()
-    BENCH_FILE.write_text(json.dumps(baseline, indent=2) + "\n")
-    print(json.dumps(baseline, indent=2))
+    import json
+
+    doc = write_bench(BENCH_FILE, "cache", measure_cache_baseline())
+    print(json.dumps(doc, indent=2))

@@ -1,0 +1,53 @@
+"""Shared writer for the ``repro-bench-v1`` baseline schema.
+
+Every ``BENCH_*.json`` at the repository root uses one flat shape so CI
+can validate them with a single check (``repro.obs.check.validate_bench``)
+and trend tooling does not need per-suite parsers::
+
+    {
+      "schema": "repro-bench-v1",
+      "suite": "cache",
+      "entries": [
+        {"name": "...", "unit": "s", "value": 1.23,
+         "baseline": null, "meta": {...}},
+        ...
+      ]
+    }
+
+``value`` is the measurement of this run; ``baseline`` is an optional
+reference number (a budget/floor the suite asserts against, ``null``
+when the entry is informational); ``meta`` carries the measurement's
+context (graph, batch size, methodology knobs).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.check import BENCH_SCHEMA, validate_bench
+
+__all__ = ["BENCH_SCHEMA", "entry", "write_bench"]
+
+
+def entry(name: str, unit: str, value: float,
+          baseline: Optional[float] = None,
+          **meta: Any) -> Dict[str, Any]:
+    """One ``repro-bench-v1`` entry."""
+    return {
+        "name": name,
+        "unit": unit,
+        "value": value,
+        "baseline": baseline,
+        "meta": meta,
+    }
+
+
+def write_bench(path: Union[str, pathlib.Path], suite: str,
+                entries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Assemble, self-validate and write one baseline file."""
+    doc = {"schema": BENCH_SCHEMA, "suite": suite, "entries": entries}
+    validate_bench(doc)  # never ship a baseline CI would reject
+    pathlib.Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc

@@ -1,0 +1,228 @@
+"""Observability-layer baseline: the price of tracing, off and on.
+
+Persisted to ``BENCH_obs.json`` at the repository root
+(``repro-bench-v1`` schema, see ``benchmarks/bench_common.py``):
+
+* **disabled-tracing overhead** — the asserted number.  Spans sit at
+  *stage* granularity, so a disabled analysis pays exactly one
+  module-global read per ``span()`` call site.  The suite measures that
+  per-call fast path directly (millions of calls, min-of-N), counts the
+  call sites one analysis of the worst registry graph actually crosses,
+  and derives ``sites x ns_per_call / analysis_seconds`` — a
+  deterministic bound immune to scheduler jitter.  Budget: <= 2%
+  (measured: orders of magnitude below it).
+* **A/B cross-check** — the same analysis batch with the hooks live
+  (disabled) vs. stubbed out entirely, order-alternated min-of-N (the
+  ``bench_resilience.py`` methodology).  Informational: its noise floor
+  (~±2%) exceeds the true cost, which is why the derived number is the
+  asserted one.
+* **enabled-tracing cost** — the same batch under a live
+  :class:`~repro.obs.trace.Tracer`, for context.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+import importlib
+
+from bench_common import entry, write_bench
+from repro.analysis.throughput import throughput
+from repro.core.symbolic import symbolic_iteration
+from repro.graphs import TABLE1_CASES
+from repro.obs.trace import Tracer, _NULL_SPAN, span
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+#: The module object (the package re-exports shadow the submodule name,
+#: so ``import repro.analysis.throughput as m`` would bind the function).
+throughput_mod = importlib.import_module("repro.analysis.throughput")
+
+#: Analyses per timing sample / samples per variant (min-of-N).
+BATCH = 40
+REPEATS = 7
+
+
+def _worst_graph():
+    """Largest symbolic matrix in the registry — the MCM hot path."""
+    return max(
+        (case.build() for case in TABLE1_CASES),
+        key=lambda g: symbolic_iteration(g).matrix.nrows,
+    )
+
+
+def _stub_span(name, **args):
+    return _NULL_SPAN
+
+
+def measure_disabled_overhead() -> dict:
+    """Instrumented-but-disabled vs. hooks stubbed out entirely.
+
+    The shipped code calls :func:`repro.obs.trace.span` at stage
+    granularity; disabled, each call is one global read.  The baseline
+    variant monkeypatches the module's ``span`` references to a bare
+    stub — the closest observable stand-in for un-instrumented code.
+    Variants alternate order every repeat (whatever runs second pays
+    the first one's allocator/GC debt, which would otherwise masquerade
+    as tracing overhead).
+    """
+    graph = _worst_graph()
+    throughput(graph)  # warm every lazy import/cache outside the timing
+
+    def run_instrumented() -> None:
+        for _ in range(BATCH):
+            throughput(graph)
+
+    def run_stubbed() -> None:
+        original = throughput_mod.span
+        throughput_mod.span = _stub_span
+        try:
+            for _ in range(BATCH):
+                throughput(graph)
+        finally:
+            throughput_mod.span = original
+
+    instrumented = stubbed = float("inf")
+    for repeat in range(REPEATS):
+        pair = ((run_stubbed, run_instrumented) if repeat % 2 == 0
+                else (run_instrumented, run_stubbed))
+        for fn in pair:
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            if fn is run_stubbed:
+                stubbed = min(stubbed, elapsed)
+            else:
+                instrumented = min(instrumented, elapsed)
+    overhead = (instrumented - stubbed) / stubbed if stubbed else 0.0
+
+    # Enabled tracing, same batch, for context (fresh tracer per sample
+    # so span accumulation does not grow across repeats).
+    enabled = float("inf")
+    for _ in range(3):
+        tracer = Tracer()
+        with tracer:
+            start = time.perf_counter()
+            run_instrumented()
+            enabled = min(enabled, time.perf_counter() - start)
+
+    return {
+        "graph": graph.name,
+        "batch": BATCH,
+        "repeats": REPEATS,
+        "stubbed_seconds": round(stubbed, 6),
+        "disabled_seconds": round(instrumented, 6),
+        "enabled_seconds": round(enabled, 6),
+        "overhead_fraction": round(overhead, 4),
+        "enabled_fraction": round((enabled - stubbed) / stubbed, 4),
+    }
+
+
+def measure_nullspan_cost() -> dict:
+    """Per-call cost of the disabled ``span()`` fast path, in ns."""
+    calls = 1_000_000
+    best = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(calls):
+            span("bench")
+        best = min(best, time.perf_counter() - start)
+    return {"calls": calls, "ns_per_call": round(best / calls * 1e9, 1)}
+
+
+def derive_hot_loop_fraction(nullspan: dict) -> dict:
+    """``sites x ns_per_call / analysis_seconds`` on the worst graph.
+
+    The call-site count comes from actually tracing one analysis (every
+    span a tracer records is one disabled-path call in production), so
+    the bound tracks the instrumentation as it evolves.
+    """
+    graph = _worst_graph()
+    throughput(graph)  # warm
+    with Tracer() as tracer:
+        throughput(graph)
+    sites = len(tracer.spans())
+    analysis_seconds = _best_of(5, lambda: throughput(graph))
+    fraction = sites * nullspan["ns_per_call"] * 1e-9 / analysis_seconds
+    return {
+        "graph": graph.name,
+        "span_sites": sites,
+        "analysis_seconds": round(analysis_seconds, 6),
+        "fraction": round(fraction, 8),
+    }
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _entries(disabled: dict, nullspan: dict, derived: dict) -> list:
+    return [
+        entry("tracing_disabled_overhead_fraction", "ratio",
+              derived["fraction"], baseline=0.02,
+              graph=derived["graph"], span_sites=derived["span_sites"],
+              analysis_seconds=derived["analysis_seconds"],
+              note="derived: sites x ns_per_call / analysis_seconds; "
+                   "baseline is the asserted ceiling"),
+        entry("tracing_ab_overhead_fraction", "ratio",
+              disabled["overhead_fraction"],
+              graph=disabled["graph"], batch=disabled["batch"],
+              repeats=disabled["repeats"],
+              note="informational A/B; noise floor ~±2% exceeds the "
+                   "true cost"),
+        entry("tracing_stubbed_seconds", "s", disabled["stubbed_seconds"]),
+        entry("tracing_disabled_seconds", "s", disabled["disabled_seconds"]),
+        entry("tracing_enabled_seconds", "s", disabled["enabled_seconds"],
+              enabled_fraction=disabled["enabled_fraction"]),
+        entry("nullspan_ns_per_call", "ns", nullspan["ns_per_call"],
+              calls=nullspan["calls"]),
+    ]
+
+
+def test_obs_overhead_baseline(report):
+    disabled = measure_disabled_overhead()
+    nullspan = measure_nullspan_cost()
+    derived = derive_hot_loop_fraction(nullspan)
+    entries = _entries(disabled, nullspan, derived)
+
+    report("Observability: tracing overhead, off and on (BENCH_obs.json)")
+    report(f"disabled span() fast path: {nullspan['ns_per_call']:.0f} ns/call; "
+           f"{derived['span_sites']} call sites per analysis of "
+           f"{derived['graph']} ({derived['analysis_seconds']:.4f}s) "
+           f"-> {derived['fraction']:.6%} derived overhead (target <= 2%)")
+    report(f"A/B cross-check ({disabled['batch']} analyses/sample): "
+           f"stubbed {disabled['stubbed_seconds']:.4f}s, "
+           f"disabled tracing {disabled['disabled_seconds']:.4f}s "
+           f"({disabled['overhead_fraction']:+.1%}), "
+           f"enabled {disabled['enabled_seconds']:.4f}s "
+           f"({disabled['enabled_fraction']:+.1%})")
+    write_bench(BENCH_FILE, "obs", entries)
+    report(f"written to {BENCH_FILE.name}")
+    report.save("obs_overhead")
+
+    # Acceptance: disabled instrumentation costs <= 2% on the hot loop
+    # (the derived bound; the A/B is informational, its noise floor is
+    # above the true cost).
+    assert derived["fraction"] <= 0.02
+    # Sanity on the A/B: the absolute difference stays within the noise
+    # floor — a genuine regression (e.g. work on the disabled path)
+    # would push it far beyond ±10%.
+    assert abs(disabled["overhead_fraction"]) <= 0.10
+
+
+if __name__ == "__main__":  # standalone: regenerate the JSON baseline
+    import json
+
+    nullspan = measure_nullspan_cost()
+    doc = write_bench(
+        BENCH_FILE, "obs",
+        _entries(measure_disabled_overhead(), nullspan,
+                 derive_hot_loop_fraction(nullspan)),
+    )
+    print(json.dumps(doc, indent=2))

@@ -1,7 +1,8 @@
 """Resilience-layer baseline: deadline overhead and the fallback win.
 
 Two measurements, persisted to ``BENCH_resilience.json`` at the
-repository root:
+repository root (``repro-bench-v1`` schema, see
+``benchmarks/bench_common.py``):
 
 * **deadline-check overhead** — the max-plus MCM hot path (symbolic
   matrix -> Karp's algorithm) run bare vs. under a generous
@@ -17,10 +18,10 @@ repository root:
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 
+from bench_common import write_bench, entry
 from repro.analysis.deadline import Deadline
 from repro.analysis.resilience import CONSERVATIVE, AnalysisPolicy
 from repro.analysis.throughput import throughput
@@ -137,10 +138,33 @@ def measure_fallback_win() -> dict:
     }
 
 
+def _entries(overhead: dict, fallback: dict) -> list:
+    return [
+        entry("deadline_overhead_fraction", "ratio",
+              overhead["overhead_fraction"], baseline=0.03,
+              graph=overhead["graph"],
+              matrix_order=overhead["matrix_order"],
+              repeats=overhead["repeats"], batch=overhead["batch"],
+              note="baseline is the asserted ceiling"),
+        entry("deadline_bare_seconds", "s", overhead["bare_seconds"]),
+        entry("deadline_timed_seconds", "s", overhead["deadline_seconds"]),
+        entry("fallback_exact_hsdf_seconds", "s",
+              fallback["exact_hsdf_seconds"], graph=fallback["graph"],
+              iteration_length=fallback["iteration_length"]),
+        entry("fallback_seconds", "s", fallback["fallback_seconds"],
+              bound_strategy=fallback["bound_strategy"],
+              bound_phase_count=fallback["bound_phase_count"]),
+        entry("fallback_speedup", "x", fallback["speedup"]),
+        entry("fallback_overestimation_factor", "x",
+              fallback["overestimation_factor"],
+              exact_cycle_time=fallback["exact_cycle_time"],
+              bound_cycle_time=fallback["bound_cycle_time"]),
+    ]
+
+
 def test_resilience_baseline(report):
     overhead = measure_deadline_overhead()
     fallback = measure_fallback_win()
-    data = {"deadline_overhead": overhead, "fallback_win": fallback}
 
     report("Resilience: deadline overhead + fallback win (BENCH_resilience.json)")
     report(f"MCM hot loop on {overhead['graph']} "
@@ -157,7 +181,7 @@ def test_resilience_baseline(report):
            f"{fallback['bound_cycle_time']} vs exact "
            f"{fallback['exact_cycle_time']} "
            f"({fallback['overestimation_factor']:.2f}x over)")
-    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+    write_bench(BENCH_FILE, "resilience", _entries(overhead, fallback))
     report(f"written to {BENCH_FILE.name}")
     report.save("resilience")
 
@@ -168,9 +192,10 @@ def test_resilience_baseline(report):
 
 
 if __name__ == "__main__":  # standalone: regenerate the JSON baseline
-    baseline = {
-        "deadline_overhead": measure_deadline_overhead(),
-        "fallback_win": measure_fallback_win(),
-    }
-    BENCH_FILE.write_text(json.dumps(baseline, indent=2) + "\n")
-    print(json.dumps(baseline, indent=2))
+    import json
+
+    doc = write_bench(
+        BENCH_FILE, "resilience",
+        _entries(measure_deadline_overhead(), measure_fallback_win()),
+    )
+    print(json.dumps(doc, indent=2))

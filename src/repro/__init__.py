@@ -80,4 +80,32 @@ __all__ = [
     "ensure_lint_clean",
 ]
 
-__version__ = "1.0.0"
+def _detect_version() -> str:
+    """Resolve the package version from its single source of truth.
+
+    ``pyproject.toml`` owns the version.  In a source checkout (the
+    normal layout here: ``src/repro/`` next to ``pyproject.toml``) it is
+    parsed directly — no tomllib, which 3.10 lacks; for an installed
+    distribution :mod:`importlib.metadata` answers instead.
+    """
+    import pathlib
+    import re
+
+    pyproject = pathlib.Path(__file__).resolve().parent.parent.parent / "pyproject.toml"
+    try:
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+        if match:
+            return match.group(1)
+    except OSError:
+        pass
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return "0.0.0+unknown"
+
+
+__version__ = _detect_version()

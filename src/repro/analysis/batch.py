@@ -59,6 +59,8 @@ from repro.analysis.deadline import CancelToken, Deadline
 from repro.analysis.faults import FaultPlan
 from repro.analysis.journal import BatchJournal, JournalRecord, summarise_value
 from repro.errors import TransientWorkerError
+from repro.obs.metrics import MetricsRegistry, default_registry, set_default_registry
+from repro.obs.trace import Tracer, current_tracer, span
 from repro.sdf.graph import SDFGraph
 
 __all__ = [
@@ -93,6 +95,14 @@ class GraphResult:
     #: The result was replayed from a journal, not analysed in this run
     #: (``values`` then holds the journal's JSON summaries).
     resumed: bool = False
+    #: Id of the ``analyse`` span covering this graph (tracing enabled).
+    span_id: Optional[str] = None
+    #: Span dicts exported by a process-backend worker's private tracer;
+    #: adopted into the parent trace under the worker's process lane.
+    trace_spans: Optional[List[Dict[str, Any]]] = None
+    #: ``repro-metrics-v1`` snapshot of a worker's private registry,
+    #: merged into the parent's registry on adoption.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -118,6 +128,9 @@ class BatchReport:
     duration: float
     cache_stats: CacheStats
     journal_path: Optional[str] = None
+    #: ``repro-metrics-v1`` snapshot of the process-wide registry taken
+    #: after the run (worker registries already merged in).
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> List[GraphResult]:
@@ -212,91 +225,122 @@ def analyse_graph(
     tag = f"[graph {name!r} {fingerprint[:12]}]"
     start = time.perf_counter()
 
-    for attempt in range(max(0, retries) + 1):
-        result.attempts = attempt + 1
-        result.values.clear()
-        deadline = (
-            Deadline(budget=timeout, token=token)
-            if timeout is not None or token is not None
-            else None
-        )
-        try:
-            if faults is not None:
-                faults.fire(
-                    name, fingerprint,
-                    attempt=attempt, deadline=deadline, allow_kill=allow_kill,
-                )
-            if lint is not None:
-                from repro.lint.engine import ensure_lint_clean
+    with span("analyse", graph=name, fingerprint=fingerprint,
+              analyses=",".join(analyses)) as analyse_span:
+        result.span_id = analyse_span.id
+        for attempt in range(max(0, retries) + 1):
+            result.attempts = attempt + 1
+            result.values.clear()
+            deadline = (
+                Deadline(budget=timeout, token=token)
+                if timeout is not None or token is not None
+                else None
+            )
+            try:
+                if faults is not None:
+                    faults.fire(
+                        name, fingerprint,
+                        attempt=attempt, deadline=deadline, allow_kill=allow_kill,
+                    )
+                if lint is not None:
+                    from repro.lint.engine import ensure_lint_clean
 
-                ensure_lint_clean(graph, cache=cache, fail_on=lint)
-            for analysis in analyses:
-                if analysis == "repetition":
-                    result.values[analysis] = cache.repetition_vector(graph)
-                elif analysis == "throughput":
-                    result.values[analysis] = cache.throughput(
-                        graph, method=method, deadline=deadline
-                    )
-                elif analysis == "latency":
-                    result.values[analysis] = cache.latency(graph)
-                else:  # symbolic_iteration
-                    result.values[analysis] = cache.symbolic_iteration(
-                        graph, deadline=deadline
-                    )
-            result.error = None
-            result.error_type = None
-            break
-        except MemoryError as error:
-            # Distinct from analysis errors: the graph exhausted memory,
-            # which says "isolate me", not "my semantics are broken".
-            result.error = f"out of memory during analysis {tag}: {error}"
-            result.error_type = "MemoryError"
-            result.values.clear()
-            break
-        except KeyboardInterrupt as error:
-            if not isolate_interrupts:
-                raise
-            result.error = f"analysis interrupted {tag}: {error or 'SIGINT'}"
-            result.error_type = "KeyboardInterrupt"
-            result.values.clear()
-            break
-        except Exception as error:  # per-graph isolation: the pool survives
-            result.error = f"{error} {tag}"
-            result.error_type = type(error).__name__
-            result.values.clear()
-            if attempt < retries and isinstance(error, _TRANSIENT):
-                time.sleep(backoff * (2 ** attempt))
-                continue
-            break
+                    ensure_lint_clean(graph, cache=cache, fail_on=lint)
+                for analysis in analyses:
+                    if analysis == "repetition":
+                        result.values[analysis] = cache.repetition_vector(graph)
+                    elif analysis == "throughput":
+                        result.values[analysis] = cache.throughput(
+                            graph, method=method, deadline=deadline
+                        )
+                    elif analysis == "latency":
+                        result.values[analysis] = cache.latency(graph)
+                    else:  # symbolic_iteration
+                        result.values[analysis] = cache.symbolic_iteration(
+                            graph, deadline=deadline
+                        )
+                result.error = None
+                result.error_type = None
+                break
+            except MemoryError as error:
+                # Distinct from analysis errors: the graph exhausted memory,
+                # which says "isolate me", not "my semantics are broken".
+                result.error = f"out of memory during analysis {tag}: {error}"
+                result.error_type = "MemoryError"
+                result.values.clear()
+                break
+            except KeyboardInterrupt as error:
+                if not isolate_interrupts:
+                    raise
+                result.error = f"analysis interrupted {tag}: {error or 'SIGINT'}"
+                result.error_type = "KeyboardInterrupt"
+                result.values.clear()
+                break
+            except Exception as error:  # per-graph isolation: the pool survives
+                result.error = f"{error} {tag}"
+                result.error_type = type(error).__name__
+                result.values.clear()
+                if attempt < retries and isinstance(error, _TRANSIENT):
+                    default_registry().counter(
+                        "repro_batch_retries_total",
+                        "Transient per-graph failures retried with backoff.",
+                    ).inc()
+                    time.sleep(backoff * (2 ** attempt))
+                    continue
+                break
+        analyse_span.set(
+            status=result.error_type or "ok", attempts=result.attempts
+        )
     result.duration = time.perf_counter() - start
     return result
 
 
-#: Payload shipped to process-pool workers (primitives + picklable plan).
+#: Payload shipped to process-pool workers (primitives + picklable plan;
+#: the trailing bool asks the worker to trace its spans for adoption).
 _ColdPayload = Tuple[
     SDFGraph, Tuple[str, ...], str, Optional[str],
-    Optional[float], Optional[FaultPlan], int, float,
+    Optional[float], Optional[FaultPlan], int, float, bool,
 ]
 
 
 def _analyse_cold(payload: _ColdPayload) -> GraphResult:
     """Process-pool worker: analyse without a shared cache (module level
     so it pickles).  Interrupts are isolated and injected ``kill``
-    faults may genuinely terminate this process."""
-    graph, analyses, method, lint, timeout, faults, retries, backoff = payload
-    return analyse_graph(
-        graph,
-        analyses,
-        method,
-        cache=AnalysisCache(maxsize=8),
-        lint=lint,
-        timeout=timeout,
-        faults=faults,
-        retries=retries,
-        backoff=backoff,
-        allow_kill=True,
-        isolate_interrupts=True,
-    )
+    faults may genuinely terminate this process.
+
+    Observability crosses the process boundary by value: the worker
+    records into a *fresh* metrics registry (and, when the parent is
+    tracing, a fresh tracer) and ships the snapshots back on the result
+    — the parent merges them on adoption, so one exported registry and
+    one trace cover the whole batch.
+    """
+    (graph, analyses, method, lint, timeout, faults, retries, backoff,
+     trace) = payload
+    registry = MetricsRegistry()
+    previous = set_default_registry(registry)
+    tracer = Tracer().install() if trace else None
+    try:
+        result = analyse_graph(
+            graph,
+            analyses,
+            method,
+            cache=AnalysisCache(maxsize=8),
+            lint=lint,
+            timeout=timeout,
+            faults=faults,
+            retries=retries,
+            backoff=backoff,
+            allow_kill=True,
+            isolate_interrupts=True,
+        )
+    finally:
+        if tracer is not None:
+            tracer.uninstall()
+        set_default_registry(previous)
+    if tracer is not None:
+        result.trace_spans = tracer.export_spans()
+    result.metrics = registry.as_dict()
+    return result
 
 
 def _store_back(
@@ -404,38 +448,50 @@ def run_batch(
 
     start = time.perf_counter()
     try:
-        # Replay journaled successes first; only the rest is analysed.
-        results: List[Optional[GraphResult]] = [None] * len(graphs)
-        todo: List[Tuple[int, SDFGraph]] = []
-        for index, graph in enumerate(graphs):
-            record = completed.get(graph.fingerprint())
-            if record is not None:
-                results[index] = _resumed_result(graph, record)
-            else:
-                todo.append((index, graph))
+        with span("batch", graphs=len(graphs), backend=backend,
+                  workers=workers, analyses=",".join(analyses)):
+            # Replay journaled successes first; only the rest is analysed.
+            results: List[Optional[GraphResult]] = [None] * len(graphs)
+            todo: List[Tuple[int, SDFGraph]] = []
+            for index, graph in enumerate(graphs):
+                record = completed.get(graph.fingerprint())
+                if record is not None:
+                    results[index] = _resumed_result(graph, record)
+                else:
+                    todo.append((index, graph))
 
-        if backend == "serial" or not todo:
-            for index, graph in todo:
-                results[index] = analyse(graph)
-        elif backend == "thread":
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                for (index, _), result in zip(
-                    todo, pool.map(lambda item: analyse(item[1]), todo)
-                ):
-                    results[index] = result
-        elif backend == "process":
-            _run_process_backend(
-                todo, results, analyses, method, lint, timeout, faults,
-                retries, backoff, workers, cache, journal_store,
-            )
-        else:
-            raise ValueError(
-                f"unknown backend {backend!r}; use thread, process or serial"
-            )
+            if backend == "serial" or not todo:
+                for index, graph in todo:
+                    results[index] = analyse(graph)
+            elif backend == "thread":
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    for (index, _), result in zip(
+                        todo, pool.map(lambda item: analyse(item[1]), todo)
+                    ):
+                        results[index] = result
+            elif backend == "process":
+                _run_process_backend(
+                    todo, results, analyses, method, lint, timeout, faults,
+                    retries, backoff, workers, cache, journal_store,
+                )
+            else:
+                raise ValueError(
+                    f"unknown backend {backend!r}; use thread, process or serial"
+                )
     finally:
         if journal_store is not None:
             journal_store.close()
     duration = time.perf_counter() - start
+
+    registry = default_registry()
+    outcomes = registry.counter(
+        "repro_batch_results_total",
+        "Batch per-graph outcomes by terminal status.",
+        labels=("status",),
+    )
+    for result in results:
+        outcomes.labels(status=_result_status(result)).inc()
+    cache.register_metrics(registry)
 
     return BatchReport(
         results=results,
@@ -444,7 +500,18 @@ def run_batch(
         duration=duration,
         cache_stats=cache.stats(),
         journal_path=None if journal is None else str(journal),
+        metrics=registry.as_dict(),
     )
+
+
+def _result_status(result: GraphResult) -> str:
+    if result.resumed:
+        return "resumed"
+    if result.quarantined:
+        return "quarantined"
+    if result.timed_out:
+        return "timeout"
+    return "ok" if result.ok else "error"
 
 
 def _run_process_backend(
@@ -471,8 +538,11 @@ def _run_process_backend(
     ``error_type == "WorkerCrashed"`` and the batch carries on.
     """
 
+    trace_workers = current_tracer() is not None
+
     def payload(graph: SDFGraph) -> _ColdPayload:
-        return (graph, analyses, method, lint, timeout, faults, retries, backoff)
+        return (graph, analyses, method, lint, timeout, faults, retries,
+                backoff, trace_workers)
 
     def adopt(index: int, graph: SDFGraph, outcome: GraphResult) -> None:
         if outcome.ok and not outcome.values and analyses:
@@ -481,6 +551,15 @@ def _run_process_backend(
             outcome.error_type = "WorkerProtocolError"
         if outcome.ok:
             _store_back(cache, graph, outcome, method)
+        tracer = current_tracer()
+        if tracer is not None and outcome.trace_spans:
+            tracer.adopt(
+                outcome.trace_spans,
+                lane_name=f"worker[{outcome.trace_spans[0]['pid']}]",
+            )
+        if outcome.metrics is not None:
+            default_registry().merge(outcome.metrics)
+            outcome.metrics = None  # folded in; don't double-merge
         results[index] = outcome
         _journal_record(journal_store, outcome)
 

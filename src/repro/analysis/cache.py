@@ -34,6 +34,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
+from repro.obs.trace import add_event
 from repro.sdf.graph import SDFGraph
 
 __all__ = [
@@ -46,7 +47,15 @@ __all__ = [
 
 @dataclass
 class CacheStats:
-    """Observability counters of one :class:`AnalysisCache`."""
+    """Observability counters of one :class:`AnalysisCache`.
+
+    Instances are immutable-by-convention *snapshots*: every counter is
+    read in one critical section of the cache lock (:meth:`AnalysisCache.
+    stats`), so a snapshot is internally consistent even while other
+    threads keep hitting the cache — ``hits + misses == lookups`` and
+    ``size <= maxsize`` hold in every snapshot, never just eventually
+    (property-tested under the thread backend in ``tests/test_cache.py``).
+    """
 
     hits: int = 0
     misses: int = 0
@@ -125,11 +134,16 @@ class AnalysisCache:
         self._store: "OrderedDict[Tuple[str, str, Tuple], Any]" = OrderedDict()
         self._inflight: Dict[Tuple[str, str, Tuple], _InFlight] = {}
         self._lock = threading.Lock()
+        # Counter increments happen ONLY inside self._lock (including the
+        # error path of get_or_compute): under the thread backend many
+        # workers hammer one cache, and unguarded "+= 1" on these would
+        # lose updates and break CacheStats snapshot consistency.
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._coalesced = 0
         self._errors = 0
+        self._metrics_registries: set = set()
 
     # ------------------------------------------------------------------
     # core protocol
@@ -206,16 +220,26 @@ class AnalysisCache:
                 if key in self._store:
                     self._store.move_to_end(key)
                     self._hits += 1
-                    return self._store[key]
-                flight = self._inflight.get(key)
-                if flight is None:
-                    flight = _InFlight()
-                    self._inflight[key] = flight
-                    self._misses += 1
-                    leader = True
+                    value = self._store[key]
+                    hit = True
                 else:
-                    self._coalesced += 1
-                    leader = False
+                    flight = self._inflight.get(key)
+                    if flight is None:
+                        flight = _InFlight()
+                        self._inflight[key] = flight
+                        self._misses += 1
+                        leader = True
+                    else:
+                        self._coalesced += 1
+                        leader = False
+                    hit = False
+            if hit:
+                add_event("cache-hit", analysis=analysis, graph=graph.name)
+                return value
+            add_event(
+                "cache-miss" if leader else "cache-coalesced",
+                analysis=analysis, graph=graph.name,
+            )
             if leader:
                 try:
                     value = compute()
@@ -309,6 +333,50 @@ class AnalysisCache:
                 size=len(self._store),
                 maxsize=self.maxsize,
             )
+
+    def register_metrics(self, registry=None) -> None:
+        """Expose this cache through a :class:`repro.obs.metrics.
+        MetricsRegistry` (the process-wide default when none is given).
+
+        Registers a pull-style collector that, at every export, folds
+        the *delta* of each stat since the previous export into the
+        unified ``repro_cache_*_total`` counters and refreshes the
+        ``repro_cache_size``/``repro_cache_maxsize`` gauges — so many
+        caches (e.g. per-worker ones) aggregate additively into one
+        registry.  Idempotent per (cache, registry) pair.
+        """
+        from repro.obs.metrics import default_registry
+
+        registry = registry if registry is not None else default_registry()
+        with self._lock:
+            if id(registry) in self._metrics_registries:
+                return
+            self._metrics_registries.add(id(registry))
+
+        fields = ("hits", "misses", "evictions", "coalesced", "errors")
+        counters = {
+            field: registry.counter(
+                f"repro_cache_{field}_total",
+                f"Cumulative analysis-cache {field}.",
+            )
+            for field in fields
+        }
+        size = registry.gauge("repro_cache_size", "Entries currently cached.")
+        maxsize = registry.gauge("repro_cache_maxsize", "Cache capacity bound.")
+        last = {field: 0 for field in fields}
+
+        def collect(_registry) -> None:
+            snapshot = self.stats()
+            for field in fields:
+                value = getattr(snapshot, field)
+                delta = value - last[field]
+                if delta > 0:
+                    counters[field].inc(delta)
+                    last[field] = value
+            size.set(snapshot.size)
+            maxsize.set(snapshot.maxsize)
+
+        registry.register_collector(collect)
 
     def clear(self) -> None:
         """Drop all entries (counters are kept; see :meth:`reset_stats`)."""

@@ -40,6 +40,7 @@ import time
 from typing import Any, Callable, Dict, Optional
 
 from repro.errors import AnalysisCancelled, AnalysisTimeout
+from repro.obs.trace import note_checkpoint
 
 __all__ = ["CancelToken", "Deadline"]
 
@@ -185,9 +186,15 @@ class Deadline:
         The returned dict is held by reference: loops mutate its
         counters in place and the values current at expiry land in the
         raised :class:`AnalysisTimeout` — no per-iteration allocation.
+
+        When a :class:`repro.obs.trace.Tracer` is installed, the same
+        live dict is attached to the innermost open span, so traces
+        carry the final progress counters of every stage for free (the
+        hook is one global read when tracing is disabled).
         """
         self._stage = stage
         self._progress = {} if progress is None else progress
+        note_checkpoint(stage, self._progress)
         return self._progress
 
     def check(self) -> None:

@@ -46,6 +46,8 @@ from repro.errors import (
     NoAbstractionFoundError,
     ReproError,
 )
+from repro.obs.metrics import default_registry
+from repro.obs.trace import span
 from repro.sdf.graph import SDFGraph
 
 __all__ = [
@@ -81,6 +83,8 @@ class StageAttempt:
     #: Partial-progress counters from an interrupted stage (how far the
     #: hot loop got before the deadline fired).
     progress: Dict[str, Any] = field(default_factory=dict)
+    #: Trace span id of this stage attempt (None when tracing was off).
+    span_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -94,6 +98,7 @@ class StageAttempt:
             "error": self.error,
             "error_type": self.error_type,
             "progress": dict(self.progress),
+            "span_id": self.span_id,
         }
 
 
@@ -131,6 +136,8 @@ class AnalysisOutcome:
     bound_phase_count: Optional[int] = None
     bound_abstract_cycle_time: Optional[Fraction] = None
     bound_strategy: Optional[str] = None
+    #: Trace span id of the whole policy run (None when tracing was off).
+    span_id: Optional[str] = None
 
     @property
     def sound(self) -> bool:
@@ -204,6 +211,7 @@ class AnalysisOutcome:
             ),
             "bound_strategy": self.bound_strategy,
             "elapsed": self.elapsed,
+            "span_id": self.span_id,
             "provenance": [a.as_dict() for a in self.provenance],
         }
 
@@ -270,50 +278,76 @@ class AnalysisPolicy:
             fingerprint=graph.fingerprint(),
             status=TIMED_OUT,
         )
+        stage_metric = default_registry().counter(
+            "repro_fallback_stage_total",
+            "Fallback-chain stage attempts by terminal status.",
+            labels=("stage", "status"),
+        )
 
-        for stage in self.stages:
-            budget = self._stage_budget(stage, overall)
-            start = overall.elapsed()
-            try:
-                if stage == "abstraction":
-                    self._run_abstraction(graph, budget, cache, outcome)
+        with span("analysis-policy", graph=graph.name,
+                  fingerprint=outcome.fingerprint,
+                  stages=",".join(self.stages)) as policy_span:
+            outcome.span_id = policy_span.id
+            for stage in self.stages:
+                budget = self._stage_budget(stage, overall)
+                start = overall.elapsed()
+                stage_span = span(f"stage:{stage}", graph=graph.name)
+                try:
+                    with stage_span:
+                        if stage == "abstraction":
+                            self._run_abstraction(graph, budget, cache, outcome)
+                        else:
+                            self._run_exact(graph, stage, budget, cache, outcome)
+                except AnalysisCancelled as interrupt:
+                    outcome.provenance.append(StageAttempt(
+                        stage=stage,
+                        status="cancelled",
+                        duration=overall.elapsed() - start,
+                        error=str(interrupt),
+                        error_type=type(interrupt).__name__,
+                        progress=interrupt.progress,
+                        span_id=stage_span.id,
+                    ))
+                    stage_metric.labels(stage=stage, status="cancelled").inc()
+                    break  # a cancelled token stops the whole chain
+                except AnalysisTimeout as interrupt:
+                    outcome.provenance.append(StageAttempt(
+                        stage=stage,
+                        status="timeout",
+                        duration=overall.elapsed() - start,
+                        error=str(interrupt),
+                        error_type=type(interrupt).__name__,
+                        progress=interrupt.progress,
+                        span_id=stage_span.id,
+                    ))
+                    stage_metric.labels(stage=stage, status="timeout").inc()
+                except (NoAbstractionFoundError, _DegradableStageError) as error:
+                    cause = getattr(error, "__cause__", None) or error
+                    outcome.provenance.append(StageAttempt(
+                        stage=stage,
+                        status="error",
+                        duration=overall.elapsed() - start,
+                        error=str(cause),
+                        error_type=type(cause).__name__,
+                        span_id=stage_span.id,
+                    ))
+                    stage_metric.labels(stage=stage, status="error").inc()
                 else:
-                    self._run_exact(graph, stage, budget, cache, outcome)
-            except AnalysisCancelled as interrupt:
-                outcome.provenance.append(StageAttempt(
-                    stage=stage,
-                    status="cancelled",
-                    duration=overall.elapsed() - start,
-                    error=str(interrupt),
-                    error_type=type(interrupt).__name__,
-                    progress=interrupt.progress,
-                ))
-                break  # a cancelled token stops the whole chain
-            except AnalysisTimeout as interrupt:
-                outcome.provenance.append(StageAttempt(
-                    stage=stage,
-                    status="timeout",
-                    duration=overall.elapsed() - start,
-                    error=str(interrupt),
-                    error_type=type(interrupt).__name__,
-                    progress=interrupt.progress,
-                ))
-            except (NoAbstractionFoundError, _DegradableStageError) as error:
-                cause = getattr(error, "__cause__", None) or error
-                outcome.provenance.append(StageAttempt(
-                    stage=stage,
-                    status="error",
-                    duration=overall.elapsed() - start,
-                    error=str(cause),
-                    error_type=type(cause).__name__,
-                ))
-            else:
-                outcome.provenance.append(StageAttempt(
-                    stage=stage, status="ok",
-                    duration=overall.elapsed() - start,
-                ))
-                break
-        outcome.elapsed = overall.elapsed()
+                    outcome.provenance.append(StageAttempt(
+                        stage=stage, status="ok",
+                        duration=overall.elapsed() - start,
+                        span_id=stage_span.id,
+                    ))
+                    stage_metric.labels(stage=stage, status="ok").inc()
+                    break
+            outcome.elapsed = overall.elapsed()
+            policy_span.set(status=outcome.status)
+        default_registry().counter(
+            "repro_policy_outcomes_total",
+            "Tiered-policy outcomes by status "
+            "(exact / conservative-bound / timed-out).",
+            labels=("status",),
+        ).labels(status=outcome.status).inc()
         return outcome
 
     # -- stages ---------------------------------------------------------

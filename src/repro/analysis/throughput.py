@@ -37,6 +37,7 @@ from typing import Dict, Optional
 
 from repro.errors import ValidationError
 from repro.maxplus.spectral import eigenvalue
+from repro.obs.trace import span
 from repro.mcm.graphlib import RatioGraph
 from repro.mcm.howard import howard_mcr
 from repro.sdf.graph import SDFGraph
@@ -136,50 +137,63 @@ def throughput(
     is never mutated, so a timed-out call can be retried (or degraded
     through :class:`repro.analysis.resilience.AnalysisPolicy`).
     """
-    if precheck:
-        from repro.lint.engine import ensure_lint_clean
+    with span("throughput", graph=graph.name,
+              fingerprint=graph.fingerprint(), method=method):
+        if precheck:
+            from repro.lint.engine import ensure_lint_clean
 
-        ensure_lint_clean(graph)
-    gamma = repetition_vector(graph)
-    if method == "symbolic":
-        iteration = symbolic_iteration(graph, deadline=deadline)
-        lam = eigenvalue(iteration.matrix, deadline=deadline)
-        return ThroughputResult(cycle_time=lam, repetition=gamma, method=method)
-    if method == "simulation":
-        measured = simulation_throughput(graph, deadline=deadline)
-        # Iterations per period: firings(a)/γ(a) is equal for all actors
-        # in the periodic phase of a consistent graph.
-        any_actor = next(iter(gamma))
-        iterations = Fraction(measured.firings_per_period[any_actor], gamma[any_actor])
-        for actor, count in measured.firings_per_period.items():
-            if Fraction(count, gamma[actor]) != iterations:
-                # Actors ahead of the critical cycle: report the slowest
-                # (guaranteed) rate, consistent with the other methods.
-                iterations = min(iterations, Fraction(count, gamma[actor]))
-        if iterations == 0:
-            raise ValidationError(
-                "periodic phase contains no complete iteration; "
-                "graph is not consistent with periodic execution"
+            ensure_lint_clean(graph)
+        with span("repetition-vector"):
+            gamma = repetition_vector(graph)
+        if method == "symbolic":
+            with span("symbolic-conversion"):
+                iteration = symbolic_iteration(graph, deadline=deadline)
+            with span("mcm-eigenvalue",
+                      matrix_order=iteration.matrix.nrows):
+                lam = eigenvalue(iteration.matrix, deadline=deadline)
+            return ThroughputResult(cycle_time=lam, repetition=gamma, method=method)
+        if method == "simulation":
+            with span("state-space-simulation"):
+                measured = simulation_throughput(graph, deadline=deadline)
+            # Iterations per period: firings(a)/γ(a) is equal for all actors
+            # in the periodic phase of a consistent graph.
+            any_actor = next(iter(gamma))
+            iterations = Fraction(measured.firings_per_period[any_actor], gamma[any_actor])
+            for actor, count in measured.firings_per_period.items():
+                if Fraction(count, gamma[actor]) != iterations:
+                    # Actors ahead of the critical cycle: report the slowest
+                    # (guaranteed) rate, consistent with the other methods.
+                    iterations = min(iterations, Fraction(count, gamma[actor]))
+            if iterations == 0:
+                raise ValidationError(
+                    "periodic phase contains no complete iteration; "
+                    "graph is not consistent with periodic execution"
+                )
+            lam = measured.period / iterations
+            return ThroughputResult(cycle_time=lam, repetition=gamma, method=method)
+        if method == "hsdf":
+            from repro.errors import DeadlockError
+            from repro.mcm.graphlib import ZeroTransitCycleError
+
+            with span("hsdf-expansion", iteration_length=sum(gamma.values())):
+                expanded = (
+                    graph
+                    if graph.is_homogeneous()
+                    else traditional_hsdf(graph, deadline=deadline)
+                )
+            try:
+                with span("howard-mcr", actors=expanded.actor_count()):
+                    result = howard_mcr(
+                        hsdf_cycle_ratio_graph(expanded), deadline=deadline
+                    )
+            except ZeroTransitCycleError as error:
+                # A token-free dependency cycle is a deadlock; report it in
+                # the same vocabulary as the other back-ends.
+                raise DeadlockError(
+                    f"graph {graph.name!r} deadlocks: token-free cycle "
+                    f"{' -> '.join(str(n) for n in error.cycle[:6])}..."
+                ) from error
+            return ThroughputResult(
+                cycle_time=result.value, repetition=gamma, method=method
             )
-        lam = measured.period / iterations
-        return ThroughputResult(cycle_time=lam, repetition=gamma, method=method)
-    if method == "hsdf":
-        from repro.errors import DeadlockError
-        from repro.mcm.graphlib import ZeroTransitCycleError
-
-        expanded = (
-            graph
-            if graph.is_homogeneous()
-            else traditional_hsdf(graph, deadline=deadline)
-        )
-        try:
-            result = howard_mcr(hsdf_cycle_ratio_graph(expanded), deadline=deadline)
-        except ZeroTransitCycleError as error:
-            # A token-free dependency cycle is a deadlock; report it in
-            # the same vocabulary as the other back-ends.
-            raise DeadlockError(
-                f"graph {graph.name!r} deadlocks: token-free cycle "
-                f"{' -> '.join(str(n) for n in error.cycle[:6])}..."
-            ) from error
-        return ThroughputResult(cycle_time=result.value, repetition=gamma, method=method)
-    raise ValueError(f"unknown method {method!r}; use symbolic, simulation or hsdf")
+        raise ValueError(f"unknown method {method!r}; use symbolic, simulation or hsdf")

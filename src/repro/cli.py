@@ -4,6 +4,8 @@ Gives the library's analyses a design-flow-friendly surface::
 
     python -m repro info graph.json
     python -m repro throughput graph.xml --method symbolic
+    python -m repro throughput graph.xml --trace trace.json --metrics m.prom
+    python -m repro profile builtin:modem
     python -m repro batch --registry --workers 4 --analysis throughput latency
     python -m repro convert graph.json -o compact.json
     python -m repro convert graph.json --traditional -o expanded.xml
@@ -24,6 +26,7 @@ Graphs are read from ``.json`` (the library's dict format) or ``.xml``
 from __future__ import annotations
 
 import argparse
+import contextlib
 import pathlib
 import sys
 from fractions import Fraction
@@ -139,6 +142,15 @@ def cmd_throughput(args) -> int:
     print(f"iteration period: {_fmt(result.cycle_time)}")
     for actor, rate in result.per_actor.items():
         print(f"  rate({actor}) = {_fmt(rate)}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.obs.profile import profile_graph
+
+    g = load_graph(args.graph)
+    report = profile_graph(g, methods=tuple(args.method))
+    print(report.render())
     return 0
 
 
@@ -482,11 +494,62 @@ def cmd_builtins(args) -> int:
     return 0
 
 
+def _add_observability_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a trace of the run: Chrome trace_event JSON "
+                        "(open in chrome://tracing or ui.perfetto.dev), or "
+                        "one span per line when FILE ends in .jsonl")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="dump the metrics registry after the run: Prometheus "
+                        "text for .prom/.txt, JSON snapshot otherwise")
+
+
+@contextlib.contextmanager
+def _observe(args):
+    """Arm ``--trace``/``--metrics`` around a command and write the
+    artefacts on the way out (also on error, so a failed run still
+    leaves its trace behind)."""
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
+        yield
+        return
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer().install() if trace_path else None
+    try:
+        yield
+    finally:
+        if tracer is not None:
+            tracer.uninstall()
+            if str(trace_path).endswith(".jsonl"):
+                count = tracer.write_jsonl(trace_path)
+                print(f"trace: {count} span(s) written to {trace_path}",
+                      file=sys.stderr)
+            else:
+                count = tracer.write_chrome_trace(trace_path)
+                print(f"trace: {count} event(s) written to {trace_path} "
+                      "(load in chrome://tracing or ui.perfetto.dev)",
+                      file=sys.stderr)
+        if metrics_path:
+            from repro.analysis.cache import default_cache
+            from repro.obs.metrics import default_registry
+
+            registry = default_registry()
+            default_cache().register_metrics(registry)
+            registry.write(metrics_path)
+            print(f"metrics: written to {metrics_path}", file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SDF graph reduction and analysis (Geilen, DAC 2009 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("info", help="structural facts and consistency")
@@ -505,7 +568,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fallback", action="store_true",
                    help="on timeout, degrade through the tiered policy "
                         "(exact -> symbolic -> Theorem-1 conservative bound)")
+    _add_observability_args(p)
     p.set_defaults(func=cmd_throughput)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-stage wall/CPU/peak-memory cost of the throughput back-ends "
+             "(symbolic conversion vs classical HSDF expansion)",
+    )
+    p.add_argument("graph")
+    p.add_argument("--method", nargs="+",
+                   choices=("symbolic", "simulation", "hsdf"),
+                   default=["symbolic", "hsdf"],
+                   help="back-ends to profile (default: symbolic hsdf)")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("batch", help="analyse many graphs concurrently (cached)")
     p.add_argument("graphs", nargs="*", metavar="graph",
@@ -541,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(repeatable)")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for probabilistic fault selectors")
+    _add_observability_args(p)
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("latency", help="single-iteration latency")
@@ -604,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", metavar="FILE",
                    help="lint config (default: ./.reprolint.json when present)")
     p.add_argument("-o", "--output", help="write the report to a file")
+    _add_observability_args(p)
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("gantt", help="ASCII Gantt chart of self-timed execution")
@@ -639,7 +717,8 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        with _observe(args):
+            return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

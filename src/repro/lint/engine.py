@@ -30,6 +30,8 @@ from repro.lint.context import (
 )
 from repro.lint.diagnostics import Diagnostic, LintReport
 from repro.lint.registry import all_rules
+from repro.obs.metrics import default_registry
+from repro.obs.trace import span
 
 __all__ = ["run_lint", "lint_csdf", "lint_scenarios", "ensure_lint_clean"]
 
@@ -39,6 +41,12 @@ def _run_rules(ctx: BaseLintContext, config: LintConfig) -> List[Diagnostic]:
     selected = set(config.select)
     ignored = set(config.ignore)
     findings: List[Diagnostic] = []
+    fired = default_registry().counter(
+        "repro_lint_findings_total",
+        "Lint findings produced per rule code and severity "
+        "(counted when a pass actually runs, not on cache hits).",
+        labels=("code", "severity"),
+    )
     for registered in all_rules(model=ctx.model):
         meta = registered.meta
         if selected and meta.code not in selected:
@@ -52,6 +60,9 @@ def _run_rules(ctx: BaseLintContext, config: LintConfig) -> List[Diagnostic]:
             if override:
                 diagnostic = diagnostic.with_severity(override)
             findings.append(diagnostic)
+            fired.labels(
+                code=diagnostic.code, severity=diagnostic.severity
+            ).inc()
     return findings
 
 
@@ -81,8 +92,16 @@ def run_lint(
     config = config or LintConfig()
 
     def compute() -> LintReport:
-        ctx = LintContext(graph, options={**config.option_map, **(options or {})})
-        return _finish(graph.name, _run_rules(ctx, config), graph.fingerprint())
+        with span("lint", graph=graph.name,
+                  fingerprint=graph.fingerprint()) as lint_span:
+            ctx = LintContext(
+                graph, options={**config.option_map, **(options or {})}
+            )
+            report = _finish(
+                graph.name, _run_rules(ctx, config), graph.fingerprint()
+            )
+            lint_span.set(findings=len(report.findings))
+            return report
 
     if options:
         return compute()

@@ -1,0 +1,76 @@
+"""Unified observability for the analysis pipeline.
+
+The paper's whole argument is about *cost* — the classical SDF→HSDF
+expansion explodes while abstraction (Theorem 1) and the symbolic
+conversion (Algorithm 1) trade precision or structure for tractability —
+so this package makes cost a first-class observable signal instead of an
+offline-benchmark claim.  Three coordinated, zero-dependency pieces:
+
+:mod:`repro.obs.trace`
+    Structured tracing: a context-var-based :class:`~repro.obs.trace.
+    Tracer` producing nested spans, piggybacking on the existing
+    :meth:`repro.analysis.deadline.Deadline.checkpoint` calls already
+    threaded through every hot loop so spans carry live progress
+    counters.  Exports JSONL and Chrome ``trace_event`` JSON (loadable
+    in ``chrome://tracing`` / Perfetto).  Off by default, with
+    near-zero disabled overhead (``benchmarks/bench_obs.py``).
+
+:mod:`repro.obs.metrics`
+    A metrics registry — counters, gauges, fixed-bucket histograms —
+    unifying the previously siloed stats (cache hit/miss/eviction,
+    batch retry/quarantine/resume counts, fallback-tier outcomes, lint
+    rule fires) behind one :class:`~repro.obs.metrics.MetricsRegistry`
+    with Prometheus-text and JSON exporters and cross-process merging.
+
+:mod:`repro.obs.profile`
+    Profiling hooks: per-stage wall/CPU time and peak-memory
+    attribution (``tracemalloc``/``resource``), surfaced by the
+    ``repro profile`` CLI subcommand as a stage-cost table that
+    visualises the paper's Section 6 cost comparison directly.
+
+Quickstart::
+
+    from repro.obs import Tracer, span
+
+    tracer = Tracer()
+    with tracer:                      # installs the tracer globally
+        with span("analysis", graph="g"):
+            ...                       # nested span() calls, checkpoints
+    tracer.write_chrome_trace("trace.json")
+"""
+
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    add_event,
+    current_span,
+    current_tracer,
+    span,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.profile import ProfileReport, StageCost, profile_graph
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProfileReport",
+    "Span",
+    "StageCost",
+    "Tracer",
+    "add_event",
+    "current_span",
+    "current_tracer",
+    "default_registry",
+    "profile_graph",
+    "set_default_registry",
+    "span",
+]

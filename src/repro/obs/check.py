@@ -1,0 +1,304 @@
+"""Schema checks for every observability artefact the pipeline emits.
+
+Dependency-free validators (no jsonschema in this environment) for:
+
+* Chrome ``trace_event`` JSON written by ``--trace`` /
+  :meth:`repro.obs.trace.Tracer.write_chrome_trace`;
+* the JSONL span export (:meth:`~repro.obs.trace.Tracer.write_jsonl`);
+* the Prometheus text exposition written by ``--metrics``;
+* the ``repro-metrics-v1`` JSON snapshot;
+* the shared ``repro-bench-v1`` benchmark baseline schema used by every
+  ``BENCH_*.json`` at the repository root (``name``/``unit``/``value``/
+  ``baseline``/``meta`` entries).
+
+Each ``validate_*`` function raises :class:`SchemaError` with a precise
+location on the first violation and returns a small summary dict on
+success.  CI runs the module as a script over the artefacts of the
+batch smoke::
+
+    python -m repro.obs.check trace.json metrics.prom BENCH_obs.json
+
+File type is inferred from name/content; exit status is non-zero on the
+first invalid artefact.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from typing import Any, Dict, List
+
+__all__ = [
+    "SchemaError",
+    "validate_bench",
+    "validate_chrome_trace",
+    "validate_metrics_snapshot",
+    "validate_prometheus_text",
+    "validate_span_jsonl",
+]
+
+BENCH_SCHEMA = "repro-bench-v1"
+
+_PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_PROM_SAMPLE = re.compile(
+    rf"^({_PROM_NAME})(\{{.*\}})? ([0-9eE+.\-]+|NaN|[+-]Inf)$"
+)
+_PROM_TYPE = re.compile(
+    rf"^# TYPE ({_PROM_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+_PROM_HELP = re.compile(rf"^# HELP ({_PROM_NAME}) .*$")
+
+
+class SchemaError(ValueError):
+    """An artefact violates its documented schema."""
+
+
+def _need(condition: bool, where: str, message: str) -> None:
+    if not condition:
+        raise SchemaError(f"{where}: {message}")
+
+
+# ----------------------------------------------------------------------
+# traces
+# ----------------------------------------------------------------------
+
+_PHASES = {"X", "i", "M", "B", "E"}
+
+
+def validate_chrome_trace(data: Any) -> Dict[str, int]:
+    """Validate a Chrome ``trace_event`` object (the JSON Object Format:
+    a dict with ``traceEvents``; a bare event array is also accepted)."""
+    if isinstance(data, list):
+        events = data
+    else:
+        _need(isinstance(data, dict), "trace", "must be an object or array")
+        _need("traceEvents" in data, "trace", "missing 'traceEvents'")
+        events = data["traceEvents"]
+        _need(isinstance(events, list), "traceEvents", "must be an array")
+    counts = {"X": 0, "i": 0, "M": 0}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        _need(isinstance(event, dict), where, "must be an object")
+        _need(isinstance(event.get("name"), str), where, "needs a string 'name'")
+        phase = event.get("ph")
+        _need(phase in _PHASES, where, f"unknown phase {phase!r}")
+        _need("pid" in event and "tid" in event, where, "needs pid and tid")
+        if phase in ("X", "i"):
+            _need(
+                isinstance(event.get("ts"), (int, float)) and event["ts"] >= 0,
+                where, "needs a non-negative numeric 'ts'",
+            )
+        if phase == "X":
+            _need(
+                isinstance(event.get("dur"), (int, float)) and event["dur"] >= 0,
+                where, "needs a non-negative numeric 'dur'",
+            )
+        if phase in counts:
+            counts[phase] += 1
+    _need(counts["X"] > 0, "trace", "contains no complete ('X') span events")
+    return {"events": len(events), **{f"phase_{k}": v for k, v in counts.items()}}
+
+
+def validate_span_jsonl(text: str) -> Dict[str, int]:
+    """Validate a JSONL span export: ids unique, parents resolvable,
+    every closed child nested inside its parent's interval."""
+    rows: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SchemaError(f"line {lineno}: not valid JSON ({error})") from None
+        where = f"line {lineno}"
+        for key in ("id", "name", "pid", "tid", "start", "args"):
+            _need(key in row, where, f"missing {key!r}")
+        _need(isinstance(row["args"], dict), where, "'args' must be an object")
+        rows.append(row)
+    by_id = {}
+    for row in rows:
+        _need(row["id"] not in by_id, f"span {row['id']}", "duplicate id")
+        by_id[row["id"]] = row
+    tolerance = 1e-9
+    for row in rows:
+        parent_id = row.get("parent")
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        _need(parent is not None, f"span {row['id']}",
+              f"parent {parent_id} not in export")
+        if row.get("end") is not None and parent.get("end") is not None:
+            _need(
+                parent["start"] - tolerance <= row["start"]
+                and row["end"] <= parent["end"] + tolerance,
+                f"span {row['id']}",
+                f"interval [{row['start']}, {row['end']}] escapes parent "
+                f"[{parent['start']}, {parent['end']}]",
+            )
+    return {"spans": len(rows),
+            "roots": sum(1 for r in rows if r.get("parent") is None)}
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+
+def validate_prometheus_text(text: str) -> Dict[str, int]:
+    """Validate Prometheus text exposition: well-formed comment/sample
+    lines, samples preceded by a TYPE, histogram series consistent."""
+    typed: Dict[str, str] = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            match = _PROM_TYPE.match(line)
+            _need(match is not None, where, f"malformed TYPE line {line!r}")
+            _need(match.group(1) not in typed, where,
+                  f"duplicate TYPE for {match.group(1)!r}")
+            typed[match.group(1)] = match.group(2)
+            continue
+        if line.startswith("# HELP "):
+            _need(_PROM_HELP.match(line) is not None, where,
+                  f"malformed HELP line {line!r}")
+            continue
+        if line.startswith("#"):
+            continue
+        match = _PROM_SAMPLE.match(line)
+        _need(match is not None, where, f"malformed sample line {line!r}")
+        name = match.group(1)
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        _need(
+            name in typed or base in typed,
+            where, f"sample {name!r} has no preceding # TYPE",
+        )
+        samples += 1
+    _need(samples > 0, "metrics", "no samples present")
+    return {"families": len(typed), "samples": samples}
+
+
+def validate_metrics_snapshot(data: Any) -> Dict[str, int]:
+    """Validate a ``repro-metrics-v1`` JSON snapshot."""
+    from repro.obs.metrics import SCHEMA
+
+    _need(isinstance(data, dict), "snapshot", "must be an object")
+    _need(data.get("schema") == SCHEMA, "snapshot",
+          f"schema must be {SCHEMA!r}, got {data.get('schema')!r}")
+    metrics = data.get("metrics")
+    _need(isinstance(metrics, list), "snapshot", "'metrics' must be an array")
+    samples = 0
+    for index, entry in enumerate(metrics):
+        where = f"metrics[{index}]"
+        _need(isinstance(entry, dict), where, "must be an object")
+        _need(isinstance(entry.get("name"), str), where, "needs a string name")
+        _need(entry.get("type") in ("counter", "gauge", "histogram"),
+              where, f"unknown type {entry.get('type')!r}")
+        _need(isinstance(entry.get("samples"), list), where,
+              "'samples' must be an array")
+        for sindex, sample in enumerate(entry["samples"]):
+            swhere = f"{where}.samples[{sindex}]"
+            _need(isinstance(sample.get("labels"), dict), swhere,
+                  "needs a labels object")
+            if entry["type"] == "histogram":
+                _need(isinstance(sample.get("buckets"), dict), swhere,
+                      "histogram sample needs buckets")
+                _need("count" in sample and "sum" in sample, swhere,
+                      "histogram sample needs sum and count")
+            else:
+                _need(isinstance(sample.get("value"), (int, float)), swhere,
+                      "needs a numeric value")
+            samples += 1
+    return {"families": len(metrics), "samples": samples}
+
+
+# ----------------------------------------------------------------------
+# benchmark baselines
+# ----------------------------------------------------------------------
+
+def validate_bench(data: Any) -> Dict[str, int]:
+    """Validate a ``repro-bench-v1`` baseline: a ``suite`` name plus a
+    flat list of ``{name, unit, value, baseline, meta}`` entries."""
+    _need(isinstance(data, dict), "bench", "must be an object")
+    _need(data.get("schema") == BENCH_SCHEMA, "bench",
+          f"schema must be {BENCH_SCHEMA!r}, got {data.get('schema')!r}")
+    _need(isinstance(data.get("suite"), str) and data["suite"], "bench",
+          "needs a non-empty 'suite' string")
+    entries = data.get("entries")
+    _need(isinstance(entries, list) and entries, "bench",
+          "'entries' must be a non-empty array")
+    names = set()
+    for index, entry in enumerate(entries):
+        where = f"entries[{index}]"
+        _need(isinstance(entry, dict), where, "must be an object")
+        missing = [k for k in ("name", "unit", "value", "baseline", "meta")
+                   if k not in entry]
+        _need(not missing, where, f"missing keys {missing}")
+        _need(isinstance(entry["name"], str) and entry["name"], where,
+              "'name' must be a non-empty string")
+        _need(entry["name"] not in names, where,
+              f"duplicate entry name {entry['name']!r}")
+        names.add(entry["name"])
+        _need(isinstance(entry["unit"], str) and entry["unit"], where,
+              "'unit' must be a non-empty string")
+        _need(isinstance(entry["value"], (int, float))
+              and not isinstance(entry["value"], bool), where,
+              "'value' must be a number")
+        _need(entry["baseline"] is None
+              or (isinstance(entry["baseline"], (int, float))
+                  and not isinstance(entry["baseline"], bool)), where,
+              "'baseline' must be a number or null")
+        _need(isinstance(entry["meta"], dict), where, "'meta' must be an object")
+    return {"entries": len(entries)}
+
+
+# ----------------------------------------------------------------------
+# CLI driver (used by CI to gate the emitted artefacts)
+# ----------------------------------------------------------------------
+
+def check_file(path: str) -> Dict[str, int]:
+    """Validate one artefact, inferring its kind from name/content."""
+    with open(path) as handle:
+        text = handle.read()
+    name = path.rsplit("/", 1)[-1]
+    if name.endswith((".prom", ".txt")):
+        return validate_prometheus_text(text)
+    if name.endswith(".jsonl"):
+        return validate_span_jsonl(text)
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SchemaError(f"{path}: not valid JSON ({error})") from None
+    if isinstance(data, dict):
+        if data.get("schema") == BENCH_SCHEMA:
+            return validate_bench(data)
+        if "metrics" in data and "schema" in data:
+            return validate_metrics_snapshot(data)
+        if "traceEvents" in data:
+            return validate_chrome_trace(data)
+    if isinstance(data, list):
+        return validate_chrome_trace(data)
+    raise SchemaError(f"{path}: unrecognised artefact shape")
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.obs.check ARTEFACT...", file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            summary = check_file(path)
+        except (SchemaError, OSError) as error:
+            print(f"FAIL {path}: {error}", file=sys.stderr)
+            status = 1
+            continue
+        detail = ", ".join(f"{k}={v}" for k, v in summary.items())
+        print(f"ok   {path}: {detail}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Every BENCH_*.json at the repo root satisfies ``repro-bench-v1``."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs.check import BENCH_SCHEMA, SchemaError, validate_bench
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILES = sorted(ROOT.glob("BENCH_*.json"))
+
+
+def test_all_expected_baselines_present():
+    names = {path.name for path in BENCH_FILES}
+    assert {"BENCH_cache.json", "BENCH_resilience.json",
+            "BENCH_obs.json"} <= names
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.name)
+def test_baseline_validates(path):
+    doc = json.loads(path.read_text())
+    summary = validate_bench(doc)
+    assert doc["schema"] == BENCH_SCHEMA
+    assert summary["entries"] > 0
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.name)
+def test_asserted_budgets_hold_in_shipped_baseline(path):
+    """Entries carrying a baseline must satisfy it in the shipped file
+    (ceilings for fractions, floors for speedups)."""
+    doc = json.loads(path.read_text())
+    for entry in doc["entries"]:
+        if entry["baseline"] is None:
+            continue
+        if entry["unit"] == "ratio":
+            assert entry["value"] <= entry["baseline"], entry["name"]
+        else:  # speedup-style floors
+            assert entry["value"] >= entry["baseline"], entry["name"]
+
+
+def test_validator_rejects_malformed():
+    with pytest.raises(SchemaError):
+        validate_bench({"schema": BENCH_SCHEMA, "suite": "x",
+                        "entries": [{"name": "n"}]})
+    with pytest.raises(SchemaError):
+        validate_bench({"schema": "other", "suite": "x", "entries": []})

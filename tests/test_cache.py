@@ -339,3 +339,70 @@ class TestErrorAccounting:
         assert cache.lookup(g, "slowthing") is None
         assert cache.stats().errors == 1
         assert cache.get_or_compute(g, "slowthing", lambda: 7) == 7
+
+
+class TestStatsSnapshotConsistency:
+    """CacheStats snapshots stay internally consistent under fire.
+
+    ``AnalysisCache.stats()`` reads every counter in one critical
+    section, so a snapshot taken mid-hammering must satisfy the cache's
+    invariants *exactly* — not just eventually (the promise made in the
+    :class:`CacheStats` docstring).
+    """
+
+    @staticmethod
+    def _distinct_graphs(count):
+        graphs = []
+        for i in range(count):
+            g = SDFGraph(f"g{i}")
+            g.add_actor("A", i + 1)  # fingerprints are structural
+            g.add_actor("B", 1)
+            g.add_edge("A", "B", production=1, consumption=2, tokens=0)
+            g.add_edge("B", "A", production=2, consumption=1, tokens=2)
+            graphs.append(g)
+        return graphs
+
+    def test_concurrent_snapshots_always_consistent(self):
+        cache = AnalysisCache(maxsize=8)
+        graphs = self._distinct_graphs(12)  # > maxsize: forces evictions
+        threads, iterations = 8, 150
+        stop = threading.Event()
+        violations = []
+
+        def writer(index):
+            for i in range(iterations):
+                g = graphs[(index * 31 + i) % len(graphs)]
+                cache.get_or_compute(g, "t", lambda: index)
+
+        def reader():
+            prev = cache.stats()
+            while not stop.is_set():
+                s = cache.stats()
+                if s.size > s.maxsize:
+                    violations.append(f"size {s.size} > maxsize {s.maxsize}")
+                if s.lookups != s.hits + s.misses:
+                    violations.append("lookups != hits + misses")
+                for field in ("hits", "misses", "evictions",
+                              "coalesced", "errors"):
+                    if getattr(s, field) < getattr(prev, field):
+                        violations.append(f"{field} went backwards")
+                prev = s
+
+        observer = threading.Thread(target=reader)
+        observer.start()
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            futures = [pool.submit(writer, t) for t in range(threads)]
+            for f in futures:
+                f.result()
+        stop.set()
+        observer.join()
+
+        assert not violations, violations[:5]
+        final = cache.stats()
+        # Every call was classified exactly once (no failing computes,
+        # so no retry loops double-count).
+        assert (final.hits + final.misses + final.coalesced
+                == threads * iterations)
+        assert final.evictions > 0, "12 keys through maxsize=8 must evict"
+        assert final.errors == 0
+        assert final.size <= final.maxsize

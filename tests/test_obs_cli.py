@@ -1,0 +1,178 @@
+"""Observability through the CLI: --version, --trace, --metrics, profile."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.check import (
+    validate_chrome_trace,
+    validate_metrics_snapshot,
+    validate_prometheus_text,
+    validate_span_jsonl,
+)
+from repro.analysis.cache import AnalysisCache, set_default_cache
+from repro.obs.metrics import MetricsRegistry, set_default_registry
+
+
+@pytest.fixture(autouse=True)
+def fresh_observability_state():
+    """Isolate each test from the process-global registry *and* cache
+    (a warm default cache would swallow the spans these tests assert)."""
+    previous_registry = set_default_registry(MetricsRegistry())
+    previous_cache = set_default_cache(AnalysisCache())
+    try:
+        yield
+    finally:
+        set_default_registry(previous_registry)
+        set_default_cache(previous_cache)
+
+
+class TestVersion:
+    def test_version_flag_reports_pyproject_version(self, capsys):
+        import pathlib
+        import re
+
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+        pyproject = pathlib.Path(__file__).parent.parent / "pyproject.toml"
+        declared = re.search(r'^version\s*=\s*"([^"]+)"',
+                             pyproject.read_text(), re.MULTILINE)
+        assert declared and declared.group(1) == __version__
+
+
+class TestTraceFlag:
+    def test_throughput_writes_nested_chrome_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["throughput", "builtin:figure3",
+                     "--trace", str(trace)]) == 0
+        data = json.loads(trace.read_text())
+        validate_chrome_trace(data)
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in complete}
+        assert {"throughput", "repetition-vector", "symbolic-conversion",
+                "mcm-eigenvalue"} <= set(by_name)
+        # Stage spans nest inside the analysis root on the timeline.
+        root = by_name["throughput"]
+        for stage in ("symbolic-conversion", "mcm-eigenvalue"):
+            event = by_name[stage]
+            assert root["ts"] <= event["ts"]
+            assert event["ts"] + event["dur"] <= root["ts"] + root["dur"]
+
+    def test_jsonl_extension_selects_span_log(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["throughput", "builtin:figure3",
+                     "--trace", str(trace)]) == 0
+        summary = validate_span_jsonl(trace.read_text())
+        assert summary["spans"] >= 3
+
+    def test_lint_supports_trace(self, tmp_path):
+        trace = tmp_path / "lint.json"
+        assert main(["lint", "builtin:figure3",
+                     "--trace", str(trace)]) == 0
+        data = json.loads(trace.read_text())
+        names = {e["name"] for e in data["traceEvents"] if e["ph"] == "X"}
+        assert "lint" in names
+
+
+class TestMetricsFlag:
+    def test_prometheus_extension(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert main(["throughput", "builtin:figure3",
+                     "--metrics", str(path)]) == 0
+        text = path.read_text()
+        validate_prometheus_text(text)
+        assert "repro_cache_" in text
+
+    def test_json_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["lint", "builtin:figure1",
+                     "--metrics", str(path)]) == 0
+        data = json.loads(path.read_text())
+        validate_metrics_snapshot(data)
+        names = {m["name"] for m in data["metrics"]}
+        assert "repro_lint_findings_total" in names
+
+
+class TestProfile:
+    def test_profile_prints_stage_cost_table(self, capsys):
+        assert main(["profile", "builtin:figure3"]) == 0
+        out = capsys.readouterr().out
+        # Default comparison: symbolic (paper) vs. classical expansion.
+        assert "symbolic" in out
+        assert "hsdf" in out
+        for column in ("wall", "cpu", "peak"):
+            assert column in out
+
+    def test_profile_single_method(self, capsys):
+        assert main(["profile", "builtin:figure3",
+                     "--method", "symbolic"]) == 0
+        out = capsys.readouterr().out
+        assert "symbolic" in out
+        assert "hsdf" not in out
+
+
+class TestBatchObservability:
+    def test_process_backend_merges_worker_lanes(self, tmp_path):
+        trace = tmp_path / "batch.json"
+        metrics = tmp_path / "batch.prom"
+        assert main(["batch", "--registry", "--backend", "process",
+                     "--workers", "2",
+                     "--trace", str(trace),
+                     "--metrics", str(metrics)]) == 0
+        data = json.loads(trace.read_text())
+        validate_chrome_trace(data)
+        events = data["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert len(pids) >= 2, "worker spans must land in their own lanes"
+        lanes = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert any(name.startswith("worker[") for name in lanes)
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "batch" in names and "analyse" in names
+
+        text = metrics.read_text()
+        validate_prometheus_text(text)
+        # Worker-side registries were merged into one parent snapshot.
+        assert 'repro_batch_results_total{status="ok"}' in text
+
+    def test_serial_batch_counts_outcomes(self, tmp_path):
+        metrics = tmp_path / "batch.json"
+        assert main(["batch", "builtin:figure3", "builtin:figure1",
+                     "--backend", "serial",
+                     "--metrics", str(metrics)]) == 0
+        data = json.loads(metrics.read_text())
+        validate_metrics_snapshot(data)
+        by_name = {m["name"]: m for m in data["metrics"]}
+        outcomes = by_name["repro_batch_results_total"]
+        total = sum(s["value"] for s in outcomes["samples"])
+        assert total == 2
+
+
+class TestResilienceSpanIds:
+    def test_outcome_records_carry_span_ids_under_tracer(self):
+        from repro.analysis.resilience import AnalysisPolicy
+        from repro.graphs.examples import figure3_graph
+        from repro.obs.trace import Tracer
+
+        with Tracer() as tracer:
+            outcome = AnalysisPolicy().run(figure3_graph())
+        span_ids = {s.id for s in tracer.spans()}
+        assert outcome.span_id in span_ids
+        assert outcome.provenance
+        assert all(a.span_id in span_ids for a in outcome.provenance)
+
+    def test_span_ids_absent_when_disabled(self):
+        from repro.analysis.resilience import AnalysisPolicy
+        from repro.graphs.examples import figure3_graph
+
+        outcome = AnalysisPolicy().run(figure3_graph())
+        assert outcome.span_id is None
+        assert all(a.span_id is None for a in outcome.provenance)

@@ -1,0 +1,139 @@
+"""Property suite: every started span closes, whatever unwinds through it.
+
+Hypothesis generates random call trees — each node opens a span, runs
+its children, and may raise :class:`AnalysisTimeout`,
+:class:`AnalysisCancelled` or a plain :class:`ValueError`; each node
+independently chooses whether to swallow its children's exceptions (the
+tiered-fallback pattern in ``resilience.py``) or let them unwind.  The
+tracer must come out with zero open spans, every recorded span closed
+with consistent parent/interval structure (checked by the JSONL schema
+validator), and the error kind stamped on exactly the spans something
+raised through.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisCancelled, AnalysisTimeout
+from repro.obs.check import validate_span_jsonl
+from repro.obs.trace import Tracer, current_tracer, span
+
+RAISERS = {
+    "timeout": lambda: AnalysisTimeout("budget exhausted", stage="s"),
+    "cancel": lambda: AnalysisCancelled("cancelled", stage="s"),
+    "value": lambda: ValueError("injected fault"),
+}
+
+node = st.fixed_dictionaries({
+    "raises": st.sampled_from([None, None, None, "timeout", "cancel", "value"]),
+    "catches": st.booleans(),
+})
+
+tree = st.recursive(
+    node.map(lambda n: dict(n, children=[])),
+    lambda children: st.builds(
+        lambda n, kids: dict(n, children=kids),
+        node, st.lists(children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+def run_tree(root, depth=0):
+    """Open a span for ``root``, recurse, then raise per its marker."""
+    with span(f"node-{depth}", catches=root["catches"]):
+        for child in root["children"]:
+            if root["catches"]:
+                try:
+                    run_tree(child, depth + 1)
+                except (AnalysisTimeout, AnalysisCancelled, ValueError):
+                    pass
+            else:
+                run_tree(child, depth + 1)
+        if root["raises"] is not None:
+            raise RAISERS[root["raises"]]()
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree)
+def test_every_started_span_closes(program):
+    tracer = Tracer()
+    with tracer:
+        try:
+            run_tree(program)
+        except (AnalysisTimeout, AnalysisCancelled, ValueError):
+            pass
+    assert current_tracer() is None
+    assert tracer.open_spans == 0
+    spans = tracer.spans()
+    assert spans, "the root span must always be recorded"
+    assert all(s.closed and s.end is not None for s in spans)
+    # Export must satisfy the schema: ids unique, children inside their
+    # parents' intervals, parents recorded before use.
+    jsonl = "\n".join(json.dumps(row) for row in tracer.export_spans())
+    summary = validate_span_jsonl(jsonl)
+    assert summary["spans"] == len(spans)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree)
+def test_error_kind_stamped_on_raising_spans(program):
+    tracer = Tracer()
+    with tracer:
+        try:
+            run_tree(program)
+        except (AnalysisTimeout, AnalysisCancelled, ValueError):
+            pass
+    expected = {
+        "timeout": "AnalysisTimeout",
+        "cancel": "AnalysisCancelled",
+        "value": "ValueError",
+    }
+
+    # Spans are recorded at close, so the trace is a post-order walk of
+    # the executed part of the tree; replay it alongside the program.
+    spans = iter(tracer.spans())
+
+    def walk(node, depth=0):
+        bubbled = None
+        for child in node["children"]:
+            kind = walk(child, depth + 1)
+            if kind is not None and not node["catches"]:
+                bubbled = kind  # unwound through us; later children never ran
+                break
+        s = next(spans)
+        effective = bubbled if bubbled is not None else node["raises"]
+        if effective is not None:
+            assert s.args.get("error") == expected[effective], s.args
+        else:
+            assert "error" not in s.args
+        return effective
+
+    walk(program)
+    # Every recorded span was matched to an executed tree node.
+    assert next(spans, None) is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree, st.integers(min_value=0, max_value=2**32 - 1))
+def test_span_ids_unique_and_parented(program, _seed):
+    tracer = Tracer()
+    with tracer:
+        try:
+            run_tree(program)
+        except (AnalysisTimeout, AnalysisCancelled, ValueError):
+            pass
+    spans = tracer.spans()
+    ids = [s.id for s in spans]
+    assert len(ids) == len(set(ids))
+    known = set(ids)
+    roots = 0
+    for s in spans:
+        if s.parent_id is None:
+            roots += 1
+        else:
+            assert s.parent_id in known
+    assert roots == 1
