@@ -27,7 +27,7 @@ import time
 
 import importlib
 
-from bench_common import entry, write_bench
+from bench_common import entry, noise_floored, write_bench
 from repro.analysis.throughput import throughput
 from repro.core.symbolic import symbolic_iteration
 from repro.graphs import TABLE1_CASES
@@ -170,12 +170,12 @@ def _entries(disabled: dict, nullspan: dict, derived: dict) -> list:
               analysis_seconds=derived["analysis_seconds"],
               note="derived: sites x ns_per_call / analysis_seconds; "
                    "baseline is the asserted ceiling"),
-        entry("tracing_ab_overhead_fraction", "ratio",
-              disabled["overhead_fraction"],
-              graph=disabled["graph"], batch=disabled["batch"],
-              repeats=disabled["repeats"],
-              note="informational A/B; noise floor ~±2% exceeds the "
-                   "true cost"),
+        noise_floored("tracing_ab_overhead_fraction", "ratio",
+                      disabled["overhead_fraction"],
+                      graph=disabled["graph"], batch=disabled["batch"],
+                      repeats=disabled["repeats"],
+                      note="informational A/B; noise floor ~±2% exceeds the "
+                           "true cost; negative measurements clamp to 0"),
         entry("tracing_stubbed_seconds", "s", disabled["stubbed_seconds"]),
         entry("tracing_disabled_seconds", "s", disabled["disabled_seconds"]),
         entry("tracing_enabled_seconds", "s", disabled["enabled_seconds"],

@@ -39,11 +39,14 @@ def summarise_value(analysis: str, value: Any) -> Any:
     if value is None:
         return None
     if analysis == "throughput":
-        return {
+        summary = {
             "cycle_time": None if value.cycle_time is None else str(value.cycle_time),
             "method": value.method,
             "unbounded": value.unbounded,
         }
+        if getattr(value, "provenance", None) is not None:
+            summary["provenance"] = value.provenance.as_dict()
+        return summary
     if analysis == "latency":
         return {"makespan": str(value.makespan)}
     if analysis == "repetition":

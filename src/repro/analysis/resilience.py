@@ -32,13 +32,13 @@ through a policy are shared with plain :func:`throughput` calls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.cache import AnalysisCache
 from repro.analysis.deadline import CancelToken, Deadline
-from repro.analysis.throughput import ThroughputResult, throughput
+from repro.analysis.throughput import _ALGORITHMS, ThroughputResult, throughput
 from repro.errors import (
     AnalysisCancelled,
     AnalysisInterrupted,
@@ -47,6 +47,14 @@ from repro.errors import (
     ReproError,
 )
 from repro.obs.metrics import default_registry
+from repro.obs.provenance import (
+    CycleWitness,
+    ProvenanceRecord,
+    TierAttempt,
+    WitnessError,
+    recording,
+    verify_witness,
+)
 from repro.obs.trace import span
 from repro.sdf.graph import SDFGraph
 
@@ -138,6 +146,11 @@ class AnalysisOutcome:
     bound_strategy: Optional[str] = None
     #: Trace span id of the whole policy run (None when tracing was off).
     span_id: Optional[str] = None
+    #: Full provenance certificate (``repro-provenance-v1``): reduction
+    #: steps, tier history with degradation reason, and the
+    #: critical-cycle witness.  (The ``provenance`` field above predates
+    #: this and keeps its per-stage attempt records.)
+    record: Optional[ProvenanceRecord] = None
 
     @property
     def sound(self) -> bool:
@@ -213,6 +226,9 @@ class AnalysisOutcome:
             "elapsed": self.elapsed,
             "span_id": self.span_id,
             "provenance": [a.as_dict() for a in self.provenance],
+            "provenance_record": (
+                None if self.record is None else self.record.as_dict()
+            ),
         }
 
 
@@ -284,9 +300,10 @@ class AnalysisPolicy:
             labels=("stage", "status"),
         )
 
-        with span("analysis-policy", graph=graph.name,
-                  fingerprint=outcome.fingerprint,
-                  stages=",".join(self.stages)) as policy_span:
+        with recording() as recorder, \
+                span("analysis-policy", graph=graph.name,
+                     fingerprint=outcome.fingerprint,
+                     stages=",".join(self.stages)) as policy_span:
             outcome.span_id = policy_span.id
             for stage in self.stages:
                 budget = self._stage_budget(stage, overall)
@@ -342,6 +359,7 @@ class AnalysisPolicy:
                     break
             outcome.elapsed = overall.elapsed()
             policy_span.set(status=outcome.status)
+        self._finalise_record(graph, outcome, recorder)
         default_registry().counter(
             "repro_policy_outcomes_total",
             "Tiered-policy outcomes by status "
@@ -349,6 +367,64 @@ class AnalysisPolicy:
             labels=("status",),
         ).labels(status=outcome.status).inc()
         return outcome
+
+    # -- provenance -----------------------------------------------------
+
+    def _finalise_record(self, graph: SDFGraph, outcome: AnalysisOutcome,
+                         recorder) -> None:
+        """Stamp tier history and degradation reason onto the record.
+
+        The winning stage left its (copied) record on ``outcome.record``;
+        timed-out/cancelled chains get a fresh record here.  Tier history
+        covers every configured stage — attempted ones with their
+        terminal status, unreached ones marked ``skipped`` — so even a
+        degraded answer names exactly what was given up and why.
+        """
+        record = outcome.record
+        if record is None:
+            record = ProvenanceRecord(
+                graph=graph.name,
+                fingerprint=outcome.fingerprint,
+                algorithm="none",
+                method=outcome.method or "none",
+                status=outcome.status,
+                witness_unavailable="no analysis completed within budget",
+            )
+        # The whole-chain recorder has the fuller step history (failed
+        # stages included); an empty recorder means the winning result
+        # came from cache — keep its original steps then.
+        record.steps = recorder.steps or record.steps
+        attempted = {a.stage for a in outcome.provenance}
+        record.tiers = [
+            TierAttempt(
+                tier=a.stage,
+                status=a.status,
+                reason=(
+                    None if a.error is None
+                    else f"{a.error_type}: {a.error}"
+                ),
+            )
+            for a in outcome.provenance
+        ]
+        aborted = any(a.status == "cancelled" for a in outcome.provenance)
+        for stage in self.stages:
+            if stage not in attempted:
+                record.tiers.append(TierAttempt(
+                    tier=stage,
+                    status="skipped",
+                    reason=(
+                        "chain aborted by cancellation" if aborted
+                        else "earlier tier answered"
+                    ),
+                ))
+        failures = [
+            f"{a.stage} {a.status}"
+            + (f" ({a.error_type}: {a.error})" if a.error else "")
+            for a in outcome.provenance
+            if not a.ok
+        ]
+        record.degradation_reason = "; ".join(failures) or None
+        outcome.record = record
 
     # -- stages ---------------------------------------------------------
 
@@ -372,6 +448,20 @@ class AnalysisPolicy:
         outcome.result = result
         outcome.cycle_time_bound = result.cycle_time
         outcome.repetition = dict(result.repetition)
+        if result.provenance is not None:
+            # Copy: the result object may be shared through the cache,
+            # and tier history is per-run.
+            outcome.record = replace(result.provenance)
+        else:
+            outcome.record = ProvenanceRecord(
+                graph=graph.name,
+                fingerprint=outcome.fingerprint,
+                algorithm=_ALGORITHMS[stage],
+                method=stage,
+                status=EXACT,
+                cycle_time=result.cycle_time,
+                witness_unavailable="analysis ran without provenance",
+            )
 
     def _run_abstraction(self, graph: SDFGraph, budget: Deadline,
                          cache: Optional[AnalysisCache],
@@ -455,6 +545,48 @@ class AnalysisPolicy:
         outcome.bound_phase_count = n
         outcome.bound_abstract_cycle_time = bound.cycle_time
         outcome.bound_strategy = strategy_used
+
+        # Conservative certificate: the abstract graph's own critical
+        # cycle, re-tagged to the "abstract" witness space.  Group
+        # membership ties abstract actors back to original ones only
+        # when the abstraction was discovered directly on the input
+        # graph (a multirate input goes through the compact conversion
+        # first, whose actors are synthetic).
+        witness = None
+        unavailable = None
+        inner = bound.provenance
+        if inner is not None and inner.witness is not None:
+            witness = CycleWitness(
+                space="abstract",
+                arcs=inner.witness.arcs,
+                source=inner.witness.source,
+                groups=abstraction.groups() if base is graph else {},
+            )
+        else:
+            unavailable = (
+                inner.witness_unavailable if inner is not None
+                else "abstract analysis ran without provenance"
+            )
+        outcome.record = ProvenanceRecord(
+            graph=graph.name,
+            fingerprint=outcome.fingerprint,
+            algorithm="karp",
+            method="abstraction",
+            status=CONSERVATIVE,
+            cycle_time=outcome.cycle_time_bound,
+            witness=witness,
+            witness_unavailable=unavailable,
+            bound_phase_count=n,
+            bound_abstract_cycle_time=bound.cycle_time,
+        )
+        if witness is not None:
+            try:
+                verify_witness(graph, outcome.record)
+            except WitnessError as error:
+                outcome.record.witness = None
+                outcome.record.witness_unavailable = (
+                    f"witness failed self-check: {error}"
+                )
 
 
 class _DegradableStageError(ReproError, RuntimeError):

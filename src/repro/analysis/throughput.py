@@ -36,13 +36,21 @@ from functools import cached_property
 from typing import Dict, Optional
 
 from repro.errors import ValidationError
-from repro.maxplus.spectral import eigenvalue
+from repro.maxplus.spectral import critical_cycle
+from repro.obs.provenance import (
+    CycleWitness,
+    ProvenanceRecord,
+    WitnessError,
+    recording,
+    verify_witness,
+    witness_from_ratio_cycle,
+)
 from repro.obs.trace import span
 from repro.mcm.graphlib import RatioGraph
 from repro.mcm.howard import howard_mcr
 from repro.sdf.graph import SDFGraph
 from repro.sdf.repetition import repetition_vector
-from repro.sdf.simulation import simulation_throughput
+from repro.sdf.simulation import binding_witness, simulation_throughput
 from repro.sdf.transform import traditional_hsdf
 from repro.core.symbolic import symbolic_iteration
 
@@ -55,11 +63,17 @@ class ThroughputResult:
     constrains the execution: iterations overlap without bound and every
     rate below is infinite — represented by omitting the actor from
     ``per_actor``... never silently: ``unbounded`` is set instead).
+
+    ``provenance`` (when the analysis ran with provenance enabled, the
+    default) records how the number was produced: reduction steps,
+    algorithm, and a critical-cycle witness re-checkable against the
+    original graph with :func:`repro.obs.provenance.verify_witness`.
     """
 
     cycle_time: Optional[Fraction]
     repetition: Dict[str, int]
     method: str
+    provenance: Optional[ProvenanceRecord] = None
 
     @property
     def unbounded(self) -> bool:
@@ -112,11 +126,16 @@ def hsdf_cycle_ratio_graph(graph: SDFGraph) -> RatioGraph:
     return ratio
 
 
+#: Analysis algorithm behind each back-end, named in provenance records.
+_ALGORITHMS = {"symbolic": "karp", "simulation": "simulation", "hsdf": "howard"}
+
+
 def throughput(
     graph: SDFGraph,
     method: str = "symbolic",
     precheck: bool = False,
     deadline=None,
+    provenance: bool = True,
 ) -> ThroughputResult:
     """Compute the exact throughput of ``graph`` (see module docstring).
 
@@ -136,7 +155,47 @@ def throughput(
     partial-progress metadata instead of running on.  The input graph
     is never mutated, so a timed-out call can be retried (or degraded
     through :class:`repro.analysis.resilience.AnalysisPolicy`).
+
+    ``provenance=True`` (the default) attaches a
+    :class:`~repro.obs.provenance.ProvenanceRecord` with the applied
+    reduction steps and a critical-cycle witness, self-verified before
+    it is attached (a witness that fails its own O(|cycle|) check is
+    dropped, with the failure recorded as ``witness_unavailable``).
+    Disable for hot paths that only need the number; the simulation
+    back-end then also skips its binding bookkeeping.
     """
+    if not provenance:
+        return _throughput(graph, method, precheck, deadline, witness=False)[0]
+    with recording() as recorder:
+        result, arcs, space, extractor, reason = _throughput(
+            graph, method, precheck, deadline, witness=True
+        )
+        witness = (
+            CycleWitness(space=space, arcs=arcs, source=extractor) if arcs else None
+        )
+        record = ProvenanceRecord(
+            graph=graph.name,
+            fingerprint=graph.fingerprint(),
+            algorithm=_ALGORITHMS[method],
+            method=method,
+            status="exact",
+            cycle_time=result.cycle_time,
+            steps=recorder.steps,
+            witness=witness,
+            witness_unavailable=None if witness else reason,
+        )
+    if witness is not None:
+        try:
+            verify_witness(graph, record)
+        except WitnessError as error:
+            record.witness = None
+            record.witness_unavailable = f"witness failed self-check: {error}"
+    result.provenance = record
+    return result
+
+
+def _throughput(graph, method, precheck, deadline, witness):
+    """The three back-ends; returns (result, arcs, space, extractor, reason)."""
     with span("throughput", graph=graph.name,
               fingerprint=graph.fingerprint(), method=method):
         if precheck:
@@ -150,11 +209,28 @@ def throughput(
                 iteration = symbolic_iteration(graph, deadline=deadline)
             with span("mcm-eigenvalue",
                       matrix_order=iteration.matrix.nrows):
-                lam = eigenvalue(iteration.matrix, deadline=deadline)
-            return ThroughputResult(cycle_time=lam, repetition=gamma, method=method)
+                mcm = critical_cycle(iteration.matrix, deadline=deadline)
+            result = ThroughputResult(
+                cycle_time=mcm.value, repetition=gamma, method=method
+            )
+            if not witness or mcm.value is None:
+                return result, None, "token", "karp", (
+                    "no recurrent timing constraint (acyclic precedence graph)"
+                )
+            # Karp's cycle connects matrix indices; token ids name the
+            # same positions on the original graph's channels.
+            arcs = witness_from_ratio_cycle(
+                mcm.cycle,
+                space="token",
+                source="karp",
+                relabel=lambda index: str(iteration.token_ids[index]),
+            ).arcs
+            return result, arcs, "token", "karp", None
         if method == "simulation":
             with span("state-space-simulation"):
-                measured = simulation_throughput(graph, deadline=deadline)
+                measured = simulation_throughput(
+                    graph, deadline=deadline, witness=witness
+                )
             # Iterations per period: firings(a)/γ(a) is equal for all actors
             # in the periodic phase of a consistent graph.
             any_actor = next(iter(gamma))
@@ -170,20 +246,23 @@ def throughput(
                     "graph is not consistent with periodic execution"
                 )
             lam = measured.period / iterations
-            return ThroughputResult(cycle_time=lam, repetition=gamma, method=method)
+            result = ThroughputResult(cycle_time=lam, repetition=gamma, method=method)
+            if not witness:
+                return result, None, "actor", "simulation-backpointers", None
+            arcs, reason = binding_witness(graph, measured, gamma)
+            return result, arcs, "actor", "simulation-backpointers", reason
         if method == "hsdf":
             from repro.errors import DeadlockError
             from repro.mcm.graphlib import ZeroTransitCycleError
 
+            homogeneous = graph.is_homogeneous()
             with span("hsdf-expansion", iteration_length=sum(gamma.values())):
                 expanded = (
-                    graph
-                    if graph.is_homogeneous()
-                    else traditional_hsdf(graph, deadline=deadline)
+                    graph if homogeneous else traditional_hsdf(graph, deadline=deadline)
                 )
             try:
                 with span("howard-mcr", actors=expanded.actor_count()):
-                    result = howard_mcr(
+                    mcr = howard_mcr(
                         hsdf_cycle_ratio_graph(expanded), deadline=deadline
                     )
             except ZeroTransitCycleError as error:
@@ -193,7 +272,25 @@ def throughput(
                     f"graph {graph.name!r} deadlocks: token-free cycle "
                     f"{' -> '.join(str(n) for n in error.cycle[:6])}..."
                 ) from error
-            return ThroughputResult(
-                cycle_time=result.value, repetition=gamma, method=method
+            result = ThroughputResult(
+                cycle_time=mcr.value, repetition=gamma, method=method
             )
+            if not witness or mcr.value is None or not mcr.cycle:
+                return result, None, "actor", "howard", (
+                    "no cycle constrains the execution"
+                )
+            # Map expanded firing copies ("a#3") back to original actors;
+            # channel keys survive only when no expansion happened (the
+            # expansion merges parallel dependencies, losing identity).
+            arcs = witness_from_ratio_cycle(
+                mcr.cycle,
+                space="actor",
+                source="howard",
+                relabel=(
+                    (lambda node: str(node)) if homogeneous
+                    else (lambda node: str(node).rsplit("#", 1)[0])
+                ),
+                keys=(lambda edge: edge.key) if homogeneous else None,
+            ).arcs
+            return result, arcs, "actor", "howard", None
         raise ValueError(f"unknown method {method!r}; use symbolic, simulation or hsdf")

@@ -5,7 +5,8 @@ Gives the library's analyses a design-flow-friendly surface::
     python -m repro info graph.json
     python -m repro throughput graph.xml --method symbolic
     python -m repro throughput graph.xml --trace trace.json --metrics m.prom
-    python -m repro profile builtin:modem
+    python -m repro explain builtin:modem --html report.html --json prov.json
+    python -m repro profile builtin:modem --format json
     python -m repro batch --registry --workers 4 --analysis throughput latency
     python -m repro convert graph.json -o compact.json
     python -m repro convert graph.json --traditional -o expanded.xml
@@ -146,12 +147,86 @@ def cmd_throughput(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    import json
+
     from repro.obs.profile import profile_graph
 
     g = load_graph(args.graph)
     report = profile_graph(g, methods=tuple(args.method))
-    print(report.render())
+    if args.format == "json":
+        doc = {"schema": "repro-profile-v1", **report.as_dict()}
+        print(json.dumps(doc, indent=2))
+    else:
+        print(report.render())
     return 0
+
+
+def cmd_explain(args) -> int:
+    import json
+
+    from repro.analysis.deadline import Deadline
+    from repro.errors import AnalysisTimeout
+    from repro.obs.provenance import WitnessError, verify_witness
+    from repro.obs.report import render_html, render_text, witness_highlights
+    from repro.obs.trace import Tracer
+
+    g = load_graph(args.graph)
+    timed_out = False
+    tracer = Tracer()  # spans feed the HTML timeline
+    with tracer:
+        if args.fallback or args.stages:
+            from repro.analysis.resilience import DEFAULT_STAGES, AnalysisPolicy
+
+            policy = AnalysisPolicy(
+                stages=tuple(args.stages) if args.stages else DEFAULT_STAGES,
+                timeout=args.timeout,
+            )
+            outcome = policy.run(g)
+            record = outcome.record
+            timed_out = outcome.status == "timed-out"
+        else:
+            deadline = Deadline.after(args.timeout) if args.timeout else None
+            try:
+                result = throughput(g, method=args.method, deadline=deadline)
+            except AnalysisTimeout as error:
+                print(f"error: analysis timed out after {error.elapsed:.2f}s "
+                      f"in stage {error.stage or '?'}", file=sys.stderr)
+                print("hint: re-run with --fallback for a provenance record "
+                      "of the degraded chain", file=sys.stderr)
+                return 3
+            record = result.provenance
+
+    print(render_text(record, graph=g))
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(record.as_dict(), indent=2) + "\n"
+        )
+        print(f"provenance: written to {args.json}", file=sys.stderr)
+    if args.html:
+        pathlib.Path(args.html).write_text(
+            render_html(record, graph=g, spans=tracer.spans())
+        )
+        print(f"report: written to {args.html}", file=sys.stderr)
+    if args.dot:
+        actors, edges = witness_highlights(record, g)
+        pathlib.Path(args.dot).write_text(
+            to_dot(g, highlight_actors=actors, highlight_edges=edges)
+        )
+        print(f"dot: written to {args.dot}", file=sys.stderr)
+
+    if args.require_witness:
+        if record.witness is None:
+            print(f"error: no verifiable witness: "
+                  f"{record.witness_unavailable or 'unavailable'}",
+                  file=sys.stderr)
+            return 4
+        try:
+            verify_witness(g, record)
+        except WitnessError as error:
+            print(f"error: witness failed verification: {error}",
+                  file=sys.stderr)
+            return 4
+    return 3 if timed_out else 0
 
 
 def cmd_latency(args) -> int:
@@ -581,7 +656,42 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("symbolic", "simulation", "hsdf"),
                    default=["symbolic", "hsdf"],
                    help="back-ends to profile (default: symbolic hsdf)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="text table or a repro-profile-v1 JSON document")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "explain",
+        help="how a throughput number was produced: reduction steps, "
+             "fallback tiers and an independently checkable "
+             "critical-cycle witness (repro-provenance-v1)",
+    )
+    p.add_argument("graph")
+    p.add_argument("--method", choices=("symbolic", "simulation", "hsdf"),
+                   default="symbolic")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="cooperative deadline (exit 3 on timeout)")
+    p.add_argument("--fallback", action="store_true",
+                   help="analyse through the tiered policy and explain the "
+                        "whole chain (tier history, degradation reason)")
+    p.add_argument("--stages", nargs="+", metavar="STAGE",
+                   choices=("simulation", "symbolic", "hsdf", "abstraction"),
+                   help="restrict the policy to these tiers (implies "
+                        "--fallback); e.g. --stages abstraction forces the "
+                        "Theorem-1 conservative bound")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the repro-provenance-v1 certificate "
+                        "(validate with python -m repro.obs.check)")
+    p.add_argument("--html", metavar="FILE",
+                   help="write a self-contained HTML report (step table, "
+                        "highlighted critical cycle, tier timeline)")
+    p.add_argument("--dot", metavar="FILE",
+                   help="write the graph as DOT with the critical cycle "
+                        "highlighted")
+    p.add_argument("--require-witness", action="store_true",
+                   help="exit 4 unless the record carries a witness that "
+                        "verifies against the graph")
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("batch", help="analyse many graphs concurrently (cached)")
     p.add_argument("graphs", nargs="*", metavar="graph",

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import NotAbstractableError
+from repro.obs.provenance import record_step
 from repro.sdf.graph import SDFGraph
 from repro.sdf.repetition import repetition_vector
 
@@ -171,6 +172,13 @@ def abstract_graph(
             edge.consumption,
             delay,
         )
+    record_step(
+        "abstraction",
+        before=graph,
+        after=result,
+        phase_count=n,
+        groups={k: v for k, v in abstraction.groups().items() if len(v) > 1},
+    )
     return result
 
 

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ValidationError
 from repro.maxplus.algebra import EPSILON
 from repro.maxplus.matrix import MaxPlusMatrix
+from repro.obs.provenance import current_recorder, record_step
 from repro.sdf.graph import SDFGraph
 from repro.core.symbolic import SymbolicIteration, TokenId, symbolic_iteration
 
@@ -146,13 +147,25 @@ def convert_to_hsdf(
                     f"no firing {index} of actor {actor!r} in one iteration"
                 )
             observers[f"{actor}#{index}"] = iteration.firing_completions[key]
-    return realise_iteration_matrix(
+    conversion = realise_iteration_matrix(
         iteration.matrix,
         iteration.token_ids,
         name=f"{graph.name}-compact-hsdf",
         elide_multiplexers=elide_multiplexers,
         observers=observers,
     )
+    if current_recorder() is not None:
+        from repro.sdf.repetition import repetition_vector
+
+        record_step(
+            "compact-hsdf-conversion",
+            before=graph,
+            after=conversion.graph,
+            tokens=len(iteration.token_ids),
+            multiplexers_elided=elide_multiplexers,
+            traditional_actors=sum(repetition_vector(graph).values()),
+        )
+    return conversion
 
 
 def realise_iteration_matrix(

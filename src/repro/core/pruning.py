@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.obs.provenance import record_step
 from repro.sdf.graph import SDFGraph
 
 
@@ -43,6 +44,12 @@ def prune_redundant_edges(graph: SDFGraph, name: Optional[str] = None) -> SDFGra
                 edge.tokens,
                 name=edge.name,
             )
+    record_step(
+        "pruning",
+        before=graph,
+        after=result,
+        removed_edges=graph.edge_count() - result.edge_count(),
+    )
     return result
 
 

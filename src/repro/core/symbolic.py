@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import UnboundedThroughputError, ValidationError
 from repro.maxplus.matrix import MaxPlusMatrix, MaxPlusVector
+from repro.obs.provenance import record_step
 from repro.sdf.graph import SDFGraph
 from repro.sdf.schedule import sequential_schedule
 
@@ -162,6 +163,12 @@ def symbolic_iteration(
         rows.extend(channel)
 
     matrix = MaxPlusMatrix([row.entries for row in rows]) if size else MaxPlusMatrix([])
+    record_step(
+        "symbolic-conversion",
+        before=graph,
+        matrix_size=size,
+        firings=len(schedule),
+    )
     return SymbolicIteration(
         matrix=matrix,
         token_ids=token_ids,

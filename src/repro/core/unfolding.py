@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import ValidationError
+from repro.obs.provenance import record_step
 from repro.sdf.graph import SDFGraph
 
 
@@ -50,4 +51,5 @@ def unfold(graph: SDFGraph, n: int, name: Optional[str] = None) -> SDFGraph:
                 edge.consumption,
                 edge.tokens // n + wrap,
             )
+    record_step("unfolding", before=graph, after=result, factor=n)
     return result

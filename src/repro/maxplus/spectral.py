@@ -62,6 +62,18 @@ def critical_indices(matrix: MaxPlusMatrix, deadline=None) -> Tuple[Optional[Fra
     return result.value, result.cycle_nodes()
 
 
+def critical_cycle(matrix: MaxPlusMatrix, deadline=None):
+    """Eigenvalue and critical cycle in one Karp run.
+
+    Returns the full :class:`repro.mcm.graphlib.CycleRatioResult` so
+    callers that need both the value and the witnessing cycle (e.g. the
+    provenance layer) pay for a single MCM computation.  The result's
+    ``cycle`` edges connect matrix *indices* (``j → i`` for entry
+    ``M[i][j]``); ``value`` is ``None`` for nilpotent matrices.
+    """
+    return karp_mcm(precedence_graph(matrix), deadline=deadline)
+
+
 def cycle_time(matrix: MaxPlusMatrix, deadline=None) -> Fraction:
     """Like :func:`eigenvalue` but returns 0 for nilpotent matrices.
 

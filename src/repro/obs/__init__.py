@@ -28,6 +28,18 @@ offline-benchmark claim.  Three coordinated, zero-dependency pieces:
     ``repro profile`` CLI subcommand as a stage-cost table that
     visualises the paper's Section 6 cost comparison directly.
 
+:mod:`repro.obs.provenance`
+    The analysis flight recorder: every result carries a
+    ``repro-provenance-v1`` certificate — the ordered reduction steps
+    applied, the algorithm and fallback tier that produced the number,
+    and a critical-cycle witness re-checkable in O(|cycle|) with
+    :func:`~repro.obs.provenance.verify_witness`.
+
+:mod:`repro.obs.report`
+    Renders a provenance record as the ``repro explain`` terminal
+    report or a self-contained HTML page with the critical cycle
+    highlighted on the DOT rendering.
+
 Quickstart::
 
     from repro.obs import Tracer, span
@@ -56,21 +68,45 @@ from repro.obs.metrics import (
     set_default_registry,
 )
 from repro.obs.profile import ProfileReport, StageCost, profile_graph
+from repro.obs.provenance import (
+    CycleWitness,
+    FlightRecorder,
+    ProvenanceRecord,
+    ReductionStep,
+    WitnessArc,
+    WitnessError,
+    record_step,
+    recording,
+    verify_witness,
+)
+from repro.obs.report import render_html, render_text, witness_highlights
 
 __all__ = [
     "Counter",
+    "CycleWitness",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ProfileReport",
+    "ProvenanceRecord",
+    "ReductionStep",
     "Span",
     "StageCost",
     "Tracer",
+    "WitnessArc",
+    "WitnessError",
     "add_event",
     "current_span",
     "current_tracer",
     "default_registry",
     "profile_graph",
+    "record_step",
+    "recording",
+    "render_html",
+    "render_text",
     "set_default_registry",
     "span",
+    "verify_witness",
+    "witness_highlights",
 ]

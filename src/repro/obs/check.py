@@ -9,7 +9,11 @@ Dependency-free validators (no jsonschema in this environment) for:
 * the ``repro-metrics-v1`` JSON snapshot;
 * the shared ``repro-bench-v1`` benchmark baseline schema used by every
   ``BENCH_*.json`` at the repository root (``name``/``unit``/``value``/
-  ``baseline``/``meta`` entries).
+  ``baseline``/``meta`` entries, plus the optional ``host`` stamp);
+* the ``repro-provenance-v1`` certificate written by ``repro explain
+  --json`` (and embedded in batch journals and outcome dicts);
+* the ``repro-profile-v1`` stage-cost table written by ``repro profile
+  --format json``.
 
 Each ``validate_*`` function raises :class:`SchemaError` with a precise
 location on the first violation and returns a small summary dict on
@@ -34,11 +38,16 @@ __all__ = [
     "validate_bench",
     "validate_chrome_trace",
     "validate_metrics_snapshot",
+    "validate_profile",
     "validate_prometheus_text",
+    "validate_provenance",
     "validate_span_jsonl",
 ]
 
 BENCH_SCHEMA = "repro-bench-v1"
+#: Kept in sync with repro.obs.provenance.PROVENANCE_SCHEMA (tested).
+PROVENANCE_SCHEMA = "repro-provenance-v1"
+PROFILE_SCHEMA = "repro-profile-v1"
 
 _PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
 _PROM_SAMPLE = re.compile(
@@ -214,6 +223,159 @@ def validate_metrics_snapshot(data: Any) -> Dict[str, int]:
 
 
 # ----------------------------------------------------------------------
+# provenance certificates
+# ----------------------------------------------------------------------
+
+_PROVENANCE_STATUSES = ("exact", "conservative-bound", "timed-out")
+_WITNESS_SPACES = ("token", "actor", "abstract")
+_TIER_STATUSES = ("ok", "timeout", "cancelled", "error", "skipped")
+
+
+def _need_fraction(value: Any, where: str, what: str,
+                   nullable: bool = False) -> None:
+    """``value`` must parse as an exact rational (or be null)."""
+    if value is None and nullable:
+        return
+    _need(isinstance(value, str), where,
+          f"{what} must be a string-encoded rational"
+          + (" or null" if nullable else "") + f", got {value!r}")
+    from fractions import Fraction
+
+    try:
+        Fraction(value)
+    except (ValueError, ZeroDivisionError):
+        raise SchemaError(
+            f"{where}: {what} {value!r} is not a valid rational"
+        ) from None
+
+
+def validate_provenance(data: Any) -> Dict[str, int]:
+    """Validate a ``repro-provenance-v1`` certificate.
+
+    Checks *structure* (the record can be loaded, shipped and rendered);
+    the semantic certificate check — arcs close a cycle whose mean
+    equals the claimed cycle time on the actual graph — is
+    :func:`repro.obs.provenance.verify_witness`'s job and needs the
+    graph.
+    """
+    _need(isinstance(data, dict), "provenance", "must be an object")
+    _need(data.get("schema") == PROVENANCE_SCHEMA, "provenance",
+          f"schema must be {PROVENANCE_SCHEMA!r}, got {data.get('schema')!r}")
+    for key in ("graph", "fingerprint", "algorithm", "method"):
+        _need(isinstance(data.get(key), str) and data[key], "provenance",
+              f"needs a non-empty string {key!r}")
+    _need(data.get("status") in _PROVENANCE_STATUSES, "provenance",
+          f"status must be one of {_PROVENANCE_STATUSES}, "
+          f"got {data.get('status')!r}")
+    _need_fraction(data.get("cycle_time"), "provenance", "'cycle_time'",
+                   nullable=True)
+
+    steps = data.get("steps", [])
+    _need(isinstance(steps, list), "provenance", "'steps' must be an array")
+    for index, step in enumerate(steps):
+        where = f"steps[{index}]"
+        _need(isinstance(step, dict), where, "must be an object")
+        _need(isinstance(step.get("kind"), str) and step["kind"], where,
+              "needs a non-empty string 'kind'")
+        for side in ("before", "after"):
+            fp = step.get(f"{side}_fingerprint")
+            _need(fp is None or isinstance(fp, str), where,
+                  f"'{side}_fingerprint' must be a string or null")
+            size = step.get(f"{side}_size", {})
+            _need(isinstance(size, dict), where,
+                  f"'{side}_size' must be an object")
+            for key, value in size.items():
+                _need(isinstance(value, int) and not isinstance(value, bool),
+                      where, f"size {key!r} must be an integer, got {value!r}")
+
+    witness = data.get("witness")
+    arcs = 0
+    if witness is not None:
+        _need(isinstance(witness, dict), "witness", "must be an object or null")
+        _need(witness.get("space") in _WITNESS_SPACES, "witness",
+              f"space must be one of {_WITNESS_SPACES}, "
+              f"got {witness.get('space')!r}")
+        _need(isinstance(witness.get("source"), str), "witness",
+              "needs a string 'source'")
+        arc_list = witness.get("arcs")
+        _need(isinstance(arc_list, list) and arc_list, "witness",
+              "'arcs' must be a non-empty array")
+        for index, arc in enumerate(arc_list):
+            where = f"witness.arcs[{index}]"
+            _need(isinstance(arc, dict), where, "must be an object")
+            for key in ("source", "target"):
+                _need(isinstance(arc.get(key), str) and arc[key], where,
+                      f"needs a non-empty string {key!r}")
+            _need_fraction(arc.get("weight"), where, "'weight'")
+            _need(isinstance(arc.get("tokens"), int)
+                  and not isinstance(arc["tokens"], bool)
+                  and arc["tokens"] >= 0, where,
+                  f"'tokens' must be a non-negative integer, "
+                  f"got {arc.get('tokens')!r}")
+        groups = witness.get("groups", {})
+        _need(isinstance(groups, dict), "witness", "'groups' must be an object")
+        for name, members in groups.items():
+            _need(isinstance(members, list)
+                  and all(isinstance(m, str) for m in members),
+                  f"witness.groups[{name!r}]", "must be an array of strings")
+        arcs = len(arc_list)
+    else:
+        _need(data.get("witness_unavailable") is None
+              or isinstance(data["witness_unavailable"], str),
+              "provenance", "'witness_unavailable' must be a string or null")
+
+    tiers = data.get("tiers", [])
+    _need(isinstance(tiers, list), "provenance", "'tiers' must be an array")
+    for index, tier in enumerate(tiers):
+        where = f"tiers[{index}]"
+        _need(isinstance(tier, dict), where, "must be an object")
+        _need(isinstance(tier.get("tier"), str) and tier["tier"], where,
+              "needs a non-empty string 'tier'")
+        _need(tier.get("status") in _TIER_STATUSES, where,
+              f"status must be one of {_TIER_STATUSES}, "
+              f"got {tier.get('status')!r}")
+    if data.get("status") == "conservative-bound":
+        _need(isinstance(data.get("bound_phase_count"), int), "provenance",
+              "conservative-bound records need an integer 'bound_phase_count'")
+        _need_fraction(data.get("bound_abstract_cycle_time"), "provenance",
+                       "'bound_abstract_cycle_time'")
+    return {"steps": len(steps), "witness_arcs": arcs, "tiers": len(tiers)}
+
+
+# ----------------------------------------------------------------------
+# profile tables
+# ----------------------------------------------------------------------
+
+def validate_profile(data: Any) -> Dict[str, int]:
+    """Validate a ``repro-profile-v1`` stage-cost table."""
+    _need(isinstance(data, dict), "profile", "must be an object")
+    _need(data.get("schema") == PROFILE_SCHEMA, "profile",
+          f"schema must be {PROFILE_SCHEMA!r}, got {data.get('schema')!r}")
+    for key in ("graph", "fingerprint"):
+        _need(isinstance(data.get(key), str) and data[key], "profile",
+              f"needs a non-empty string {key!r}")
+    rows = data.get("rows")
+    _need(isinstance(rows, list) and rows, "profile",
+          "'rows' must be a non-empty array")
+    for index, row in enumerate(rows):
+        where = f"rows[{index}]"
+        _need(isinstance(row, dict), where, "must be an object")
+        for key in ("method", "stage"):
+            _need(isinstance(row.get(key), str) and row[key], where,
+                  f"needs a non-empty string {key!r}")
+        for key in ("wall_seconds", "cpu_seconds", "mem_peak_bytes"):
+            value = row.get(key)
+            _need(isinstance(value, (int, float))
+                  and not isinstance(value, bool) and value >= 0, where,
+                  f"{key!r} must be a non-negative number, got {value!r}")
+        _need(isinstance(row.get("total"), bool), where,
+              "'total' must be a boolean")
+    _need(isinstance(data.get("cycle_times"), dict), "profile",
+          "'cycle_times' must be an object")
+    return {"rows": len(rows), "methods": len(data["cycle_times"])}
+
+
+# ----------------------------------------------------------------------
 # benchmark baselines
 # ----------------------------------------------------------------------
 
@@ -225,6 +387,13 @@ def validate_bench(data: Any) -> Dict[str, int]:
           f"schema must be {BENCH_SCHEMA!r}, got {data.get('schema')!r}")
     _need(isinstance(data.get("suite"), str) and data["suite"], "bench",
           "needs a non-empty 'suite' string")
+    host = data.get("host")
+    if host is not None:
+        _need(isinstance(host, dict), "bench", "'host' must be an object")
+        for key in ("platform", "python", "git_sha"):
+            _need(key in host, "bench.host", f"missing {key!r}")
+            _need(host[key] is None or isinstance(host[key], str),
+                  "bench.host", f"{key!r} must be a string or null")
     entries = data.get("entries")
     _need(isinstance(entries, list) and entries, "bench",
           "'entries' must be a non-empty array")
@@ -265,6 +434,27 @@ def check_file(path: str) -> Dict[str, int]:
     if name.endswith((".prom", ".txt")):
         return validate_prometheus_text(text)
     if name.endswith(".jsonl"):
+        head = next((line for line in text.splitlines() if line.strip()), "")
+        try:
+            first = json.loads(head)
+        except json.JSONDecodeError:
+            first = None
+        if isinstance(first, dict) and first.get("schema") == BENCH_SCHEMA:
+            # A bench history: one repro-bench-v1 document per line.
+            runs = 0
+            for lineno, line in enumerate(text.splitlines(), 1):
+                if not line.strip():
+                    continue
+                try:
+                    validate_bench(json.loads(line))
+                except json.JSONDecodeError as error:
+                    raise SchemaError(
+                        f"line {lineno}: not valid JSON ({error})"
+                    ) from None
+                except SchemaError as error:
+                    raise SchemaError(f"line {lineno}: {error}") from None
+                runs += 1
+            return {"runs": runs}
         return validate_span_jsonl(text)
     try:
         data = json.loads(text)
@@ -273,6 +463,10 @@ def check_file(path: str) -> Dict[str, int]:
     if isinstance(data, dict):
         if data.get("schema") == BENCH_SCHEMA:
             return validate_bench(data)
+        if data.get("schema") == PROVENANCE_SCHEMA:
+            return validate_provenance(data)
+        if data.get("schema") == PROFILE_SCHEMA:
+            return validate_profile(data)
         if "metrics" in data and "schema" in data:
             return validate_metrics_snapshot(data)
         if "traceEvents" in data:

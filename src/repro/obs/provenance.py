@@ -1,0 +1,557 @@
+"""Provenance certificates for analysis results (``repro-provenance-v1``).
+
+A throughput number with no account of *how* it was produced cannot be
+audited, cached with confidence, or shipped across a service boundary.
+This module gives every analysis result a **provenance record**: the
+ordered reduction steps that transformed the graph (with before/after
+content fingerprints and size deltas), the algorithm that produced the
+number, the fallback tier it came from, and — the core artefact — a
+**critical-cycle witness** that re-derives the reported cycle mean in
+O(|cycle|), independent of the analysis that found it.
+
+The paper's central claim is that its reductions preserve the worst-case
+cycle; the witness certifies that per result, not just property-tested
+in CI.  Witnesses come in three spaces:
+
+``token``
+    Arcs between *initial tokens* of the analysed graph (the max-plus
+    precedence graph of the iteration matrix): arc ``t_j → t_k`` with
+    weight ``g_{j,k}`` (the paper's minimal-distance coefficient) and
+    one iteration crossing per arc.  Extracted from Karp's critical
+    cycle (:mod:`repro.mcm.karp` via :mod:`repro.maxplus.spectral`).
+
+``actor``
+    Arcs between *actors* of the analysed graph (firing dependencies):
+    weight is the source actor's execution time, ``tokens`` counts the
+    iteration boundaries the dependency crosses.  Extracted from
+    Howard's critical cycle on the traditional HSDF expansion (mapped
+    back through the firing → actor inverse mapping) or from the
+    periodic-phase back-pointers of the self-timed simulation.
+
+``abstract``
+    Arcs on the *abstract* graph of a Theorem-1 conservative bound;
+    each abstract actor is annotated with the original actors it
+    represents.  The witness certifies the abstract cycle time λ′; the
+    record additionally carries ``bound = N · λ′``.
+
+:func:`verify_witness` re-checks a witness against the original graph:
+arcs must form a closed cycle over entities that exist in the graph,
+weights must match what the graph declares where the space allows it,
+and the cycle mean Σweight/Σtokens must equal the reported cycle time —
+all in O(|cycle|) work.
+
+The **flight recorder** (:func:`recording` / :func:`record_step`) is how
+reduction passes report themselves: each instrumented transformation
+(grouping discovery, Definition-4 abstraction, redundant-edge pruning,
+N-fold unfolding, the compact Algorithm-1 conversion and the traditional
+expansion) appends a :class:`ReductionStep` to every recorder open on
+the current thread.  Recording is off by default and costs one
+thread-local read per instrumented call when disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "PROVENANCE_SCHEMA",
+    "CycleWitness",
+    "FlightRecorder",
+    "ProvenanceRecord",
+    "ReductionStep",
+    "WitnessArc",
+    "WitnessError",
+    "record_step",
+    "recording",
+    "verify_witness",
+    "witness_from_ratio_cycle",
+]
+
+PROVENANCE_SCHEMA = "repro-provenance-v1"
+
+#: Witness spaces and what their arcs mean (see module docstring).
+WITNESS_SPACES = ("token", "actor", "abstract")
+
+
+class WitnessError(ValueError):
+    """A witness fails its O(|cycle|) re-check against the graph."""
+
+
+# ----------------------------------------------------------------------
+# data model
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WitnessArc:
+    """One arc of a critical-cycle witness.
+
+    ``weight`` is exact (a :class:`fractions.Fraction`); ``tokens`` is
+    the arc's transit — iteration crossings for actor-space arcs, 1 for
+    token-space arcs.  ``key`` names the original channel carrying the
+    dependency when the extractor knows it, else ``None``.
+    """
+
+    source: str
+    target: str
+    weight: Fraction
+    tokens: int
+    key: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "weight": str(self.weight),
+            "tokens": self.tokens,
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WitnessArc":
+        return cls(
+            source=data["source"],
+            target=data["target"],
+            weight=Fraction(data["weight"]),
+            tokens=int(data["tokens"]),
+            key=data.get("key"),
+        )
+
+
+@dataclass
+class CycleWitness:
+    """A critical cycle as an independently checkable edge list.
+
+    ``space`` fixes the vocabulary of the arcs (see module docstring);
+    ``source`` names the extractor that produced it (``karp``,
+    ``howard``, ``simulation-backpointers``); ``groups`` maps abstract
+    actors to their original members for ``space == "abstract"``.
+    """
+
+    space: str
+    arcs: List[WitnessArc]
+    source: str = "karp"
+    #: Abstract actor -> original members (abstract-space witnesses).
+    groups: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def cycle_mean(self) -> Fraction:
+        """Σweight / Σtokens of the arcs — the re-derived cycle time."""
+        total_tokens = sum(arc.tokens for arc in self.arcs)
+        if total_tokens <= 0:
+            raise WitnessError(
+                f"witness transit sum must be positive, got {total_tokens}"
+            )
+        return Fraction(sum(arc.weight for arc in self.arcs), total_tokens)
+
+    def check_closed(self) -> None:
+        """Arcs must chain target→source and close back on the start."""
+        if not self.arcs:
+            raise WitnessError("witness has no arcs")
+        for here, nxt in zip(self.arcs, self.arcs[1:] + self.arcs[:1]):
+            if here.target != nxt.source:
+                raise WitnessError(
+                    f"witness arcs do not chain: {here.source}->{here.target} "
+                    f"followed by {nxt.source}->{nxt.target}"
+                )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "space": self.space,
+            "source": self.source,
+            "arcs": [arc.as_dict() for arc in self.arcs],
+            "groups": {k: list(v) for k, v in self.groups.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CycleWitness":
+        return cls(
+            space=data["space"],
+            arcs=[WitnessArc.from_dict(a) for a in data["arcs"]],
+            source=data.get("source", "karp"),
+            groups={k: list(v) for k, v in data.get("groups", {}).items()},
+        )
+
+
+@dataclass
+class ReductionStep:
+    """One reduction the pipeline applied, with size evidence.
+
+    ``kind`` is the transformation's name (``grouping-discovery``,
+    ``abstraction``, ``pruning``, ``unfolding``, ``compact-hsdf-
+    conversion``, ``traditional-hsdf-expansion``, ``symbolic-
+    conversion``); fingerprints are content hashes of the graphs before
+    and after (``None`` when a side is not a graph, e.g. a matrix).
+    """
+
+    kind: str
+    before_fingerprint: Optional[str] = None
+    after_fingerprint: Optional[str] = None
+    before_size: Dict[str, int] = field(default_factory=dict)
+    after_size: Dict[str, int] = field(default_factory=dict)
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "before_fingerprint": self.before_fingerprint,
+            "after_fingerprint": self.after_fingerprint,
+            "before_size": dict(self.before_size),
+            "after_size": dict(self.after_size),
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReductionStep":
+        return cls(
+            kind=data["kind"],
+            before_fingerprint=data.get("before_fingerprint"),
+            after_fingerprint=data.get("after_fingerprint"),
+            before_size=dict(data.get("before_size", {})),
+            after_size=dict(data.get("after_size", {})),
+            detail=dict(data.get("detail", {})),
+        )
+
+
+@dataclass
+class TierAttempt:
+    """One fallback-chain tier: what ran and how it ended."""
+
+    tier: str
+    status: str  # "ok" | "timeout" | "cancelled" | "error" | "skipped"
+    reason: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"tier": self.tier, "status": self.status, "reason": self.reason}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TierAttempt":
+        return cls(tier=data["tier"], status=data["status"],
+                   reason=data.get("reason"))
+
+
+@dataclass
+class ProvenanceRecord:
+    """The full account of how one analysis result was produced."""
+
+    graph: str
+    fingerprint: str
+    algorithm: str  # karp | howard | simulation | symbolic | ...
+    method: str  # symbolic | simulation | hsdf | abstraction
+    status: str = "exact"  # exact | conservative-bound | timed-out
+    cycle_time: Optional[Fraction] = None
+    steps: List[ReductionStep] = field(default_factory=list)
+    witness: Optional[CycleWitness] = None
+    #: Why no witness could be extracted, when ``witness`` is None.
+    witness_unavailable: Optional[str] = None
+    #: Fallback-tier history (policy runs only; empty for direct calls).
+    tiers: List[TierAttempt] = field(default_factory=list)
+    #: Why the policy degraded below its first tier, when it did.
+    degradation_reason: Optional[str] = None
+    #: Theorem-1 ingredients (conservative-bound records only).
+    bound_phase_count: Optional[int] = None
+    bound_abstract_cycle_time: Optional[Fraction] = None
+
+    @property
+    def exact(self) -> bool:
+        return self.status == "exact"
+
+    def skipped_tiers(self) -> List[str]:
+        return [t.tier for t in self.tiers if t.status == "skipped"]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": PROVENANCE_SCHEMA,
+            "graph": self.graph,
+            "fingerprint": self.fingerprint,
+            "algorithm": self.algorithm,
+            "method": self.method,
+            "status": self.status,
+            "cycle_time": None if self.cycle_time is None else str(self.cycle_time),
+            "steps": [step.as_dict() for step in self.steps],
+            "witness": None if self.witness is None else self.witness.as_dict(),
+            "witness_unavailable": self.witness_unavailable,
+            "tiers": [tier.as_dict() for tier in self.tiers],
+            "degradation_reason": self.degradation_reason,
+            "bound_phase_count": self.bound_phase_count,
+            "bound_abstract_cycle_time": (
+                None
+                if self.bound_abstract_cycle_time is None
+                else str(self.bound_abstract_cycle_time)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProvenanceRecord":
+        if data.get("schema") != PROVENANCE_SCHEMA:
+            raise WitnessError(
+                f"not a {PROVENANCE_SCHEMA} record: schema={data.get('schema')!r}"
+            )
+        return cls(
+            graph=data["graph"],
+            fingerprint=data["fingerprint"],
+            algorithm=data["algorithm"],
+            method=data["method"],
+            status=data.get("status", "exact"),
+            cycle_time=(
+                None if data.get("cycle_time") is None
+                else Fraction(data["cycle_time"])
+            ),
+            steps=[ReductionStep.from_dict(s) for s in data.get("steps", [])],
+            witness=(
+                None if data.get("witness") is None
+                else CycleWitness.from_dict(data["witness"])
+            ),
+            witness_unavailable=data.get("witness_unavailable"),
+            tiers=[TierAttempt.from_dict(t) for t in data.get("tiers", [])],
+            degradation_reason=data.get("degradation_reason"),
+            bound_phase_count=data.get("bound_phase_count"),
+            bound_abstract_cycle_time=(
+                None if data.get("bound_abstract_cycle_time") is None
+                else Fraction(data["bound_abstract_cycle_time"])
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# the flight recorder
+# ----------------------------------------------------------------------
+
+class FlightRecorder:
+    """Collects the reduction steps applied while it is open."""
+
+    def __init__(self) -> None:
+        self.steps: List[ReductionStep] = []
+
+    def record(self, step: ReductionStep) -> None:
+        self.steps.append(step)
+
+
+_local = threading.local()
+
+
+def _stack() -> List[FlightRecorder]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_recorder() -> Optional[FlightRecorder]:
+    """The innermost open recorder of this thread, or ``None``."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def recording() -> Iterator[FlightRecorder]:
+    """Open a flight recorder on this thread.
+
+    Recorders nest: a step is reported to *every* open recorder, so a
+    policy-level recorder sees the steps of the nested analyses it
+    drives while each nested analysis still gets its own complete view.
+    """
+    recorder = FlightRecorder()
+    stack = _stack()
+    stack.append(recorder)
+    try:
+        yield recorder
+    finally:
+        stack.remove(recorder)
+
+
+def _graph_size(graph) -> Dict[str, int]:
+    return {
+        "actors": graph.actor_count(),
+        "edges": graph.edge_count(),
+        "tokens": graph.total_tokens(),
+    }
+
+
+def record_step(kind: str, before=None, after=None, **detail: Any) -> None:
+    """Report one reduction step to every open recorder (no-op when none).
+
+    ``before``/``after`` are :class:`~repro.sdf.graph.SDFGraph` objects
+    when the step maps graph to graph; pass ``None`` for a side that is
+    not a graph (the detail dict then carries its size evidence).
+    """
+    stack = getattr(_local, "stack", None)
+    if not stack:
+        return
+    step = ReductionStep(
+        kind=kind,
+        before_fingerprint=None if before is None else before.fingerprint(),
+        after_fingerprint=None if after is None else after.fingerprint(),
+        before_size={} if before is None else _graph_size(before),
+        after_size={} if after is None else _graph_size(after),
+        detail=detail,
+    )
+    for recorder in stack:
+        recorder.record(step)
+
+
+# ----------------------------------------------------------------------
+# witness construction
+# ----------------------------------------------------------------------
+
+def witness_from_ratio_cycle(
+    cycle: Sequence,
+    space: str,
+    source: str,
+    relabel=None,
+    keys=None,
+) -> CycleWitness:
+    """Build a witness from a solver's critical cycle of ``RatioEdge``s.
+
+    ``relabel`` maps solver node labels into the witness space (e.g.
+    token index → token id, HSDF copy ``a#3`` → actor ``a``); ``keys``
+    optionally maps each edge to the original channel name.
+    """
+    label = relabel if relabel is not None else (lambda node: str(node))
+    arcs = []
+    for edge in cycle:
+        arcs.append(WitnessArc(
+            source=label(edge.source),
+            target=label(edge.target),
+            weight=Fraction(edge.weight),
+            tokens=int(edge.transit),
+            key=None if keys is None else keys(edge),
+        ))
+    return CycleWitness(space=space, arcs=arcs, source=source)
+
+
+# ----------------------------------------------------------------------
+# the verifier
+# ----------------------------------------------------------------------
+
+def _parse_token_label(label: str) -> Tuple[str, int]:
+    """Split ``"edge[pos]"`` into (edge name, position)."""
+    if not label.endswith("]") or "[" not in label:
+        raise WitnessError(f"malformed token label {label!r}")
+    edge, _, position = label[:-1].rpartition("[")
+    try:
+        return edge, int(position)
+    except ValueError:
+        raise WitnessError(f"malformed token position in {label!r}") from None
+
+
+def verify_witness(graph, witness, cycle_time=None) -> Fraction:
+    """Re-derive the cycle mean from ``witness`` against ``graph``.
+
+    Performs the O(|cycle|) certificate check:
+
+    * the arcs form one closed cycle with positive total transit;
+    * every arc references entities that exist in ``graph`` —
+      token-space labels name channels with enough initial tokens,
+      actor-space arcs name actors connected by an edge (the named
+      channel when ``key`` is set) with the declared execution time;
+    * the re-derived mean Σweight/Σtokens equals ``cycle_time`` when
+      one is given.
+
+    ``witness`` may be a :class:`CycleWitness`, a
+    :class:`ProvenanceRecord` (its witness and cycle time are used), or
+    a plain ``as_dict()`` form of either.  Returns the re-derived cycle
+    mean; raises :class:`WitnessError` on any violation.
+    """
+    if isinstance(witness, dict):
+        if witness.get("schema") == PROVENANCE_SCHEMA:
+            witness = ProvenanceRecord.from_dict(witness)
+        else:
+            witness = CycleWitness.from_dict(witness)
+    if isinstance(witness, ProvenanceRecord):
+        record = witness
+        if record.witness is None:
+            raise WitnessError(
+                "record carries no witness"
+                + (f" ({record.witness_unavailable})"
+                   if record.witness_unavailable else "")
+            )
+        if cycle_time is None:
+            cycle_time = (
+                record.bound_abstract_cycle_time
+                if record.status == "conservative-bound"
+                else record.cycle_time
+            )
+        witness = record.witness
+
+    if witness.space not in WITNESS_SPACES:
+        raise WitnessError(f"unknown witness space {witness.space!r}")
+    witness.check_closed()
+    for arc in witness.arcs:
+        if arc.tokens < 0:
+            raise WitnessError(
+                f"arc {arc.source}->{arc.target} has negative transit "
+                f"{arc.tokens}"
+            )
+
+    if graph is not None and witness.space == "token":
+        for arc in witness.arcs:
+            for label in (arc.source, arc.target):
+                edge_name, position = _parse_token_label(label)
+                try:
+                    edge = graph.edge(edge_name)
+                except Exception:
+                    raise WitnessError(
+                        f"witness names token {label!r} but the graph has "
+                        f"no channel {edge_name!r}"
+                    ) from None
+                if position >= edge.tokens:
+                    raise WitnessError(
+                        f"witness names token {label!r} but channel "
+                        f"{edge_name!r} holds only {edge.tokens} initial "
+                        "token(s)"
+                    )
+    elif graph is not None and witness.space == "actor":
+        for arc in witness.arcs:
+            if not graph.has_actor(arc.source) or not graph.has_actor(arc.target):
+                raise WitnessError(
+                    f"witness arc {arc.source}->{arc.target} names actors "
+                    "missing from the graph"
+                )
+            if Fraction(graph.execution_time(arc.source)) != arc.weight:
+                raise WitnessError(
+                    f"arc weight {arc.weight} != execution time "
+                    f"{graph.execution_time(arc.source)} of {arc.source!r}"
+                )
+            if arc.key is not None:
+                try:
+                    edge = graph.edge(arc.key)
+                except Exception:
+                    raise WitnessError(
+                        f"witness arc names channel {arc.key!r} missing "
+                        "from the graph"
+                    ) from None
+                if edge.source != arc.source or edge.target != arc.target:
+                    raise WitnessError(
+                        f"channel {arc.key!r} connects "
+                        f"{edge.source}->{edge.target}, not "
+                        f"{arc.source}->{arc.target}"
+                    )
+            elif not any(
+                e.target == arc.target for e in graph.out_edges(arc.source)
+            ):
+                raise WitnessError(
+                    f"graph has no channel {arc.source}->{arc.target} to "
+                    "carry the witnessed dependency"
+                )
+    # space == "abstract": the arcs live on the (discarded) abstract
+    # graph; the certificate is closure + mean, and the group annotation
+    # ties every abstract actor back to original actors.
+    elif graph is not None and witness.space == "abstract" and witness.groups:
+        for abstract_actor, members in witness.groups.items():
+            for member in members:
+                if not graph.has_actor(member):
+                    raise WitnessError(
+                        f"abstract actor {abstract_actor!r} claims member "
+                        f"{member!r} missing from the original graph"
+                    )
+
+    mean = witness.cycle_mean
+    if cycle_time is not None and mean != Fraction(cycle_time):
+        raise WitnessError(
+            f"witness re-derives cycle mean {mean}, result claims {cycle_time}"
+        )
+    return mean

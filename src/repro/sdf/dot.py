@@ -9,9 +9,12 @@ Graphviz clusters to visualise a planned reduction before applying it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Collection, Dict, Optional
 
 from repro.sdf.graph import SDFGraph
+
+#: Colour used for critical-cycle highlighting in DOT output.
+_HIGHLIGHT = "#c0392b"
 
 
 def _escape(text: str) -> str:
@@ -56,21 +59,31 @@ def to_dot(
     graph: SDFGraph,
     groups: Optional[Dict[str, str]] = None,
     rankdir: str = "LR",
+    highlight_actors: Optional[Collection[str]] = None,
+    highlight_edges: Optional[Collection] = None,
 ) -> str:
     """Render ``graph`` as a DOT digraph.
 
     ``groups`` (actor → group name, e.g. an :class:`Abstraction`'s
-    ``mapping``) draws each group as a cluster.  The output needs no
-    Graphviz at build time — it is plain text for later rendering.
+    ``mapping``) draws each group as a cluster.  ``highlight_actors``
+    and ``highlight_edges`` mark a critical cycle: named actors, plus
+    edges matched either by edge name or by ``(source, target)`` pair,
+    are drawn bold and coloured.  The output needs no Graphviz at build
+    time — it is plain text for later rendering.
     """
     homogeneous = graph.is_homogeneous()
+    hi_actors = set(highlight_actors or ())
+    hi_edges = set(highlight_edges or ())
     lines = [f'digraph "{_escape(graph.name)}" {{']
     lines.append(f"  rankdir={rankdir};")
     lines.append('  node [shape=circle, fontsize=11];')
 
     def actor_line(actor) -> str:
         label = f"{_escape(actor.name)}\\n{actor.execution_time}"
-        return f'  "{_escape(actor.name)}" [label="{label}"];'
+        attrs = f'label="{label}"'
+        if actor.name in hi_actors:
+            attrs += f', color="{_HIGHLIGHT}", penwidth=2.5, fontcolor="{_HIGHLIGHT}"'
+        return f'  "{_escape(actor.name)}" [{attrs}];'
 
     if groups:
         by_group: Dict[str, list] = {}
@@ -91,7 +104,10 @@ def to_dot(
 
     for edge in graph.edges:
         label = _edge_label(edge, homogeneous)
-        attrs = f' [label="{_escape(label)}"]' if label else ""
+        parts = [f'label="{_escape(label)}"'] if label else []
+        if edge.name in hi_edges or (edge.source, edge.target) in hi_edges:
+            parts.append(f'color="{_HIGHLIGHT}", penwidth=2.5')
+        attrs = f" [{', '.join(parts)}]" if parts else ""
         lines.append(
             f'  "{_escape(edge.source)}" -> "{_escape(edge.target)}"{attrs};'
         )

@@ -14,11 +14,13 @@ All event times are exact rationals.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConvergenceError, DeadlockError, UnboundedThroughputError
+from repro.obs.provenance import WitnessArc
 from repro.sdf.graph import SDFGraph
 
 
@@ -48,7 +50,13 @@ class SelfTimedSimulation:
     #: often at one instant).
     MAX_STARTS_PER_INSTANT = 1_000_000
 
-    def __init__(self, graph: SDFGraph, record_trace: bool = False, deadline=None):
+    def __init__(
+        self,
+        graph: SDFGraph,
+        record_trace: bool = False,
+        deadline=None,
+        record_bindings: bool = False,
+    ):
         for actor in graph.actor_names:
             if not graph.in_edges(actor):
                 raise UnboundedThroughputError(
@@ -65,6 +73,24 @@ class SelfTimedSimulation:
         self._ongoing: List[Tuple[Fraction, str]] = []
         self.firings: Dict[str, int] = {a: 0 for a in graph.actor_names}
         self.trace: Optional[List[FiringRecord]] = [] if record_trace else None
+        #: Binding back-pointers: (actor, start ordinal) -> the producer
+        #: firing ``(producer, ordinal, channel)`` of the *last-arriving*
+        #: token the firing consumed, or ``None`` when it bound to an
+        #: initial token.  The binding token is the one the firing
+        #: actually waited for, so chains of bindings are tight timing
+        #: constraints — the raw material for critical-cycle witnesses.
+        self.bindings: Optional[Dict[Tuple[str, int], Optional[Tuple[str, int, str]]]] = (
+            {} if record_bindings else None
+        )
+        if record_bindings:
+            # Per-channel FIFO mirroring token identities: each entry is
+            # (producer, completion ordinal, completion time), or None
+            # for an initial token.
+            self._fifos: Dict[str, deque] = {
+                e.name: deque([None] * e.tokens) for e in graph.edges
+            }
+            self.start_counts: Dict[str, int] = {a: 0 for a in graph.actor_names}
+            self._completion_counts: Dict[str, int] = {a: 0 for a in graph.actor_names}
         self._start_enabled_firings()
 
     # -- mechanics ------------------------------------------------------
@@ -81,6 +107,8 @@ class SelfTimedSimulation:
                 if self.deadline is not None:
                     self.deadline.check()
                 while self._enabled(actor):
+                    if self.bindings is not None:
+                        self._record_binding(actor)
                     for e in self.graph.in_edges(actor):
                         self.tokens[e.name] -= e.consumption
                     end = self.now + self.graph.execution_time(actor)
@@ -95,6 +123,31 @@ class SelfTimedSimulation:
                         )
                     progress = True
         self._ongoing.sort()
+
+    def _record_binding(self, actor: str) -> None:
+        """Pop the consumed token identities and remember the binding one.
+
+        Called exactly once per firing start, *before* the token counts
+        are decremented.  The binding token is the consumed token with
+        the latest production time (under self-timed semantics that time
+        is the firing's start); ties break deterministically on
+        (time, producer, ordinal) so re-runs reproduce the same witness.
+        """
+        binding = None
+        best = None
+        for e in self.graph.in_edges(actor):
+            fifo = self._fifos[e.name]
+            for _ in range(e.consumption):
+                entry = fifo.popleft()
+                if entry is not None:
+                    producer, ordinal, end = entry
+                    rank = (end, producer, ordinal)
+                    if best is None or rank > best:
+                        best = rank
+                        binding = (producer, ordinal, e.name)
+        ordinal = self.start_counts[actor]
+        self.start_counts[actor] = ordinal + 1
+        self.bindings[(actor, ordinal)] = binding
 
     @property
     def is_deadlocked(self) -> bool:
@@ -118,6 +171,16 @@ class SelfTimedSimulation:
             completing.append(self._ongoing.pop(0))
         self.now = next_time
         for end, actor in completing:
+            if self.bindings is not None:
+                # Same-actor firings complete in start order (constant
+                # execution times, stable sort), so the completion
+                # ordinal equals the firing's start ordinal.
+                ordinal = self._completion_counts[actor]
+                self._completion_counts[actor] = ordinal + 1
+                for e in self.graph.out_edges(actor):
+                    self._fifos[e.name].extend(
+                        [(actor, ordinal, end)] * e.production
+                    )
             for e in self.graph.out_edges(actor):
                 self.tokens[e.name] += e.production
             self.firings[actor] += 1
@@ -162,6 +225,13 @@ class SimulatedThroughput:
     firings_per_period: Dict[str, int]
     #: Time at which the periodic phase was first entered.
     transient: Fraction
+    #: Start-ordinal window of the last observed period, as
+    #: (starts at window open, starts at window close) per actor.
+    #: Present only when the exploration recorded bindings.
+    start_window: Optional[Tuple[Dict[str, int], Dict[str, int]]] = None
+    #: Binding back-pointers of the whole exploration (see
+    #: :attr:`SelfTimedSimulation.bindings`).
+    bindings: Optional[Dict[Tuple[str, int], Optional[Tuple[str, int, str]]]] = None
 
     @property
     def per_actor(self) -> Dict[str, Fraction]:
@@ -172,7 +242,7 @@ class SimulatedThroughput:
 
 
 def simulation_throughput(
-    graph: SDFGraph, max_states: int = 200_000, deadline=None
+    graph: SDFGraph, max_states: int = 200_000, deadline=None, witness: bool = False
 ) -> SimulatedThroughput:
     """Throughput by explicit state-space exploration.
 
@@ -198,9 +268,14 @@ def simulation_throughput(
         if deadline is not None
         else None
     )
-    sim = SelfTimedSimulation(graph, deadline=deadline)
-    seen: Dict[Tuple, Tuple[Fraction, Dict[str, int]]] = {}
-    seen[sim.state_key()] = (sim.now, dict(sim.firings))
+    sim = SelfTimedSimulation(graph, deadline=deadline, record_bindings=witness)
+
+    def snapshot():
+        starts = dict(sim.start_counts) if witness else None
+        return (sim.now, dict(sim.firings), starts)
+
+    seen: Dict[Tuple, Tuple] = {}
+    seen[sim.state_key()] = snapshot()
     for event in range(max_states):
         if deadline is not None:
             progress["events"] = event
@@ -213,7 +288,7 @@ def simulation_throughput(
         sim.step()
         key = sim.state_key()
         if key in seen:
-            then, counts_then = seen[key]
+            then, counts_then, starts_then = seen[key]
             period = sim.now - then
             if period <= 0:
                 raise ConvergenceError(
@@ -224,10 +299,110 @@ def simulation_throughput(
                 a: sim.firings[a] - counts_then[a] for a in graph.actor_names
             }
             return SimulatedThroughput(
-                period=period, firings_per_period=firings, transient=then
+                period=period,
+                firings_per_period=firings,
+                transient=then,
+                start_window=(
+                    (starts_then, dict(sim.start_counts)) if witness else None
+                ),
+                bindings=sim.bindings,
             )
-        seen[key] = (sim.now, dict(sim.firings))
+        seen[key] = snapshot()
     raise ConvergenceError(
         f"no recurrent state within {max_states} events; state space too large "
         "or token build-up unbounded (graph not strongly connected?)"
     )
+
+
+def binding_witness(
+    graph: SDFGraph,
+    result: SimulatedThroughput,
+    repetitions: Dict[str, int],
+) -> Tuple[Optional[List[WitnessArc]], Optional[str]]:
+    """Extract a critical-cycle witness from recorded binding chains.
+
+    In the periodic phase every firing's start time equals its binding
+    producer's completion time, so binding chains are *tight*: any cycle
+    they close has mean exactly the iteration period.  Working on
+    signatures ``(actor, start ordinal mod Δ_actor)`` — which the
+    periodic regime maps onto themselves — one recorded period suffices:
+    follow each signature to its binding predecessor's signature and the
+    walk must close a cycle within ``ΣΔ`` steps.  Per-arc transit is the
+    iteration distance ``ι(consumer) − ι(producer)`` with
+    ``ι(a, n) = n // γ(a)``; around the cycle these telescope to
+    (periods crossed) × (iterations per period), giving cycle mean
+    ``period / q = λ``.
+
+    Returns ``(arcs, None)`` on success — arcs chain source→target in
+    data-flow direction, each weighted with its source's execution time
+    and keyed by the channel that carried the binding token — or
+    ``(None, reason)`` when no witness can be extracted (bindings not
+    recorded, an actor idle in the period, actors disagreeing on
+    iterations per period, or a periodic firing bound to an initial
+    token).  Callers should re-verify the arcs against the graph.
+    """
+    if result.bindings is None or result.start_window is None:
+        return None, "simulation ran without binding recording"
+    delta = result.firings_per_period
+    for actor, fires in delta.items():
+        if fires <= 0:
+            return None, f"actor {actor!r} never fires in the periodic phase"
+    iteration_counts = {
+        actor: fires // repetitions[actor]
+        for actor, fires in delta.items()
+        if fires % repetitions[actor] == 0
+    }
+    if len(iteration_counts) < len(delta) or len(set(iteration_counts.values())) != 1:
+        return None, (
+            "periodic phase does not cover a whole number of iterations "
+            "uniformly across actors (graph not strongly connected?)"
+        )
+    starts_then, starts_now = result.start_window
+    for actor, fires in delta.items():
+        if starts_now[actor] - starts_then[actor] != fires:
+            return None, f"start/completion window mismatch for actor {actor!r}"
+
+    # One binding pointer per signature, read off the last period.
+    successors: Dict[Tuple[str, int], Tuple[Tuple[str, int], int, str]] = {}
+    for actor in delta:
+        for n in range(starts_then[actor], starts_now[actor]):
+            binding = result.bindings.get((actor, n))
+            if binding is None:
+                return None, (
+                    f"firing {n} of {actor!r} bound to an initial token "
+                    "inside the periodic phase"
+                )
+            producer, m, channel = binding
+            distance = n // repetitions[actor] - m // repetitions[producer]
+            successors[(actor, n % delta[actor])] = (
+                (producer, m % delta[producer]),
+                distance,
+                channel,
+            )
+
+    # Walk predecessors from a deterministic start until a signature
+    # repeats; the tail of the walk is the witness cycle.
+    position: Dict[Tuple[str, int], int] = {}
+    path: List[Tuple[Tuple[str, int], Tuple[str, int], int, str]] = []
+    signature = min(successors)
+    while signature not in position:
+        position[signature] = len(path)
+        entry = successors.get(signature)
+        if entry is None:
+            return None, "binding chain left the periodic window"
+        predecessor, distance, channel = entry
+        path.append((signature, predecessor, distance, channel))
+        signature = predecessor
+
+    arcs = [
+        WitnessArc(
+            source=predecessor[0],
+            target=consumer[0],
+            weight=Fraction(graph.execution_time(predecessor[0])),
+            tokens=distance,
+            key=channel,
+        )
+        for consumer, predecessor, distance, channel in path[position[signature]:]
+    ]
+    arcs.reverse()
+    return arcs, None

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.provenance import record_step
 from repro.sdf.graph import SDFGraph
 from repro.sdf.repetition import repetition_vector
 
@@ -93,4 +94,10 @@ def traditional_hsdf(
 
     for (source, target), delay in delays.items():
         hsdf.add_edge(source, target, 1, 1, delay)
+    record_step(
+        "traditional-hsdf-expansion",
+        before=graph,
+        after=hsdf,
+        copies=sum(repetitions.values()),
+    )
     return hsdf

@@ -1,0 +1,310 @@
+"""The artefact validators reject malformed inputs with precise messages.
+
+``repro.obs.check`` is the CI gate for every artefact the pipeline
+emits; these tests feed it truncated, mistagged and type-confused
+inputs and assert the error names the exact location — a validator
+that says "invalid" without a place is useless in a CI log.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.graphs import modem
+from repro.analysis.throughput import throughput
+from repro.obs import check
+from repro.obs import provenance as provenance_mod
+from repro.obs.check import (
+    BENCH_SCHEMA,
+    PROFILE_SCHEMA,
+    PROVENANCE_SCHEMA,
+    SchemaError,
+    check_file,
+    main,
+    validate_bench,
+    validate_metrics_snapshot,
+    validate_profile,
+    validate_provenance,
+    validate_span_jsonl,
+)
+
+
+def test_schema_constants_in_sync_with_the_emitters():
+    assert check.PROVENANCE_SCHEMA == provenance_mod.PROVENANCE_SCHEMA
+    assert tuple(check._WITNESS_SPACES) == provenance_mod.WITNESS_SPACES
+
+
+# ----------------------------------------------------------------------
+# fixtures: minimal valid documents to mutate
+# ----------------------------------------------------------------------
+
+def _span_line(**over):
+    row = {"id": "s1", "name": "analysis", "pid": 1, "tid": 1,
+           "start": 0.0, "end": 1.0, "args": {}}
+    row.update(over)
+    return json.dumps(row)
+
+
+def _bench(**over):
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "suite": "demo",
+        "host": {"platform": "linux", "python": "3.12", "git_sha": None},
+        "entries": [{"name": "t", "unit": "s", "value": 1.5,
+                     "baseline": None, "meta": {}}],
+    }
+    doc.update(over)
+    return doc
+
+
+def _provenance(**over):
+    doc = {
+        "schema": PROVENANCE_SCHEMA,
+        "graph": "g",
+        "fingerprint": "abc123",
+        "algorithm": "karp",
+        "method": "symbolic",
+        "status": "exact",
+        "cycle_time": "31/2",
+        "steps": [{"kind": "pruning", "before_fingerprint": "a",
+                   "after_fingerprint": "b",
+                   "before_size": {"actors": 3, "edges": 4, "tokens": 2},
+                   "after_size": {"actors": 3, "edges": 3, "tokens": 2},
+                   "detail": {}}],
+        "witness": {"space": "token", "source": "karp",
+                    "arcs": [{"source": "e[0]", "target": "e[0]",
+                              "weight": "31/2", "tokens": 1, "key": None}],
+                    "groups": {}},
+        "witness_unavailable": None,
+        "tiers": [{"tier": "simulation", "status": "ok", "reason": None}],
+        "degradation_reason": None,
+        "bound_phase_count": None,
+        "bound_abstract_cycle_time": None,
+    }
+    doc.update(over)
+    return doc
+
+
+def _profile(**over):
+    doc = {
+        "schema": PROFILE_SCHEMA,
+        "graph": "g",
+        "fingerprint": "abc123",
+        "rows": [{"method": "symbolic", "stage": "total",
+                  "wall_seconds": 0.1, "cpu_seconds": 0.1,
+                  "mem_peak_bytes": 1024, "total": True}],
+        "cycle_times": {"symbolic": "31/2"},
+    }
+    doc.update(over)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# truncated JSONL
+# ----------------------------------------------------------------------
+
+class TestTruncatedJsonl:
+    def test_span_export_truncated_mid_line(self):
+        text = _span_line() + "\n" + _span_line(id="s2")[:20]
+        with pytest.raises(SchemaError, match=r"line 2: not valid JSON"):
+            validate_span_jsonl(text)
+
+    def test_bench_history_truncated_mid_line(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        full = json.dumps(_bench())
+        path.write_text(full + "\n" + full[:-25] + "\n")
+        with pytest.raises(SchemaError, match=r"line 2: not valid JSON"):
+            check_file(str(path))
+
+    def test_intact_bench_history_counts_runs(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text("\n".join(json.dumps(_bench()) for _ in range(3)) + "\n")
+        assert check_file(str(path)) == {"runs": 3}
+
+
+# ----------------------------------------------------------------------
+# wrong schema tags
+# ----------------------------------------------------------------------
+
+class TestWrongSchemaTag:
+    def test_bench(self):
+        with pytest.raises(SchemaError,
+                           match=r"schema must be 'repro-bench-v1', "
+                                 r"got 'repro-bench-v0'"):
+            validate_bench(_bench(schema="repro-bench-v0"))
+
+    def test_provenance(self):
+        with pytest.raises(SchemaError,
+                           match=r"schema must be 'repro-provenance-v1', "
+                                 r"got 'certificate'"):
+            validate_provenance(_provenance(schema="certificate"))
+
+    def test_profile(self):
+        with pytest.raises(SchemaError,
+                           match=r"schema must be 'repro-profile-v1', got None"):
+            validate_profile(_profile(schema=None))
+
+    def test_metrics_snapshot(self):
+        with pytest.raises(SchemaError, match=r"schema must be"):
+            validate_metrics_snapshot({"schema": "nope", "metrics": []})
+
+
+# ----------------------------------------------------------------------
+# non-numeric values where numbers are required
+# ----------------------------------------------------------------------
+
+class TestNonNumericValues:
+    def test_bench_entry_value(self):
+        doc = _bench()
+        doc["entries"][0]["value"] = "fast"
+        with pytest.raises(SchemaError,
+                           match=r"entries\[0\]: 'value' must be a number"):
+            validate_bench(doc)
+
+    def test_bench_boolean_is_not_a_number(self):
+        doc = _bench()
+        doc["entries"][0]["value"] = True
+        with pytest.raises(SchemaError, match=r"'value' must be a number"):
+            validate_bench(doc)
+
+    def test_metrics_sample_value(self):
+        doc = {"schema": "repro-metrics-v1", "metrics": [
+            {"name": "hits", "type": "counter",
+             "samples": [{"labels": {}, "value": "many"}]}]}
+        with pytest.raises(SchemaError,
+                           match=r"metrics\[0\].samples\[0\]: needs a numeric"):
+            validate_metrics_snapshot(doc)
+
+    def test_profile_wall_seconds(self):
+        doc = _profile()
+        doc["rows"][0]["wall_seconds"] = "0.1s"
+        with pytest.raises(SchemaError,
+                           match=r"rows\[0\]: 'wall_seconds' must be a "
+                                 r"non-negative number, got '0.1s'"):
+            validate_profile(doc)
+
+    def test_profile_negative_cost(self):
+        doc = _profile()
+        doc["rows"][0]["cpu_seconds"] = -0.2
+        with pytest.raises(SchemaError, match=r"'cpu_seconds' must be a "
+                                              r"non-negative number"):
+            validate_profile(doc)
+
+    def test_provenance_weight_not_a_rational(self):
+        doc = _provenance()
+        doc["witness"]["arcs"][0]["weight"] = "fifteen and a half"
+        with pytest.raises(SchemaError,
+                           match=r"witness.arcs\[0\]: 'weight' .* is not a "
+                                 r"valid rational"):
+            validate_provenance(doc)
+
+    def test_provenance_weight_must_be_string_encoded(self):
+        doc = _provenance()
+        doc["witness"]["arcs"][0]["weight"] = 15.5
+        with pytest.raises(SchemaError,
+                           match=r"must be a string-encoded rational"):
+            validate_provenance(doc)
+
+
+# ----------------------------------------------------------------------
+# provenance structure
+# ----------------------------------------------------------------------
+
+class TestProvenanceValidator:
+    def test_missing_fingerprint(self):
+        with pytest.raises(SchemaError,
+                           match=r"needs a non-empty string 'fingerprint'"):
+            validate_provenance(_provenance(fingerprint=""))
+
+    def test_unknown_status(self):
+        with pytest.raises(SchemaError, match=r"status must be one of .* "
+                                              r"got 'approximate'"):
+            validate_provenance(_provenance(status="approximate"))
+
+    def test_unknown_witness_space(self):
+        doc = _provenance()
+        doc["witness"]["space"] = "quantum"
+        with pytest.raises(SchemaError, match=r"space must be one of .* "
+                                              r"got 'quantum'"):
+            validate_provenance(doc)
+
+    def test_empty_arc_list(self):
+        doc = _provenance()
+        doc["witness"]["arcs"] = []
+        with pytest.raises(SchemaError, match=r"'arcs' must be a non-empty"):
+            validate_provenance(doc)
+
+    def test_negative_tokens(self):
+        doc = _provenance()
+        doc["witness"]["arcs"][0]["tokens"] = -1
+        with pytest.raises(SchemaError,
+                           match=r"'tokens' must be a non-negative integer"):
+            validate_provenance(doc)
+
+    def test_step_size_must_be_integral(self):
+        doc = _provenance()
+        doc["steps"][0]["after_size"]["edges"] = 3.5
+        with pytest.raises(SchemaError,
+                           match=r"steps\[0\]: size 'edges' must be an "
+                                 r"integer, got 3.5"):
+            validate_provenance(doc)
+
+    def test_unknown_tier_status(self):
+        doc = _provenance()
+        doc["tiers"][0]["status"] = "maybe"
+        with pytest.raises(SchemaError,
+                           match=r"tiers\[0\]: status must be one of"):
+            validate_provenance(doc)
+
+    def test_conservative_needs_bound_ingredients(self):
+        doc = _provenance(status="conservative-bound")
+        with pytest.raises(SchemaError,
+                           match=r"need an integer 'bound_phase_count'"):
+            validate_provenance(doc)
+
+    def test_summary_counts(self):
+        assert validate_provenance(_provenance()) == {
+            "steps": 1, "witness_arcs": 1, "tiers": 1}
+
+    def test_real_record_round_trips_through_the_validator(self):
+        record = throughput(modem()).provenance
+        data = json.loads(json.dumps(record.as_dict()))
+        summary = validate_provenance(data)
+        assert summary["witness_arcs"] == len(record.witness.arcs)
+        assert provenance_mod.ProvenanceRecord.from_dict(data) == record
+
+
+# ----------------------------------------------------------------------
+# file-kind inference and the CLI gate
+# ----------------------------------------------------------------------
+
+class TestCheckFile:
+    def test_provenance_json_is_inferred(self, tmp_path):
+        path = tmp_path / "certificate.json"
+        path.write_text(json.dumps(_provenance()))
+        assert check_file(str(path))["witness_arcs"] == 1
+
+    def test_profile_json_is_inferred(self, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(_profile()))
+        assert check_file(str(path)) == {"rows": 1, "methods": 1}
+
+    def test_unrecognised_shape(self, tmp_path):
+        path = tmp_path / "mystery.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(SchemaError, match=r"unrecognised artefact shape"):
+            check_file(str(path))
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_provenance()))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(_provenance(status="approximate")))
+        assert main([str(good)]) == 0
+        assert "ok" in capsys.readouterr().out
+        assert main([str(good), str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.err and "approximate" in captured.err
+        assert main([]) == 2

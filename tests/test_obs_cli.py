@@ -176,3 +176,51 @@ class TestResilienceSpanIds:
         outcome = AnalysisPolicy().run(figure3_graph())
         assert outcome.span_id is None
         assert all(a.span_id is None for a in outcome.provenance)
+
+
+class TestExplain:
+    def test_explain_writes_verified_artifacts(self, capsys, tmp_path):
+        from repro.graphs import modem
+        from repro.obs.check import validate_provenance
+        from repro.obs.provenance import verify_witness
+
+        cert = tmp_path / "cert.json"
+        html = tmp_path / "cert.html"
+        dot = tmp_path / "cert.dot"
+        assert main(["explain", "builtin:modem",
+                     "--json", str(cert), "--html", str(html),
+                     "--dot", str(dot), "--require-witness"]) == 0
+        out = capsys.readouterr().out
+        assert "witness" in out and "reduction steps" in out
+        data = json.loads(cert.read_text())
+        validate_provenance(data)
+        # The shipped certificate re-verifies on a fresh graph build.
+        verify_witness(modem(), data)
+        page = html.read_text()
+        assert page.startswith("<!DOCTYPE html>") and data["graph"] in page
+        assert "digraph" in dot.read_text()
+
+    def test_explain_forced_abstraction_is_conservative(self, capsys, tmp_path):
+        from repro.graphs import mp3_playback
+        from repro.obs.provenance import verify_witness
+
+        cert = tmp_path / "cert.json"
+        assert main(["explain", "builtin:mp3-playback",
+                     "--stages", "abstraction",
+                     "--json", str(cert), "--require-witness"]) == 0
+        data = json.loads(cert.read_text())
+        assert data["status"] == "conservative-bound"
+        assert data["witness"]["space"] == "abstract"
+        assert [t["tier"] for t in data["tiers"]] == ["abstraction"]
+        assert data["bound_phase_count"] is not None
+        verify_witness(mp3_playback(), data)
+        assert "conservative" in capsys.readouterr().out
+
+
+class TestProfileJson:
+    def test_profile_format_json_validates(self, capsys):
+        from repro.obs.check import validate_profile
+
+        assert main(["profile", "builtin:figure3", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert validate_profile(data)["rows"] > 0
