@@ -1,0 +1,249 @@
+"""Kernel baseline: vectorized numpy backends vs the exact reference.
+
+Four measurements, persisted to ``BENCH_kernels.json`` at the
+repository root (``repro-bench-v1`` schema, see
+``benchmarks/bench_common.py``):
+
+* **Karp MCM** on a large random strongly connected unit-transit graph
+  (the scalability corpus the symbolic back-end faces after Algorithm-1
+  conversion) — ``karp_mcm_numpy`` vs ``karp_mcm``;
+* **Howard MCR** on a large random transit graph — ``howard_mcr_numpy``
+  vs ``howard_mcr``;
+* **dense max-plus product** — broadcast-add matmul vs
+  :meth:`MaxPlusMatrix.multiply`;
+* **self-timed simulation** of the registry graph with the busiest
+  state space the exact engine still explores quickly — vectorized
+  per-instant firing passes vs the reference event loop.
+
+Every timed pair first asserts *bit-identical* results (the kernels'
+whole contract); the speedup entries carry their asserted floors as
+``baseline`` so `repro.obs.check` flags a regression below them.  The
+headline criterion — >= 10x on the large-random/scalability corpus —
+is asserted on the Karp and max-plus entries; Howard (certification
+amortises more slowly) and simulation assert a >= 2x floor and report
+the measured figure honestly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import time
+from fractions import Fraction
+
+from bench_common import entry, write_bench
+from repro.graphs import TABLE1_CASES
+from repro.kernels.maxplus import from_dense, mp_matmul, to_dense
+from repro.kernels.mcm import howard_mcr_numpy, karp_mcm_numpy
+from repro.kernels.simulation import simulation_throughput_numpy
+from repro.maxplus.algebra import EPSILON
+from repro.maxplus.matrix import MaxPlusMatrix
+from repro.mcm.graphlib import RatioGraph
+from repro.mcm.howard import howard_mcr
+from repro.mcm.karp import karp_mcm
+from repro.sdf.simulation import simulation_throughput
+
+BENCH_FILE = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+)
+
+#: Repeats per timing; min-of-N suppresses scheduler noise.
+REPEATS = 3
+
+#: Asserted speedup floors (also the ``baseline`` of each entry).
+KARP_FLOOR = 10.0
+MAXPLUS_FLOOR = 10.0
+HOWARD_FLOOR = 2.0
+SIMULATION_FLOOR = 2.0
+
+#: The registry graph timed for the simulation kernel: busiest
+#: state space among the ones the exact engine explores in well under
+#: a second (keeps the suite fast and the timing stable).
+SIMULATION_CASE = "mp3 dec. block par."
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _random_ratio_graph(nodes: int, edges: int, seed: int,
+                        unit_transit: bool) -> RatioGraph:
+    """Strongly connected (ring + chords) with drawn integer weights.
+
+    Chord transits are drawn from 1..3 when ``unit_transit`` is off —
+    never 0, so Howard's zero-transit-cycle precondition always holds.
+    """
+    rng = random.Random(seed)
+    g = RatioGraph()
+    for i in range(nodes):
+        g.add_node(i)
+
+    def transit() -> int:
+        return 1 if unit_transit else rng.randint(1, 3)
+
+    for i in range(nodes):
+        g.add_edge(i, (i + 1) % nodes, Fraction(rng.randint(1, 50)),
+                   transit(), key=f"ring{i}")
+    for j in range(edges - nodes):
+        g.add_edge(rng.randrange(nodes), rng.randrange(nodes),
+                   Fraction(rng.randint(1, 50)), transit(), key=f"chord{j}")
+    return g
+
+
+def measure_karp(nodes: int = 300, edges: int = 1500) -> dict:
+    graph = _random_ratio_graph(nodes, edges, seed=20090726,
+                                unit_transit=True)
+    exact = karp_mcm(graph)
+    vectorized = karp_mcm_numpy(graph)
+    assert vectorized.value == exact.value  # bit identity first
+
+    exact_seconds = _best_of(REPEATS, lambda: karp_mcm(graph))
+    numpy_seconds = _best_of(REPEATS, lambda: karp_mcm_numpy(graph))
+    return {
+        "nodes": nodes, "edges": edges,
+        "value": str(exact.value),
+        "exact_seconds": round(exact_seconds, 6),
+        "numpy_seconds": round(numpy_seconds, 6),
+        "speedup": round(exact_seconds / numpy_seconds, 2),
+    }
+
+
+def measure_howard(nodes: int = 1200, edges: int = 6000) -> dict:
+    graph = _random_ratio_graph(nodes, edges, seed=20090726,
+                                unit_transit=False)
+    exact = howard_mcr(graph)
+    vectorized = howard_mcr_numpy(graph)
+    assert vectorized.value == exact.value
+
+    exact_seconds = _best_of(REPEATS, lambda: howard_mcr(graph))
+    numpy_seconds = _best_of(REPEATS, lambda: howard_mcr_numpy(graph))
+    return {
+        "nodes": nodes, "edges": edges,
+        "value": str(exact.value),
+        "exact_seconds": round(exact_seconds, 6),
+        "numpy_seconds": round(numpy_seconds, 6),
+        "speedup": round(exact_seconds / numpy_seconds, 2),
+    }
+
+
+def measure_maxplus(size: int = 100, density: float = 0.6) -> dict:
+    rng = random.Random(20090726)
+    matrix = MaxPlusMatrix([
+        [rng.randint(0, 10 ** 6) if rng.random() < density else EPSILON
+         for _ in range(size)]
+        for _ in range(size)
+    ])
+    dense = to_dense(matrix)
+    assert from_dense(mp_matmul(dense, dense)).rows == \
+        matrix.multiply(matrix).rows
+
+    exact_seconds = _best_of(REPEATS, lambda: matrix.multiply(matrix))
+    numpy_seconds = _best_of(
+        max(REPEATS, 10), lambda: mp_matmul(dense, dense))
+    return {
+        "size": size, "density": density,
+        "exact_seconds": round(exact_seconds, 6),
+        "numpy_seconds": round(numpy_seconds, 6),
+        "speedup": round(exact_seconds / numpy_seconds, 2),
+    }
+
+
+def measure_simulation() -> dict:
+    case = next(c for c in TABLE1_CASES if c.name == SIMULATION_CASE)
+    graph = case.build()
+    exact = simulation_throughput(graph)
+    vectorized = simulation_throughput_numpy(graph)
+    assert vectorized.period == exact.period
+    assert vectorized.firings_per_period == exact.firings_per_period
+
+    exact_seconds = _best_of(REPEATS, lambda: simulation_throughput(graph))
+    numpy_seconds = _best_of(
+        REPEATS, lambda: simulation_throughput_numpy(graph))
+    return {
+        "graph": graph.name,
+        "period": str(exact.period),
+        "exact_seconds": round(exact_seconds, 6),
+        "numpy_seconds": round(numpy_seconds, 6),
+        "speedup": round(exact_seconds / numpy_seconds, 2),
+    }
+
+
+def _entries(karp: dict, howard: dict, maxplus: dict, simulation: dict) -> list:
+    return [
+        entry("karp_speedup", "x", karp["speedup"], baseline=KARP_FLOOR,
+              nodes=karp["nodes"], edges=karp["edges"],
+              note="baseline is the asserted floor"),
+        entry("karp_exact_seconds", "s", karp["exact_seconds"]),
+        entry("karp_numpy_seconds", "s", karp["numpy_seconds"]),
+        entry("howard_speedup", "x", howard["speedup"],
+              baseline=HOWARD_FLOOR, nodes=howard["nodes"],
+              edges=howard["edges"],
+              note="baseline is the asserted floor"),
+        entry("howard_exact_seconds", "s", howard["exact_seconds"]),
+        entry("howard_numpy_seconds", "s", howard["numpy_seconds"]),
+        entry("maxplus_matmul_speedup", "x", maxplus["speedup"],
+              baseline=MAXPLUS_FLOOR, size=maxplus["size"],
+              density=maxplus["density"],
+              note="baseline is the asserted floor"),
+        entry("maxplus_matmul_exact_seconds", "s", maxplus["exact_seconds"]),
+        entry("maxplus_matmul_numpy_seconds", "s", maxplus["numpy_seconds"]),
+        entry("simulation_speedup", "x", simulation["speedup"],
+              baseline=SIMULATION_FLOOR, graph=simulation["graph"],
+              period=simulation["period"],
+              note="baseline is the asserted floor"),
+        entry("simulation_exact_seconds", "s", simulation["exact_seconds"]),
+        entry("simulation_numpy_seconds", "s", simulation["numpy_seconds"]),
+    ]
+
+
+def test_kernel_baseline(report):
+    karp = measure_karp()
+    howard = measure_howard()
+    maxplus = measure_maxplus()
+    simulation = measure_simulation()
+
+    report("Kernels: numpy vs exact, bit-identical results "
+           "(BENCH_kernels.json)")
+    report(f"Karp MCM, random n={karp['nodes']} m={karp['edges']}: "
+           f"exact {karp['exact_seconds']:.3f}s, "
+           f"numpy {karp['numpy_seconds']:.3f}s "
+           f"({karp['speedup']:.1f}x, floor {KARP_FLOOR:.0f}x)")
+    report(f"Howard MCR, random n={howard['nodes']} m={howard['edges']}: "
+           f"exact {howard['exact_seconds']:.3f}s, "
+           f"numpy {howard['numpy_seconds']:.3f}s "
+           f"({howard['speedup']:.1f}x, floor {HOWARD_FLOOR:.0f}x)")
+    report(f"max-plus matmul {maxplus['size']}x{maxplus['size']}: "
+           f"exact {maxplus['exact_seconds']:.3f}s, "
+           f"numpy {maxplus['numpy_seconds']:.4f}s "
+           f"({maxplus['speedup']:.0f}x, floor {MAXPLUS_FLOOR:.0f}x)")
+    report(f"self-timed simulation of {simulation['graph']}: "
+           f"exact {simulation['exact_seconds']:.3f}s, "
+           f"numpy {simulation['numpy_seconds']:.3f}s "
+           f"({simulation['speedup']:.1f}x, floor {SIMULATION_FLOOR:.0f}x)")
+    write_bench(BENCH_FILE, "kernels",
+                _entries(karp, howard, maxplus, simulation))
+    report(f"written to {BENCH_FILE.name}")
+    report.save("kernels")
+
+    # Acceptance: the scalability corpus clears the 10x criterion and
+    # nothing regresses below its floor.
+    assert karp["speedup"] >= KARP_FLOOR
+    assert maxplus["speedup"] >= MAXPLUS_FLOOR
+    assert howard["speedup"] >= HOWARD_FLOOR
+    assert simulation["speedup"] >= SIMULATION_FLOOR
+
+
+if __name__ == "__main__":  # standalone: regenerate the JSON baseline
+    import json
+
+    doc = write_bench(
+        BENCH_FILE, "kernels",
+        _entries(measure_karp(), measure_howard(), measure_maxplus(),
+                 measure_simulation()),
+    )
+    print(json.dumps(doc, indent=2))

@@ -193,6 +193,7 @@ def analyse_graph(
     token: Optional[CancelToken] = None,
     allow_kill: bool = False,
     isolate_interrupts: bool = False,
+    kernel: str = "auto",
 ) -> GraphResult:
     """Run ``analyses`` on one graph through ``cache`` (errors captured).
 
@@ -251,7 +252,8 @@ def analyse_graph(
                         result.values[analysis] = cache.repetition_vector(graph)
                     elif analysis == "throughput":
                         result.values[analysis] = cache.throughput(
-                            graph, method=method, deadline=deadline
+                            graph, method=method, deadline=deadline,
+                            kernel=kernel,
                         )
                     elif analysis == "latency":
                         result.values[analysis] = cache.latency(graph)
@@ -298,7 +300,7 @@ def analyse_graph(
 #: Payload shipped to process-pool workers (primitives + picklable plan;
 #: the trailing bool asks the worker to trace its spans for adoption).
 _ColdPayload = Tuple[
-    SDFGraph, Tuple[str, ...], str, Optional[str],
+    SDFGraph, Tuple[str, ...], str, str, Optional[str],
     Optional[float], Optional[FaultPlan], int, float, bool,
 ]
 
@@ -314,8 +316,8 @@ def _analyse_cold(payload: _ColdPayload) -> GraphResult:
     — the parent merges them on adoption, so one exported registry and
     one trace cover the whole batch.
     """
-    (graph, analyses, method, lint, timeout, faults, retries, backoff,
-     trace) = payload
+    (graph, analyses, method, kernel, lint, timeout, faults, retries,
+     backoff, trace) = payload
     registry = MetricsRegistry()
     previous = set_default_registry(registry)
     tracer = Tracer().install() if trace else None
@@ -332,6 +334,7 @@ def _analyse_cold(payload: _ColdPayload) -> GraphResult:
             backoff=backoff,
             allow_kill=True,
             isolate_interrupts=True,
+            kernel=kernel,
         )
     finally:
         if tracer is not None:
@@ -397,6 +400,7 @@ def run_batch(
     journal: Optional[Union[str, Path]] = None,
     resume: bool = False,
     token: Optional[CancelToken] = None,
+    kernel: str = "auto",
 ) -> BatchReport:
     """Analyse every graph in ``graphs`` concurrently and resiliently.
 
@@ -425,6 +429,12 @@ def run_batch(
         raise ValueError(
             f"lint gate must be None, 'error' or 'warning', got {lint!r}"
         )
+    from repro.kernels import KERNELS
+
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {', '.join(KERNELS)}"
+        )
     if resume and journal is None:
         raise ValueError("resume=True requires a journal path")
     if cache is None:
@@ -441,7 +451,7 @@ def run_batch(
         result = analyse_graph(
             graph, analyses, method, cache, lint,
             timeout=timeout, faults=faults, retries=retries, backoff=backoff,
-            token=token,
+            token=token, kernel=kernel,
         )
         _journal_record(journal_store, result)
         return result
@@ -471,8 +481,8 @@ def run_batch(
                         results[index] = result
             elif backend == "process":
                 _run_process_backend(
-                    todo, results, analyses, method, lint, timeout, faults,
-                    retries, backoff, workers, cache, journal_store,
+                    todo, results, analyses, method, kernel, lint, timeout,
+                    faults, retries, backoff, workers, cache, journal_store,
                 )
             else:
                 raise ValueError(
@@ -519,6 +529,7 @@ def _run_process_backend(
     results: List[Optional[GraphResult]],
     analyses: Tuple[str, ...],
     method: str,
+    kernel: str,
     lint: Optional[str],
     timeout: Optional[float],
     faults: Optional[FaultPlan],
@@ -541,8 +552,8 @@ def _run_process_backend(
     trace_workers = current_tracer() is not None
 
     def payload(graph: SDFGraph) -> _ColdPayload:
-        return (graph, analyses, method, lint, timeout, faults, retries,
-                backoff, trace_workers)
+        return (graph, analyses, method, kernel, lint, timeout, faults,
+                retries, backoff, trace_workers)
 
     def adopt(index: int, graph: SDFGraph, outcome: GraphResult) -> None:
         if outcome.ok and not outcome.values and analyses:
@@ -574,6 +585,7 @@ def _run_process_backend(
             adopt(index, graph, analyse_graph(
                 graph, analyses, method, cache, lint,
                 timeout=timeout, faults=faults, retries=retries, backoff=backoff,
+                kernel=kernel,
             ))
         else:
             cold.append((index, graph))

@@ -284,7 +284,8 @@ class AnalysisCache:
             lambda: symbolic_iteration(graph, deadline=deadline),
         )
 
-    def throughput(self, graph: SDFGraph, method: str = "symbolic", deadline=None):
+    def throughput(self, graph: SDFGraph, method: str = "symbolic",
+                   deadline=None, kernel: str = "auto"):
         """Cached exact throughput.
 
         ``deadline`` bounds a cache-miss computation but is *not* part
@@ -292,13 +293,20 @@ class AnalysisCache:
         allowed to take, and a timed-out computation raises before
         anything is inserted — timed-out results are never cached as
         final, so a later call with a larger budget recomputes.
+
+        ``kernel`` is likewise *not* part of the key: the numpy and
+        exact backends return bit-identical results (the numpy path
+        certifies its answers exactly, see :mod:`repro.kernels`), so a
+        hit produced by one kernel is a correct answer for the other
+        and cache entries stay shared across kernels.
         """
         from repro.analysis.throughput import throughput
 
         return self.get_or_compute(
             graph,
             "throughput",
-            lambda: throughput(graph, method=method, deadline=deadline),
+            lambda: throughput(graph, method=method, deadline=deadline,
+                               kernel=kernel),
             params={"method": method},
         )
 

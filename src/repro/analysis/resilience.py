@@ -253,8 +253,14 @@ class AnalysisPolicy:
     stage_timeouts: Optional[Dict[str, float]] = None
     #: Grouping strategies tried (in order) by the abstraction stage.
     abstraction_strategies: Tuple[str, ...] = ("name", "structural")
+    #: Computational backend for every stage ("auto" | "numpy" |
+    #: "exact"); both return identical results, so this never changes
+    #: the outcome — only how fast it is reached.
+    kernel: str = "auto"
 
     def __post_init__(self):
+        from repro.kernels import KERNELS
+
         if not self.stages:
             raise ValueError("policy needs at least one stage")
         unknown = [s for s in self.stages if s not in KNOWN_STAGES]
@@ -264,6 +270,11 @@ class AnalysisPolicy:
             )
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout!r}")
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"available: {', '.join(KERNELS)}"
+            )
 
     # ------------------------------------------------------------------
 
@@ -303,7 +314,8 @@ class AnalysisPolicy:
         with recording() as recorder, \
                 span("analysis-policy", graph=graph.name,
                      fingerprint=outcome.fingerprint,
-                     stages=",".join(self.stages)) as policy_span:
+                     stages=",".join(self.stages),
+                     kernel=self.kernel) as policy_span:
             outcome.span_id = policy_span.id
             for stage in self.stages:
                 budget = self._stage_budget(stage, overall)
@@ -423,7 +435,14 @@ class AnalysisPolicy:
             for a in outcome.provenance
             if not a.ok
         ]
-        record.degradation_reason = "; ".join(failures) or None
+        # The winning stage may already carry a degradation reason of
+        # its own (a numpy-kernel guard fell back to exact): keep it in
+        # front of any stage-level failures instead of overwriting it.
+        parts = (
+            [record.degradation_reason] if record.degradation_reason else []
+        )
+        parts.extend(failures)
+        record.degradation_reason = "; ".join(parts) or None
         outcome.record = record
 
     # -- stages ---------------------------------------------------------
@@ -435,9 +454,11 @@ class AnalysisPolicy:
 
         try:
             if cache is not None:
-                result = cache.throughput(graph, method=stage, deadline=budget)
+                result = cache.throughput(graph, method=stage,
+                                          deadline=budget, kernel=self.kernel)
             else:
-                result = throughput(graph, method=stage, deadline=budget)
+                result = throughput(graph, method=stage, deadline=budget,
+                                    kernel=self.kernel)
         except ConvergenceError as error:
             # Method-specific surrender (e.g. the state space did not
             # recur within max_states) — another stage may still answer,
@@ -524,9 +545,10 @@ class AnalysisPolicy:
         try:
             if cache is not None:
                 bound = cache.throughput(abstract, method="symbolic",
-                                         deadline=budget)
+                                         deadline=budget, kernel=self.kernel)
             else:
-                bound = throughput(abstract, method="symbolic", deadline=budget)
+                bound = throughput(abstract, method="symbolic",
+                                   deadline=budget, kernel=self.kernel)
         except DeadlockError as error:
             # A valid abstraction may still deadlock (delays shuffled
             # between phases): Theorem 1 then only certifies the vacuous
@@ -578,6 +600,10 @@ class AnalysisPolicy:
             witness_unavailable=unavailable,
             bound_phase_count=n,
             bound_abstract_cycle_time=bound.cycle_time,
+            kernel=None if inner is None else inner.kernel,
+            degradation_reason=(
+                None if inner is None else inner.degradation_reason
+            ),
         )
         if witness is not None:
             try:
@@ -599,6 +625,7 @@ def analyse_with_policy(
     stages: Sequence[str] = DEFAULT_STAGES,
     cache: Optional[AnalysisCache] = None,
     token: Optional[CancelToken] = None,
+    kernel: str = "auto",
 ) -> AnalysisOutcome:
     """One-call convenience over :class:`AnalysisPolicy`.
 
@@ -606,5 +633,6 @@ def analyse_with_policy(
     >>> analyse_with_policy(figure3_graph(), timeout=30.0).sound
     True
     """
-    policy = AnalysisPolicy(stages=tuple(stages), timeout=timeout)
+    policy = AnalysisPolicy(stages=tuple(stages), timeout=timeout,
+                            kernel=kernel)
     return policy.run(graph, cache=cache, token=token)

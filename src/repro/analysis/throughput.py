@@ -36,6 +36,12 @@ from functools import cached_property
 from typing import Dict, Optional
 
 from repro.errors import ValidationError
+from repro.kernels import (
+    NumericalGuardError,
+    record_fallback,
+    record_selection,
+    resolve_kernel,
+)
 from repro.maxplus.spectral import critical_cycle
 from repro.obs.provenance import (
     CycleWitness,
@@ -130,12 +136,33 @@ def hsdf_cycle_ratio_graph(graph: SDFGraph) -> RatioGraph:
 _ALGORITHMS = {"symbolic": "karp", "simulation": "simulation", "hsdf": "howard"}
 
 
+def _dispatch_kernel(info, method, numpy_call, exact_call):
+    """Run the numpy kernel when selected, falling back to exact.
+
+    A :class:`~repro.kernels.NumericalGuardError` from the numpy kernel
+    is the designed degradation path: record it (``info["fallback"]``,
+    ``repro_kernel_fallback_total``) and rerun with the reference
+    implementation, which always succeeds on the same inputs.  Every
+    other exception (deadlock, timeout, validation) propagates — both
+    kernels raise the same error types for the same graphs.
+    """
+    if info["used"] == "numpy":
+        try:
+            return numpy_call()
+        except NumericalGuardError as error:
+            info["used"] = "exact"
+            info["fallback"] = str(error)
+            record_fallback(method)
+    return exact_call()
+
+
 def throughput(
     graph: SDFGraph,
     method: str = "symbolic",
     precheck: bool = False,
     deadline=None,
     provenance: bool = True,
+    kernel: str = "auto",
 ) -> ThroughputResult:
     """Compute the exact throughput of ``graph`` (see module docstring).
 
@@ -163,12 +190,28 @@ def throughput(
     dropped, with the failure recorded as ``witness_unavailable``).
     Disable for hot paths that only need the number; the simulation
     back-end then also skips its binding bookkeeping.
+
+    ``kernel`` selects the computational backend: ``"exact"`` is the
+    reference Fraction implementation, ``"numpy"`` the vectorized
+    kernels (:mod:`repro.kernels`), and ``"auto"`` (default) picks
+    numpy when it is importable.  Both backends return *bit-identical*
+    results — the numpy path re-derives and certifies its answer
+    exactly — so the choice never changes semantics (and is therefore
+    not part of analysis cache keys).  When a numerical guard trips,
+    the numpy path falls back to exact automatically; the provenance
+    record then carries the reason as ``degradation_reason`` and its
+    ``kernel`` field names the backend that produced the number.
     """
+    selected = resolve_kernel(kernel)
+    record_selection(selected, method)
+    info = {"selected": selected, "used": selected, "fallback": None}
     if not provenance:
-        return _throughput(graph, method, precheck, deadline, witness=False)[0]
+        return _throughput(
+            graph, method, precheck, deadline, witness=False, info=info
+        )[0]
     with recording() as recorder:
         result, arcs, space, extractor, reason = _throughput(
-            graph, method, precheck, deadline, witness=True
+            graph, method, precheck, deadline, witness=True, info=info
         )
         witness = (
             CycleWitness(space=space, arcs=arcs, source=extractor) if arcs else None
@@ -183,6 +226,11 @@ def throughput(
             steps=recorder.steps,
             witness=witness,
             witness_unavailable=None if witness else reason,
+            kernel=info["used"],
+            degradation_reason=(
+                f"numpy kernel fell back to exact: {info['fallback']}"
+                if info["fallback"] else None
+            ),
         )
     if witness is not None:
         try:
@@ -194,10 +242,13 @@ def throughput(
     return result
 
 
-def _throughput(graph, method, precheck, deadline, witness):
+def _throughput(graph, method, precheck, deadline, witness, info=None):
     """The three back-ends; returns (result, arcs, space, extractor, reason)."""
+    if info is None:
+        info = {"selected": "exact", "used": "exact", "fallback": None}
     with span("throughput", graph=graph.name,
-              fingerprint=graph.fingerprint(), method=method):
+              fingerprint=graph.fingerprint(), method=method,
+              kernel=info["selected"]) as top_span:
         if precheck:
             from repro.lint.engine import ensure_lint_clean
 
@@ -208,8 +259,16 @@ def _throughput(graph, method, precheck, deadline, witness):
             with span("symbolic-conversion"):
                 iteration = symbolic_iteration(graph, deadline=deadline)
             with span("mcm-eigenvalue",
-                      matrix_order=iteration.matrix.nrows):
-                mcm = critical_cycle(iteration.matrix, deadline=deadline)
+                      matrix_order=iteration.matrix.nrows) as mcm_span:
+                mcm = _dispatch_kernel(
+                    info, method,
+                    lambda: critical_cycle(
+                        iteration.matrix, deadline=deadline, kernel="numpy"),
+                    lambda: critical_cycle(
+                        iteration.matrix, deadline=deadline, kernel="exact"),
+                )
+                mcm_span.set(kernel_used=info["used"])
+            top_span.set(kernel_used=info["used"])
             result = ThroughputResult(
                 cycle_time=mcm.value, repetition=gamma, method=method
             )
@@ -227,10 +286,24 @@ def _throughput(graph, method, precheck, deadline, witness):
             ).arcs
             return result, arcs, "token", "karp", None
         if method == "simulation":
-            with span("state-space-simulation"):
-                measured = simulation_throughput(
-                    graph, deadline=deadline, witness=witness
+            with span("state-space-simulation") as sim_span:
+                def _simulate_numpy():
+                    from repro.kernels.simulation import (
+                        simulation_throughput_numpy,
+                    )
+
+                    return simulation_throughput_numpy(
+                        graph, deadline=deadline, witness=witness
+                    )
+
+                measured = _dispatch_kernel(
+                    info, method,
+                    _simulate_numpy,
+                    lambda: simulation_throughput(
+                        graph, deadline=deadline, witness=witness),
                 )
+                sim_span.set(kernel_used=info["used"])
+            top_span.set(kernel_used=info["used"])
             # Iterations per period: firings(a)/γ(a) is equal for all actors
             # in the periodic phase of a consistent graph.
             any_actor = next(iter(gamma))
@@ -261,10 +334,24 @@ def _throughput(graph, method, precheck, deadline, witness):
                     graph if homogeneous else traditional_hsdf(graph, deadline=deadline)
                 )
             try:
-                with span("howard-mcr", actors=expanded.actor_count()):
-                    mcr = howard_mcr(
-                        hsdf_cycle_ratio_graph(expanded), deadline=deadline
+                with span("howard-mcr",
+                          actors=expanded.actor_count()) as mcr_span:
+                    def _howard_numpy():
+                        from repro.kernels.mcm import howard_mcr_numpy
+
+                        return howard_mcr_numpy(
+                            hsdf_cycle_ratio_graph(expanded),
+                            deadline=deadline)
+
+                    mcr = _dispatch_kernel(
+                        info, method,
+                        _howard_numpy,
+                        lambda: howard_mcr(
+                            hsdf_cycle_ratio_graph(expanded),
+                            deadline=deadline),
                     )
+                    mcr_span.set(kernel_used=info["used"])
+                top_span.set(kernel_used=info["used"])
             except ZeroTransitCycleError as error:
                 # A token-free dependency cycle is a deadlock; report it in
                 # the same vocabulary as the other back-ends.

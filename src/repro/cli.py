@@ -122,13 +122,14 @@ def cmd_throughput(args) -> int:
     if args.fallback:
         from repro.analysis.resilience import analyse_with_policy
 
-        outcome = analyse_with_policy(g, timeout=args.timeout)
+        outcome = analyse_with_policy(g, timeout=args.timeout,
+                                      kernel=args.kernel)
         print(outcome.describe())
         return 0 if outcome.status != "timed-out" else 3
     deadline = Deadline.after(args.timeout) if args.timeout else None
     try:
         result = throughput(g, method=args.method, precheck=args.lint,
-                            deadline=deadline)
+                            deadline=deadline, kernel=args.kernel)
     except AnalysisTimeout as error:
         progress = ", ".join(f"{k}={v}" for k, v in error.progress.items())
         print(f"error: analysis timed out after {error.elapsed:.2f}s "
@@ -180,6 +181,7 @@ def cmd_explain(args) -> int:
             policy = AnalysisPolicy(
                 stages=tuple(args.stages) if args.stages else DEFAULT_STAGES,
                 timeout=args.timeout,
+                kernel=args.kernel,
             )
             outcome = policy.run(g)
             record = outcome.record
@@ -187,7 +189,8 @@ def cmd_explain(args) -> int:
         else:
             deadline = Deadline.after(args.timeout) if args.timeout else None
             try:
-                result = throughput(g, method=args.method, deadline=deadline)
+                result = throughput(g, method=args.method, deadline=deadline,
+                                    kernel=args.kernel)
             except AnalysisTimeout as error:
                 print(f"error: analysis timed out after {error.elapsed:.2f}s "
                       f"in stage {error.stage or '?'}", file=sys.stderr)
@@ -279,6 +282,7 @@ def cmd_batch(args) -> int:
         faults=faults,
         journal=journal,
         resume=bool(args.resume),
+        kernel=args.kernel,
     )
     after = report.cache_stats
 
@@ -636,6 +640,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.add_argument("--method", choices=("symbolic", "simulation", "hsdf"),
                    default="symbolic")
+    p.add_argument("--kernel", choices=("auto", "numpy", "exact"),
+                   default="auto",
+                   help="compute kernel: numpy (vectorized, exact-certified), "
+                        "exact (pure-python Fractions) or auto (numpy when "
+                        "available); results are identical either way")
     p.add_argument("--lint", action="store_true",
                    help="lint first; refuse graphs with error findings")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
@@ -669,6 +678,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.add_argument("--method", choices=("symbolic", "simulation", "hsdf"),
                    default="symbolic")
+    p.add_argument("--kernel", choices=("auto", "numpy", "exact"),
+                   default="auto",
+                   help="compute kernel (recorded in the provenance "
+                        "certificate; see docs/kernels.md)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="cooperative deadline (exit 3 on timeout)")
     p.add_argument("--fallback", action="store_true",
@@ -704,6 +717,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default=["throughput"])
     p.add_argument("--method", choices=("symbolic", "simulation", "hsdf"),
                    default="symbolic", help="throughput back-end")
+    p.add_argument("--kernel", choices=("auto", "numpy", "exact"),
+                   default="auto",
+                   help="compute kernel for throughput analyses; cache "
+                        "entries and journals are shared across kernels")
     p.add_argument("--backend", choices=("thread", "process", "serial"),
                    default="thread")
     p.add_argument("--workers", type=int, default=4)

@@ -1,0 +1,68 @@
+"""Vectorized (numpy) kernels for the analysis hot loops.
+
+The exact analyses (:mod:`repro.maxplus`, :mod:`repro.mcm`,
+:mod:`repro.sdf.simulation`) work over Python dicts with
+:class:`fractions.Fraction` arithmetic — auditable and exact, but they
+cap the throughput of every layer above (batch tier, resilience tiers).
+This package provides array-backed equivalents of the three hot loops:
+
+* Karp's maximum cycle mean as vectorized Bellman sweeps over a
+  CSR-style :class:`~repro.kernels.arraygraph.ArrayGraph`
+  (:func:`~repro.kernels.mcm.karp_mcm_numpy`);
+* Howard's policy iteration with array-based improvement stages
+  (:func:`~repro.kernels.mcm.howard_mcr_numpy`);
+* the self-timed state-space simulation with a vectorized enabling/
+  firing step (:func:`~repro.kernels.simulation.
+  simulation_throughput_numpy`);
+* a dense max-plus semiring module (batched ``np.maximum`` +
+  broadcast-add matrix product, :mod:`repro.kernels.maxplus`).
+
+**The numpy kernels return the same exact results as the reference
+implementations.**  Floating point is used only to *search* for a
+candidate critical cycle; the reported value is re-derived exactly from
+the original :class:`~repro.mcm.graphlib.RatioEdge` objects and then
+*certified* optimal with an exact integer Bellman–Ford sweep.  Any
+numerical doubt — weights too large for exact float64 sums, a tolerance
+check tripping, a failed certification — raises
+:class:`NumericalGuardError`, and callers fall back to the exact kernel
+(recorded as ``degradation_reason`` in provenance).  Because results
+are bit-identical, cache entries are shared between backends and the
+kernel is *not* part of the cache key.
+
+numpy itself is imported lazily: with numpy absent, ``kernel="auto"``
+resolves to the exact backend and only an explicit ``kernel="numpy"``
+raises :class:`KernelUnavailableError`.
+
+See ``docs/kernels.md`` for the array layout, the tolerance policy and
+the differential-oracle testing recipe (``tests/test_kernel_oracle.py``).
+"""
+
+from repro.kernels.backend import (
+    KERNELS,
+    KernelUnavailableError,
+    NumericalGuardError,
+    available_kernels,
+    check_candidate,
+    float_tolerance,
+    numpy_available,
+    numpy_or_none,
+    record_fallback,
+    record_selection,
+    require_numpy,
+    resolve_kernel,
+)
+
+__all__ = [
+    "KERNELS",
+    "KernelUnavailableError",
+    "NumericalGuardError",
+    "available_kernels",
+    "check_candidate",
+    "float_tolerance",
+    "numpy_available",
+    "numpy_or_none",
+    "record_fallback",
+    "record_selection",
+    "require_numpy",
+    "resolve_kernel",
+]

@@ -1,0 +1,132 @@
+"""Dense numpy max-plus semiring operations.
+
+The exact :class:`~repro.maxplus.matrix.MaxPlusMatrix` stores Fractions
+row-major and multiplies with Python loops.  This module provides the
+array equivalents — ``ε`` is ``-inf`` and the semiring product is a
+broadcast-add followed by a batched ``np.maximum`` reduction::
+
+    (A ⊗ B)[i, k] = max_j (A[i, j] + B[j, k])
+                  = (A[:, :, None] + B[None, :, :]).max(axis=1)
+
+``-inf`` rows and columns are safe throughout: the only additions are
+``finite + finite``, ``-inf + finite`` and ``-inf + -inf`` (never
+``-inf + +inf``, which would produce NaN), so ε propagates exactly as
+in the reference implementation.
+
+Conversion is exactness-checked both ways: :func:`to_dense` refuses
+(:class:`~repro.kernels.backend.NumericalGuardError`) any finite entry
+that is not exactly representable as a float64, and :func:`from_dense`
+rebuilds exact Fractions from the floats, so a round trip through the
+dense representation is the identity on the matrices it accepts.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.kernels.backend import NumericalGuardError, require_numpy
+from repro.maxplus.algebra import EPSILON, is_epsilon
+from repro.maxplus.matrix import MaxPlusMatrix, MaxPlusVector
+
+__all__ = [
+    "from_dense",
+    "from_dense_vector",
+    "mp_identity",
+    "mp_matmul",
+    "mp_matvec",
+    "mp_power",
+    "to_dense",
+    "to_dense_vector",
+]
+
+
+def _as_float(value, where: str) -> float:
+    if is_epsilon(value):
+        return float("-inf")
+    exact = Fraction(value)
+    approx = float(exact)
+    if Fraction(approx) != exact:
+        raise NumericalGuardError(
+            f"{where}: entry {exact} is not exactly representable as float64"
+        )
+    return approx
+
+
+def to_dense(matrix: MaxPlusMatrix):
+    """Float64 array view of ``matrix`` (ε → ``-inf``), exactness-checked."""
+    np = require_numpy()
+    dense = np.empty((matrix.nrows, matrix.ncols), dtype=np.float64)
+    for i, row in enumerate(matrix.rows):
+        for j, value in enumerate(row):
+            dense[i, j] = _as_float(value, f"matrix entry ({i}, {j})")
+    return dense
+
+
+def to_dense_vector(vector: MaxPlusVector):
+    """Float64 array view of ``vector`` (ε → ``-inf``), exactness-checked."""
+    np = require_numpy()
+    return np.array(
+        [_as_float(value, f"vector entry {i}")
+         for i, value in enumerate(vector.entries)],
+        dtype=np.float64,
+    )
+
+
+def _from_float(value):
+    if value == float("-inf"):
+        return EPSILON
+    return Fraction(float(value))
+
+
+def from_dense(array) -> MaxPlusMatrix:
+    """Rebuild an exact :class:`MaxPlusMatrix` from a dense float array."""
+    return MaxPlusMatrix([[_from_float(v) for v in row] for row in array])
+
+
+def from_dense_vector(array) -> MaxPlusVector:
+    """Rebuild an exact :class:`MaxPlusVector` from a dense float array."""
+    return MaxPlusVector([_from_float(v) for v in array])
+
+
+def mp_identity(n: int):
+    """Dense max-plus identity: 0 on the diagonal, ε elsewhere."""
+    np = require_numpy()
+    dense = np.full((n, n), float("-inf"), dtype=np.float64)
+    np.fill_diagonal(dense, 0.0)
+    return dense
+
+
+def mp_matmul(a, b):
+    """Max-plus matrix product via broadcast-add + batched maximum."""
+    require_numpy()
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: {a.shape} cannot multiply {b.shape}"
+        )
+    return (a[:, :, None] + b[None, :, :]).max(axis=1)
+
+
+def mp_matvec(a, x):
+    """Max-plus matrix-vector product ``A ⊗ x``."""
+    require_numpy()
+    if a.shape[1] != x.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: {a.shape} cannot apply to {x.shape}"
+        )
+    return (a + x[None, :]).max(axis=1)
+
+
+def mp_power(a, n: int):
+    """Max-plus matrix power by binary exponentiation (``n >= 0``)."""
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("matrix power requires a square matrix")
+    if n < 0:
+        raise ValueError("matrix power requires a non-negative exponent")
+    result = mp_identity(a.shape[0])
+    base = a
+    while n:
+        if n & 1:
+            result = mp_matmul(result, base)
+        base = mp_matmul(base, base) if n > 1 else base
+        n >>= 1
+    return result

@@ -40,7 +40,20 @@ def precedence_graph(matrix: MaxPlusMatrix) -> RatioGraph:
     return graph
 
 
-def eigenvalue(matrix: MaxPlusMatrix, deadline=None) -> Optional[Fraction]:
+def _karp(matrix: MaxPlusMatrix, deadline, kernel: str):
+    if kernel == "numpy":
+        from repro.kernels.mcm import karp_mcm_numpy
+
+        return karp_mcm_numpy(precedence_graph(matrix), deadline=deadline)
+    if kernel != "exact":
+        raise ValueError(
+            f"unknown concrete kernel {kernel!r}; use 'numpy' or 'exact'"
+        )
+    return karp_mcm(precedence_graph(matrix), deadline=deadline)
+
+
+def eigenvalue(matrix: MaxPlusMatrix, deadline=None,
+               kernel: str = "exact") -> Optional[Fraction]:
     """The largest max-plus eigenvalue, or ``None`` for a nilpotent matrix.
 
     Computed exactly as the maximum cycle mean of the precedence graph
@@ -49,20 +62,27 @@ def eigenvalue(matrix: MaxPlusMatrix, deadline=None) -> Optional[Fraction]:
     recurrent timing constraint exists.  ``deadline`` (a
     :class:`repro.analysis.deadline.Deadline`) bounds the MCM iteration
     cooperatively.
+
+    ``kernel="numpy"`` runs the vectorized Karp kernel
+    (:func:`repro.kernels.mcm.karp_mcm_numpy`) — same exact result; a
+    :class:`repro.kernels.NumericalGuardError` propagates to the caller,
+    which decides whether to fall back to the exact kernel.
     """
-    result = karp_mcm(precedence_graph(matrix), deadline=deadline)
+    result = _karp(matrix, deadline, kernel)
     return result.value
 
 
-def critical_indices(matrix: MaxPlusMatrix, deadline=None) -> Tuple[Optional[Fraction], list]:
+def critical_indices(matrix: MaxPlusMatrix, deadline=None,
+                     kernel: str = "exact") -> Tuple[Optional[Fraction], list]:
     """Eigenvalue plus the index cycle that attains it (critical cycle)."""
-    result = karp_mcm(precedence_graph(matrix), deadline=deadline)
+    result = _karp(matrix, deadline, kernel)
     if result.value is None:
         return None, []
     return result.value, result.cycle_nodes()
 
 
-def critical_cycle(matrix: MaxPlusMatrix, deadline=None):
+def critical_cycle(matrix: MaxPlusMatrix, deadline=None,
+                   kernel: str = "exact"):
     """Eigenvalue and critical cycle in one Karp run.
 
     Returns the full :class:`repro.mcm.graphlib.CycleRatioResult` so
@@ -70,8 +90,9 @@ def critical_cycle(matrix: MaxPlusMatrix, deadline=None):
     provenance layer) pay for a single MCM computation.  The result's
     ``cycle`` edges connect matrix *indices* (``j → i`` for entry
     ``M[i][j]``); ``value`` is ``None`` for nilpotent matrices.
+    ``kernel`` selects the concrete MCM kernel (see :func:`eigenvalue`).
     """
-    return karp_mcm(precedence_graph(matrix), deadline=deadline)
+    return _karp(matrix, deadline, kernel)
 
 
 def cycle_time(matrix: MaxPlusMatrix, deadline=None) -> Fraction:

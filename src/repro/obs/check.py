@@ -339,6 +339,9 @@ def validate_provenance(data: Any) -> Dict[str, int]:
               "conservative-bound records need an integer 'bound_phase_count'")
         _need_fraction(data.get("bound_abstract_cycle_time"), "provenance",
                        "'bound_abstract_cycle_time'")
+    kernel = data.get("kernel")
+    _need(kernel is None or (isinstance(kernel, str) and kernel),
+          "provenance", "'kernel' must be a non-empty string or null")
     return {"steps": len(steps), "witness_arcs": arcs, "tiers": len(tiers)}
 
 

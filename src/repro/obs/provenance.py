@@ -254,6 +254,11 @@ class ProvenanceRecord:
     #: Theorem-1 ingredients (conservative-bound records only).
     bound_phase_count: Optional[int] = None
     bound_abstract_cycle_time: Optional[Fraction] = None
+    #: Computational backend that produced the number ("numpy" or
+    #: "exact"; ``None`` for records predating the kernel layer).  Both
+    #: backends are bit-identical, so this is pure observability — it
+    #: never enters cache keys or witness verification.
+    kernel: Optional[str] = None
 
     @property
     def exact(self) -> bool:
@@ -282,6 +287,7 @@ class ProvenanceRecord:
                 if self.bound_abstract_cycle_time is None
                 else str(self.bound_abstract_cycle_time)
             ),
+            "kernel": self.kernel,
         }
 
     @classmethod
@@ -313,6 +319,7 @@ class ProvenanceRecord:
                 None if data.get("bound_abstract_cycle_time") is None
                 else Fraction(data["bound_abstract_cycle_time"])
             ),
+            kernel=data.get("kernel"),
         )
 
 

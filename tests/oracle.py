@@ -1,0 +1,95 @@
+"""Reusable differential oracle: numpy kernels vs the exact reference.
+
+The kernel contract (src/repro/kernels, docs/kernels.md) is *bit
+identity*: the vectorized numpy backend must return exactly what the
+pure-Fraction reference returns — same Fractions, same witnesses, same
+error types with the same messages — because its float search phase is
+always followed by exact re-derivation and certification.
+
+:func:`assert_backends_agree` checks that whole contract for one graph
+and one method and is shared by the registry-wide and property-based
+suites in ``test_kernel_oracle.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.throughput import throughput
+from repro.errors import ReproError
+from repro.kernels import float_tolerance
+from repro.obs.provenance import verify_witness
+
+
+def run_kernel(graph, method: str, kernel: str):
+    """Run one backend; return ``(result, error)`` with exactly one set."""
+    try:
+        return throughput(graph, method=method, kernel=kernel), None
+    except ReproError as error:
+        return None, error
+
+
+def assert_backends_agree(graph, method: str, expect_fallback: bool = False):
+    """Assert full numpy/exact agreement on ``graph`` for ``method``.
+
+    Checks, in order: error agreement (same type, same message when both
+    raise), exact equality of cycle time / repetition vector / per-actor
+    rates, the documented float-tolerance bound, provenance ``kernel``
+    labelling (``expect_fallback=True`` demands the numpy run degraded
+    to exact and recorded why), and that every attached witness
+    re-verifies against the original graph to the agreed cycle time.
+
+    Returns ``(numpy_result, exact_result)`` — both ``None`` when the
+    backends agreed by raising.
+    """
+    numpy_result, numpy_error = run_kernel(graph, method, "numpy")
+    exact_result, exact_error = run_kernel(graph, method, "exact")
+
+    if exact_error is not None:
+        assert numpy_error is not None, (
+            f"exact raised {type(exact_error).__name__} but numpy "
+            f"returned {numpy_result!r}"
+        )
+        assert type(numpy_error) is type(exact_error), (
+            f"error types diverge: numpy {type(numpy_error).__name__}, "
+            f"exact {type(exact_error).__name__}"
+        )
+        assert str(numpy_error) == str(exact_error)
+        return None, None
+    assert numpy_error is None, (
+        f"numpy raised {type(numpy_error).__name__}: {numpy_error} "
+        f"but exact returned {exact_result.cycle_time}"
+    )
+
+    # Bit-identical analysis outputs (Fraction ==, not approximate).
+    assert numpy_result.cycle_time == exact_result.cycle_time
+    assert numpy_result.repetition == exact_result.repetition
+    assert numpy_result.unbounded == exact_result.unbounded
+    if not exact_result.unbounded:
+        assert numpy_result.per_actor == exact_result.per_actor
+        # Tolerance policy: the float view of the agreed value sits
+        # within the documented bound of the exact Fraction.
+        drift = abs(
+            float(numpy_result.cycle_time) - float(exact_result.cycle_time)
+        )
+        assert drift <= float_tolerance(exact_result.cycle_time)
+
+    numpy_record = numpy_result.provenance
+    exact_record = exact_result.provenance
+    assert exact_record is not None and numpy_record is not None
+    assert exact_record.kernel == "exact"
+    assert exact_record.degradation_reason is None
+    if expect_fallback:
+        assert numpy_record.kernel == "exact"
+        assert numpy_record.degradation_reason is not None
+        assert "fell back to exact" in numpy_record.degradation_reason
+    else:
+        assert numpy_record.kernel == "numpy"
+        assert numpy_record.degradation_reason is None
+
+    # Witness parity: both backends certify, or neither can.
+    assert (numpy_record.witness is None) == (exact_record.witness is None)
+    for record in (numpy_record, exact_record):
+        if record.witness is not None:
+            mean = verify_witness(graph, record)
+            assert mean == exact_result.cycle_time
+
+    return numpy_result, exact_result

@@ -1,0 +1,251 @@
+"""Unit tests for the numpy kernel layer (:mod:`repro.kernels`).
+
+Covers the pieces the differential oracle exercises only indirectly:
+the CSR array layout, kernel selection and the no-numpy guard, the
+documented tolerance policy, exact certification, the numerical-guard
+fallback (with its provenance and metrics trail) and the observability
+surface (span attributes, provenance round trip, schema validation).
+"""
+
+from __future__ import annotations
+
+import sys
+from fractions import Fraction
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.analysis.throughput import throughput
+from repro.kernels import (
+    KernelUnavailableError,
+    NumericalGuardError,
+    available_kernels,
+    check_candidate,
+    float_tolerance,
+    numpy_available,
+    resolve_kernel,
+)
+from repro.kernels.arraygraph import ArrayGraph
+from repro.kernels.backend import (
+    MAX_EXACT_FLOAT_SUM,
+    RELATIVE_TOLERANCE,
+    _reset_numpy_cache,
+)
+from repro.kernels.mcm import certify_maximum_ratio, karp_mcm_numpy
+from repro.mcm.graphlib import RatioGraph
+from repro.obs.check import SchemaError, validate_provenance
+from repro.obs.metrics import MetricsRegistry, set_default_registry
+from repro.obs.provenance import ProvenanceRecord
+from repro.obs.trace import Tracer
+from repro.sdf.graph import SDFGraph
+
+
+def _ring_ratio_graph():
+    """w/t ratios: cycle a->b->a has mean (3+5)/2 = 4, self-loop 7/2."""
+    g = RatioGraph()
+    for node in ("a", "b"):
+        g.add_node(node)
+    g.add_edge("a", "b", Fraction(3), 1, key="ab")
+    g.add_edge("b", "a", Fraction(5), 1, key="ba")
+    g.add_edge("a", "a", Fraction(7), 2, key="aa")
+    return g
+
+
+def _small_sdf(execution_time=3):
+    g = SDFGraph("kernel-unit")
+    g.add_actor("x", execution_time=execution_time)
+    g.add_actor("y", execution_time=1)
+    for name in ("x", "y"):
+        g.add_edge(name, name, tokens=1, name=f"self_{name}")
+    g.add_edge("x", "y")
+    g.add_edge("y", "x", tokens=1)
+    return g
+
+
+@pytest.fixture
+def fresh_registry():
+    registry = MetricsRegistry()
+    previous = set_default_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_default_registry(previous)
+
+
+class TestArrayGraph:
+    def test_csr_layout(self):
+        ag = ArrayGraph.from_ratio_graph(_ring_ratio_graph())
+        assert ag.nodes == ["a", "b"]
+        assert ag.node_count == 2 and ag.edge_count == 3
+        # Edge arrays follow insertion order: ab, ba, aa.
+        assert ag.src.tolist() == [0, 1, 0]
+        assert ag.dst.tolist() == [1, 0, 0]
+        assert ag.transits.tolist() == [1, 1, 2]
+        assert ag.weight_ints == [3, 5, 7]
+        assert ag.scale == 1
+        # In-CSR groups edges by target; out-CSR by source.
+        assert ag.in_indptr.tolist() == [0, 2, 3]
+        assert sorted(ag.in_order[:2].tolist()) == [1, 2]  # into a
+        assert ag.in_order[2] == 0                          # into b
+        assert ag.out_indptr.tolist() == [0, 2, 3]
+        assert sorted(ag.out_order[:2].tolist()) == [0, 2]  # out of a
+
+    def test_fractional_weights_share_one_scale(self):
+        g = RatioGraph()
+        g.add_node("a")
+        g.add_edge("a", "a", Fraction(1, 2), 1, key="u")
+        g.add_edge("a", "a", Fraction(2, 3), 1, key="v")
+        ag = ArrayGraph.from_ratio_graph(g)
+        assert ag.scale == 6
+        assert sorted(ag.weight_ints) == [3, 4]
+        assert ag.exact_weight(0) == Fraction(1, 2)
+
+    def test_oversized_weights_trip_the_float_guard(self):
+        g = RatioGraph()
+        g.add_node("a")
+        g.add_edge("a", "a", Fraction(MAX_EXACT_FLOAT_SUM), 1, key="big")
+        with pytest.raises(NumericalGuardError):
+            ArrayGraph.from_ratio_graph(g)
+
+
+class TestKernelSelection:
+    def test_resolve(self):
+        assert resolve_kernel("exact") == "exact"
+        assert resolve_kernel("numpy") == "numpy"
+        assert resolve_kernel("auto") == "numpy"
+        assert available_kernels() == ("numpy", "exact")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("cuda")
+        with pytest.raises(ValueError, match="unknown kernel"):
+            throughput(_small_sdf(), kernel="cuda")
+
+    def test_without_numpy_auto_degrades_and_explicit_raises(self, monkeypatch):
+        """The analysis stack must run on hosts without numpy."""
+        monkeypatch.setitem(sys.modules, "numpy", None)  # import -> ImportError
+        _reset_numpy_cache()
+        try:
+            assert not numpy_available()
+            assert available_kernels() == ("exact",)
+            assert resolve_kernel("auto") == "exact"
+            with pytest.raises(KernelUnavailableError):
+                resolve_kernel("numpy")
+            with pytest.raises(KernelUnavailableError):
+                throughput(_small_sdf(), kernel="numpy")
+            result = throughput(_small_sdf(), kernel="auto")
+            assert result.cycle_time == Fraction(4)
+            assert result.provenance.kernel == "exact"
+            assert result.provenance.degradation_reason is None
+        finally:
+            _reset_numpy_cache()
+
+
+class TestTolerancePolicy:
+    def test_tolerance_is_relative_with_absolute_floor(self):
+        assert float_tolerance(Fraction(0)) == RELATIVE_TOLERANCE
+        assert float_tolerance(Fraction(1, 2)) == RELATIVE_TOLERANCE
+        assert float_tolerance(Fraction(1000)) == RELATIVE_TOLERANCE * 1000
+
+    def test_check_candidate(self):
+        check_candidate(4.0, Fraction(4), what="unit")
+        check_candidate(4.0 + 2.0 ** -45, Fraction(4), what="unit")
+        with pytest.raises(NumericalGuardError, match="deviates"):
+            check_candidate(4.0 + 1e-9, Fraction(4), what="unit")
+        with pytest.raises(NumericalGuardError):  # NaN never passes
+            check_candidate(float("nan"), Fraction(4), what="unit")
+
+
+class TestCertification:
+    def test_true_maximum_certifies(self):
+        ag = ArrayGraph.from_ratio_graph(_ring_ratio_graph())
+        certify_maximum_ratio(ag, Fraction(4))
+
+    def test_underestimate_is_rejected(self):
+        ag = ArrayGraph.from_ratio_graph(_ring_ratio_graph())
+        with pytest.raises(NumericalGuardError, match="certif"):
+            certify_maximum_ratio(ag, Fraction(7, 2))
+
+    def test_karp_kernel_returns_exact_fractions(self):
+        g = RatioGraph()  # unit transits: Karp's precondition
+        for node in ("a", "b"):
+            g.add_node(node)
+        g.add_edge("a", "b", Fraction(3), 1, key="ab")
+        g.add_edge("b", "a", Fraction(5), 1, key="ba")
+        g.add_edge("a", "a", Fraction(7, 2), 1, key="aa")
+        result = karp_mcm_numpy(g)
+        assert result.value == Fraction(4)
+        assert isinstance(result.value, Fraction)
+        assert {e.key for e in result.cycle} == {"ab", "ba"}
+
+
+class TestGuardFallback:
+    def test_oversized_graph_falls_back_to_exact(self, fresh_registry):
+        g = _small_sdf(execution_time=MAX_EXACT_FLOAT_SUM)
+        result = throughput(g, kernel="numpy")
+        assert result.cycle_time == Fraction(MAX_EXACT_FLOAT_SUM + 1)
+        record = result.provenance
+        assert record.kernel == "exact"
+        assert record.degradation_reason is not None
+        assert "fell back to exact" in record.degradation_reason
+        counters = fresh_registry
+        assert counters.value(
+            "repro_kernel_selected_total", kernel="numpy", method="symbolic"
+        ) == 1
+        assert counters.value(
+            "repro_kernel_fallback_total", method="symbolic"
+        ) == 1
+
+    def test_clean_run_records_no_fallback(self, fresh_registry):
+        result = throughput(_small_sdf(), kernel="numpy")
+        assert result.provenance.kernel == "numpy"
+        assert result.provenance.degradation_reason is None
+        assert fresh_registry.value(
+            "repro_kernel_selected_total", kernel="numpy", method="symbolic"
+        ) == 1
+        assert fresh_registry.value(
+            "repro_kernel_fallback_total", method="symbolic"
+        ) is None
+
+
+class TestObservability:
+    def test_spans_carry_kernel_attributes(self):
+        with Tracer() as tracer:
+            throughput(_small_sdf(), kernel="numpy")
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["throughput"].args["kernel"] == "numpy"
+        assert spans["throughput"].args["kernel_used"] == "numpy"
+        assert spans["mcm-eigenvalue"].args["kernel_used"] == "numpy"
+
+    def test_fallback_visible_on_spans(self):
+        with Tracer() as tracer:
+            throughput(
+                _small_sdf(execution_time=MAX_EXACT_FLOAT_SUM),
+                kernel="numpy",
+            )
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["throughput"].args["kernel"] == "numpy"   # selected
+        assert spans["throughput"].args["kernel_used"] == "exact"
+        assert spans["mcm-eigenvalue"].args["kernel_used"] == "exact"
+
+    def test_provenance_kernel_round_trip(self):
+        record = throughput(_small_sdf(), kernel="numpy").provenance
+        doc = record.as_dict()
+        assert doc["kernel"] == "numpy"
+        restored = ProvenanceRecord.from_dict(doc)
+        assert restored.kernel == "numpy"
+        validate_provenance(doc)
+
+    def test_check_rejects_malformed_kernel_field(self):
+        doc = throughput(_small_sdf(), kernel="exact").provenance.as_dict()
+        assert doc["kernel"] == "exact"
+        validate_provenance(doc)
+        doc["kernel"] = None  # legacy records carry no kernel: fine
+        validate_provenance(doc)
+        doc["kernel"] = ""
+        with pytest.raises(SchemaError, match="kernel"):
+            validate_provenance(doc)
+        doc["kernel"] = 7
+        with pytest.raises(SchemaError, match="kernel"):
+            validate_provenance(doc)
