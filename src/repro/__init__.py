@@ -104,7 +104,9 @@ def _detect_version() -> str:
         from importlib.metadata import version
 
         return version("repro")
-    except Exception:
+    except (ImportError, OSError):
+        # PackageNotFoundError is an ImportError; OSError covers broken
+        # metadata directories.
         return "0.0.0+unknown"
 
 

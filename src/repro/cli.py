@@ -535,6 +535,81 @@ def cmd_lint(args) -> int:
     return 0
 
 
+def cmd_devlint(args) -> int:
+    from repro.devlint import CONFIG_FILENAME, DEVLINT, run_devlint
+    from repro.lint import (
+        load_baseline,
+        load_config,
+        render_json,
+        render_sarif,
+        render_text,
+        write_baseline,
+    )
+    from repro.lint.config import LintConfig
+
+    codes = DEVLINT.rule_codes()
+
+    def split_codes(raw):
+        if not raw:
+            return ()
+        selected = tuple(code.strip() for code in raw.split(",") if code.strip())
+        unknown = [code for code in selected if code not in codes]
+        if unknown:
+            print(
+                f"error: unknown rule code(s) {', '.join(unknown)}; "
+                f"registered: {', '.join(codes)}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return selected
+
+    config = load_config(args.config, filename=CONFIG_FILENAME).merged(
+        select=split_codes(args.select),
+        ignore=split_codes(args.ignore),
+        baseline=args.baseline,
+    )
+
+    paths = args.paths or ["src/repro"]
+    reports = run_devlint(paths, config=config)
+    if not reports:
+        print("error: no Python files under the given paths", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, reports)
+        print(
+            f"baseline written to {args.write_baseline} ({count} finding(s))",
+            file=sys.stderr,
+        )
+    if config.baseline:
+        fingerprints = load_baseline(config.baseline)
+        reports = [r.without_fingerprints(fingerprints) for r in reports]
+
+    rules = DEVLINT.all_rules()
+    render = {
+        "text": lambda rs: render_text(rs, skip_clean=True),
+        "json": lambda rs: render_json(rs, tool_name="repro-devlint"),
+        "sarif": lambda rs: render_sarif(rs, rules=rules,
+                                         tool_name="repro-devlint"),
+    }
+    text = render[args.format](reports)
+    if args.output:
+        pathlib.Path(args.output).write_text(text + "\n")
+        print(f"written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    if args.fail_on == "never":
+        return 0
+    if errors:
+        return 2
+    if warnings and args.fail_on == "warning":
+        return 1
+    return 0
+
+
 def cmd_gantt(args) -> int:
     from fractions import Fraction
 
@@ -810,6 +885,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write the report to a file")
     _add_observability_args(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "devlint",
+        help="source-level invariant analyzer over the project's own code",
+    )
+    p.add_argument("paths", nargs="*", metavar="path",
+                   help="files or directories to analyze (default: src/repro)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="output format (default text)")
+    p.add_argument("--fail-on", dest="fail_on",
+                   choices=("error", "warning", "never"), default="error",
+                   help="exit 2 on errors; 'warning' also exits 1 on "
+                        "warnings-only; 'never' always exits 0")
+    p.add_argument("--select", metavar="CODES",
+                   help="comma-separated rule codes to run (default: all)")
+    p.add_argument("--ignore", metavar="CODES",
+                   help="comma-separated rule codes to suppress")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="subtract the accepted findings in this baseline file")
+    p.add_argument("--write-baseline", dest="write_baseline", metavar="FILE",
+                   help="write the current findings as a new baseline")
+    p.add_argument("--config", metavar="FILE",
+                   help="devlint config (default: ./.reprodevlint.json "
+                        "when present)")
+    p.add_argument("-o", "--output", help="write the report to a file")
+    _add_observability_args(p)
+    p.set_defaults(func=cmd_devlint)
 
     p = sub.add_parser("gantt", help="ASCII Gantt chart of self-timed execution")
     p.add_argument("graph")

@@ -22,7 +22,7 @@ from typing import Optional
 
 from repro.core.abstraction import Abstraction
 from repro.core.conservativity import AbstractionCertificate, verify_abstraction
-from repro.errors import ValidationError
+from repro.errors import ReproError, ValidationError
 from repro.sdf.graph import SDFGraph
 from repro.sdf.repetition import repetition_vector
 from repro.sdf.transform import firing_name, traditional_hsdf
@@ -74,7 +74,7 @@ def conservative_multirate_bound(
     abstraction = expansion_abstraction(graph, expanded)
     try:
         abstraction.validate(expanded)
-    except Exception as error:  # NotAbstractableError and friends
+    except ReproError as error:  # NotAbstractableError and friends
         raise ValidationError(
             f"expansion of {graph.name!r} admits no copy-grouping: {error}"
         ) from error

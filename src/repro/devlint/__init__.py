@@ -1,0 +1,38 @@
+"""Devlint: the project's own invariant analyzer.
+
+An AST-based static analyzer (stdlib :mod:`ast` + :mod:`tokenize`, no
+dependencies) that enforces the cross-cutting code contracts this
+codebase accumulated PR by PR: the exact-Fraction discipline, the
+cooperative-deadline protocol, the provenance flight-recorder contract,
+the lock discipline of the shared caches, replay determinism, and a few
+generic hygiene rules.  It shares the diagnostic model, config, baseline
+and output formats (text/JSON/SARIF) with :mod:`repro.lint` — same
+flags, same exit codes, different subject: the source tree instead of a
+dataflow model.
+
+Run it with ``repro devlint [paths]`` (defaults to ``src/repro``); the
+rule catalogue lives in ``docs/devlint.md``.
+"""
+
+from repro.devlint.engine import (
+    CONFIG_FILENAME,
+    collect_files,
+    lint_source,
+    parse_suppressions,
+    run_devlint,
+)
+from repro.devlint.registry import CATEGORIES, DEVLINT, DOC_PAGE
+
+# Importing the rules module registers every rule into DEVLINT.
+from repro.devlint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "CATEGORIES",
+    "CONFIG_FILENAME",
+    "DEVLINT",
+    "DOC_PAGE",
+    "collect_files",
+    "lint_source",
+    "parse_suppressions",
+    "run_devlint",
+]

@@ -1,0 +1,220 @@
+"""Per-file analysis context for devlint rules.
+
+A :class:`FileContext` wraps one parsed Python source file: the AST with
+parent back-links, qualified names for every function/class, the path
+relative to the ``repro`` package (which is what the module-scoping
+options match against), and the diagnostic factory that stamps physical
+locations.  A :class:`ProjectIndex` spans all files of one run and
+carries the flow-insensitive call-graph approximations that cross-file
+rules (provenance hygiene) need.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.devlint.registry import DEVLINT
+from repro.lint.diagnostics import Diagnostic
+
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def package_path(path: str) -> str:
+    """``path`` relative to the ``repro`` package root, posix-style.
+
+    ``src/repro/mcm/karp.py`` → ``mcm/karp.py``; paths outside a
+    ``repro`` directory are returned unchanged (fixture files in tests
+    simply match no module scope unless the rule covers all files).
+    """
+    parts = path.replace("\\", "/").split("/")
+    for index, part in enumerate(parts[:-1]):
+        if part == "repro":
+            return "/".join(parts[index + 1:])
+    return "/".join(parts)
+
+
+def module_in(pkg_path: str, scopes: Sequence[str]) -> bool:
+    """Whether a package-relative path falls under any scope pattern.
+
+    A pattern ending in ``/`` matches a package prefix; otherwise it
+    must name the file exactly.
+    """
+    for scope in scopes:
+        if scope.endswith("/"):
+            if pkg_path.startswith(scope):
+                return True
+        elif pkg_path == scope:
+            return True
+    return False
+
+
+class FileContext:
+    """One source file under analysis."""
+
+    model = "source"
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: Optional[ast.Module] = None,
+        project: Optional["ProjectIndex"] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.path = path.replace("\\", "/")
+        self.pkg_path = package_path(self.path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree if tree is not None else ast.parse(source, filename=path)
+        self.project = project
+        self.options = dict(options or {})
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        self._qualnames: Dict[ast.AST, str] = {}
+        self._index_tree()
+
+    def _index_tree(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        for node in ast.walk(self.tree):
+            if isinstance(node, FunctionNode + (ast.ClassDef,)):
+                self._qualnames[node] = self._compute_qualname(node)
+
+    def _compute_qualname(self, node: ast.AST) -> str:
+        parts = [node.name]
+        current = self._parents.get(node)
+        while current is not None:
+            if isinstance(current, FunctionNode + (ast.ClassDef,)):
+                parts.append(current.name)
+            current = self._parents.get(current)
+        return ".".join(reversed(parts))
+
+    # -- navigation -----------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, FunctionNode):
+                return ancestor
+        return None
+
+    def qualname(self, node: ast.AST) -> str:
+        """Qualified name of a def/class node, or of the innermost
+        def/class enclosing any other node (``<module>`` at top level)."""
+        if node in self._qualnames:
+            return self._qualnames[node]
+        for ancestor in self.ancestors(node):
+            if ancestor in self._qualnames:
+                return self._qualnames[ancestor]
+        return "<module>"
+
+    def functions(self) -> List[Tuple[str, ast.AST]]:
+        """All function definitions (methods included) with qualnames."""
+        return [
+            (self._qualnames[node], node)
+            for node in ast.walk(self.tree)
+            if isinstance(node, FunctionNode)
+        ]
+
+    def classes(self) -> List[Tuple[str, ast.ClassDef]]:
+        return [
+            (self._qualnames[node], node)
+            for node in ast.walk(self.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+
+    def in_modules(self, scopes: Sequence[str]) -> bool:
+        return module_in(self.pkg_path, scopes)
+
+    def scope_option(self, name: str, default: Sequence[str]) -> Tuple[str, ...]:
+        """A module-scope list option, overridable via the config file."""
+        value = self.options.get(name, default)
+        return tuple(value)
+
+    # -- diagnostics ----------------------------------------------------
+
+    def diag(
+        self,
+        code: str,
+        message: str,
+        *,
+        node: Optional[ast.AST] = None,
+        line: Optional[int] = None,
+        col: Optional[int] = None,
+        severity: Optional[str] = None,
+        data: Optional[Dict[str, Any]] = None,
+        fix: Optional[str] = None,
+        anchor: Optional[str] = None,
+    ) -> Diagnostic:
+        """A file-anchored diagnostic; location from ``node`` unless
+        given explicitly, logical anchor from the enclosing scope."""
+        meta = DEVLINT.get_rule(code).meta
+        if node is not None:
+            line = getattr(node, "lineno", 0) if line is None else line
+            col = getattr(node, "col_offset", 0) + 1 if col is None else col
+            anchor = self.qualname(node) if anchor is None else anchor
+        return Diagnostic(
+            code=code,
+            severity=severity or meta.default_severity,
+            message=message,
+            category=meta.category,
+            actors=(anchor,) if anchor else (),
+            data=data or {},
+            fix=fix,
+            file=self.path,
+            line=line or 0,
+            col=col or 0,
+        )
+
+
+class ProjectIndex:
+    """Flow-insensitive, name-based call-graph facts for one run.
+
+    ``callees`` maps every function's qualified name (per file) to the
+    set of bare names it calls (``f()`` → ``f``, ``x.g()`` → ``g``).
+    :meth:`closure_reaching` computes the set of function names whose
+    call closure reaches any of a set of primitive names — the
+    approximation both the provenance rule ("does this entry point
+    record a step, possibly via a helper?") and future rules use.
+    """
+
+    def __init__(self) -> None:
+        self.callees: Dict[str, Set[str]] = {}
+
+    def add_file(self, ctx: FileContext) -> None:
+        for qualname, node in ctx.functions():
+            called: Set[str] = set()
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    func = sub.func
+                    if isinstance(func, ast.Name):
+                        called.add(func.id)
+                    elif isinstance(func, ast.Attribute):
+                        called.add(func.attr)
+            # Name-keyed (not path-keyed): cross-module calls resolve by
+            # bare name, which is the documented approximation.
+            self.callees.setdefault(node.name, set()).update(called)
+            self.callees.setdefault(qualname, set()).update(called)
+
+    def closure_reaching(self, primitives: Set[str]) -> Set[str]:
+        """Function names whose transitive callees include a primitive."""
+        reaching: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, called in self.callees.items():
+                if name in reaching:
+                    continue
+                if called & primitives or called & reaching:
+                    reaching.add(name)
+                    changed = True
+        return reaching

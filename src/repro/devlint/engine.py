@@ -1,0 +1,272 @@
+"""The devlint engine: file collection, suppressions, rule execution.
+
+The engine mirrors the graph-lint engine's contract — rules come from a
+registry, findings are :class:`~repro.lint.diagnostics.Diagnostic`
+objects in :class:`~repro.lint.diagnostics.LintReport` containers, the
+config is a :class:`~repro.lint.config.LintConfig` (select/ignore/
+severity/options/baseline all behave identically) — but runs over Python
+source files instead of dataflow models.
+
+Suppressions
+------------
+A finding is suppressed by a comment naming its rule **with a reason**::
+
+    self._evictions += 1  # devlint: ignore[lock-discipline] caller holds the lock
+
+    # devlint: ignore[broad-except] per-graph isolation boundary
+    except Exception as error:
+
+A trailing comment covers its own line; a standalone comment covers the
+next code line.  Several codes separate with commas.  A suppression that
+names an unknown rule or omits the reason is itself a finding
+(``bad-suppression``); one that matches nothing is ``unused-suppression``
+— so stale excuses cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import pathlib
+import re
+import tokenize
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.devlint.context import FileContext, ProjectIndex
+from repro.devlint.registry import DEVLINT
+from repro.devlint import rules as _rules  # noqa: F401  (registers rules)
+from repro.errors import ReproError
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic, LintReport
+
+#: Default config filename probed in the working directory (the graph
+#: linter's is ``.reprolint.json``; devlint keeps its own namespace).
+CONFIG_FILENAME = ".reprodevlint.json"
+
+#: The suppression-comment grammar.
+_SUPPRESS_RE = re.compile(
+    r"#\s*devlint:\s*ignore\[(?P<codes>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclasses.dataclass
+class Suppression:
+    """One parsed ``# devlint: ignore[...]`` comment."""
+
+    line: int            # the comment's own line
+    target: int          # the code line it covers
+    codes: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+def parse_suppressions(source: str) -> Tuple[List[Suppression], List[str]]:
+    """All suppression comments of a file, with tokenize-accurate
+    comment detection (a ``#`` inside a string is not a comment).
+
+    Returns ``(suppressions, parse_notes)``; notes record a tokenizer
+    failure (the engine then runs with no suppressions for the file).
+    """
+    comments: List[Tuple[int, int, str]] = []  # (line, col, text)
+    code_lines: Set[int] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+            elif token.type not in (
+                tokenize.NL, tokenize.NEWLINE, tokenize.INDENT,
+                tokenize.DEDENT, tokenize.ENCODING, tokenize.ENDMARKER,
+            ):
+                for line in range(token.start[0], token.end[0] + 1):
+                    code_lines.add(line)
+    except (tokenize.TokenError, IndentationError) as error:
+        return [], [f"tokenizer failed: {error}"]
+
+    suppressions: List[Suppression] = []
+    for line, col, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        reason = match.group("reason").strip().lstrip("-:").strip()
+        if line in code_lines:
+            target = line
+        else:  # standalone comment: covers the next code line
+            later = [l for l in code_lines if l > line]
+            target = min(later) if later else line
+        suppressions.append(
+            Suppression(line=line, target=target, codes=codes, reason=reason)
+        )
+    return suppressions, []
+
+
+def _suppression_diagnostics(
+    ctx: FileContext, suppressions: Sequence[Suppression]
+) -> List[Diagnostic]:
+    """``bad-suppression`` / ``unused-suppression`` findings."""
+    known = set(DEVLINT.rule_codes())
+    findings: List[Diagnostic] = []
+    for suppression in suppressions:
+        unknown = [c for c in suppression.codes if c not in known]
+        if not suppression.codes:
+            findings.append(ctx.diag(
+                "bad-suppression",
+                "suppression names no rule; write "
+                "`# devlint: ignore[rule-code] reason`",
+                line=suppression.line, col=1, anchor=f"L{suppression.line}",
+            ))
+            continue
+        if unknown:
+            findings.append(ctx.diag(
+                "bad-suppression",
+                f"suppression names unknown rule(s) "
+                f"{', '.join(sorted(unknown))}; known: "
+                f"{', '.join(sorted(known))}",
+                line=suppression.line, col=1, anchor=f"L{suppression.line}",
+            ))
+        if not suppression.reason:
+            findings.append(ctx.diag(
+                "bad-suppression",
+                "suppression has no reason; every ignore must say why "
+                "the invariant does not apply here",
+                line=suppression.line, col=1, anchor=f"L{suppression.line}",
+            ))
+        elif not unknown and not suppression.used:
+            findings.append(ctx.diag(
+                "unused-suppression",
+                f"suppression for {', '.join(suppression.codes)} matched "
+                "no finding; the excuse is stale — delete the comment",
+                line=suppression.line, col=1, anchor=f"L{suppression.line}",
+            ))
+    return findings
+
+
+def _disambiguate(findings: List[Diagnostic]) -> List[Diagnostic]:
+    """Suffix the logical anchor of repeated (code, anchor) findings so
+    every finding in a file keeps a distinct baseline fingerprint."""
+    seen: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+    result: List[Diagnostic] = []
+    for finding in findings:
+        key = (finding.code, finding.actors)
+        count = seen.get(key, 0)
+        seen[key] = count + 1
+        if count and finding.actors:
+            finding = dataclasses.replace(
+                finding,
+                actors=(f"{finding.actors[0]}#{count + 1}",
+                        *finding.actors[1:]),
+            )
+        result.append(finding)
+    return result
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    config: Optional[LintConfig] = None,
+    project: Optional[ProjectIndex] = None,
+) -> LintReport:
+    """Run every devlint rule over one source string."""
+    config = config or LintConfig()
+    try:
+        ctx = FileContext(
+            path, source, project=project, options=config.option_map
+        )
+    except SyntaxError as error:
+        raise ReproError(f"devlint: {path}: {error}") from error
+
+    raw: List[Diagnostic] = []
+    for registered in DEVLINT.all_rules():
+        raw.extend(registered.check(ctx))
+
+    suppressions, _notes = parse_suppressions(source)
+    kept: List[Diagnostic] = []
+    for finding in raw:
+        suppressed = False
+        for suppression in suppressions:
+            if suppression.target == finding.line and \
+                    finding.code in suppression.codes:
+                suppression.used = True
+                # A reasonless/unknown suppression still registers as
+                # used but the bad-suppression finding keeps the gate
+                # red, so nothing silently disappears.
+                suppressed = suppressed or bool(suppression.reason)
+        if not suppressed:
+            kept.append(finding)
+    kept.extend(_suppression_diagnostics(ctx, suppressions))
+
+    severity_map = config.severity_map
+    select = set(config.select)
+    ignore = set(config.ignore)
+    final: List[Diagnostic] = []
+    for finding in kept:
+        if select and finding.code not in select:
+            continue
+        if finding.code in ignore:
+            continue
+        if finding.code in severity_map:
+            finding = finding.with_severity(severity_map[finding.code])
+        final.append(dataclasses.replace(finding, graph=ctx.path))
+
+    final.sort(key=lambda f: (f.line, f.code, f.actors))
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    return LintReport(ctx.path, _disambiguate(final), fingerprint=digest)
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into the sorted list of ``.py`` files."""
+    files: List[str] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(
+                str(p) for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.is_file():
+            files.append(str(path))
+        else:
+            raise ReproError(f"devlint: no such file or directory: {raw}")
+    # stable order, duplicates removed
+    unique: List[str] = []
+    seen: Set[str] = set()
+    for file in files:
+        if file not in seen:
+            seen.add(file)
+            unique.append(file)
+    return unique
+
+
+def run_devlint(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> List[LintReport]:
+    """Lint every Python file under ``paths`` (files or directories).
+
+    All files are parsed first so cross-file rules see the whole
+    project's call graph, then each file is analyzed and reported
+    separately (one :class:`LintReport` per file, ``graph`` = path).
+    """
+    config = config or LintConfig()
+    files = collect_files(paths)
+    sources: List[Tuple[str, str]] = []
+    project = ProjectIndex()
+    for file in files:
+        try:
+            source = pathlib.Path(file).read_text(encoding="utf-8")
+        except OSError as error:
+            raise ReproError(f"devlint: cannot read {file}: {error}") from error
+        sources.append((file, source))
+        try:
+            project.add_file(FileContext(file, source))
+        except SyntaxError as error:
+            raise ReproError(f"devlint: {file}: {error}") from error
+
+    return [
+        lint_source(source, path=file, config=config, project=project)
+        for file, source in sources
+    ]

@@ -42,7 +42,7 @@ def severity_rank(severity: str) -> int:
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One finding: code + severity + message, anchored to the graph.
+    """One finding: code + severity + message, anchored to its subject.
 
     ``actors`` and ``edges`` name the graph elements the finding is
     about (empty for whole-graph findings); ``data`` carries the rule's
@@ -50,6 +50,12 @@ class Diagnostic:
     actionable suggestion.  ``graph`` is the display name of the model
     the finding belongs to — set by the engine, so rules may leave it
     empty.
+
+    Source-level findings (the :mod:`repro.devlint` analyzer) anchor to
+    files instead of graphs: ``file``/``line``/``col`` give the physical
+    location, ``graph`` holds the file path and ``actors`` the enclosing
+    function's qualified name — so baselines stay stable across line
+    shifts (the fingerprint never includes the line number).
     """
 
     code: str
@@ -61,6 +67,9 @@ class Diagnostic:
     data: Mapping[str, Any] = field(default_factory=dict)
     fix: Optional[str] = None
     graph: str = ""
+    file: str = ""
+    line: int = 0
+    col: int = 0
 
     def __post_init__(self):
         severity_rank(self.severity)  # validates
@@ -86,7 +95,7 @@ class Diagnostic:
     def as_dict(self) -> Dict[str, Any]:
         """The stable JSON shape of one finding (documented in
         ``docs/lint.md``)."""
-        return {
+        payload = {
             "code": self.code,
             "severity": self.severity,
             "category": self.category,
@@ -97,6 +106,11 @@ class Diagnostic:
             "fix": self.fix,
             "fingerprint": self.fingerprint,
         }
+        if self.file:
+            payload["file"] = self.file
+            payload["line"] = self.line
+            payload["col"] = self.col
+        return payload
 
     def __str__(self) -> str:
         anchors = ""
@@ -104,7 +118,8 @@ class Diagnostic:
             anchors += f" [actors: {', '.join(self.actors)}]"
         if self.edges:
             anchors += f" [edges: {', '.join(self.edges)}]"
-        return f"[{self.severity}] {self.code}: {self.message}{anchors}"
+        where = f"{self.file}:{self.line}: " if self.file else ""
+        return f"{where}[{self.severity}] {self.code}: {self.message}{anchors}"
 
 
 @dataclass(frozen=True)

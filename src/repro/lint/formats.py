@@ -4,15 +4,21 @@ The JSON shape (``--format json``) is versioned and documented in
 ``docs/lint.md``; the SARIF emitter targets the SARIF 2.1.0 schema so
 reports upload directly to code-scanning UIs (one *run*, one *result*
 per finding, rules carried in the tool's driver with their metadata).
+
+The emitters are shared by the graph lint engine and the source-level
+:mod:`repro.devlint` analyzer: pass ``rules=``/``tool_name=`` to emit
+under a different rule namespace, and findings carrying ``file``/
+``line`` anchors render SARIF *physical* locations (clickable in code
+scanning) in addition to the logical graph anchors.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.lint.diagnostics import ERROR, INFO, WARNING, LintReport
-from repro.lint.registry import all_rules
+from repro.lint.registry import RegisteredRule, all_rules
 
 #: Version of the ``--format json`` envelope.
 JSON_FORMAT_VERSION = 1
@@ -30,13 +36,21 @@ def _tool_version() -> str:
     return getattr(repro, "__version__", "0")
 
 
-def render_text(reports: Sequence[LintReport]) -> str:
-    """The human-readable report (what the CLI prints by default)."""
+def render_text(reports: Sequence[LintReport], skip_clean: bool = False) -> str:
+    """The human-readable report (what the CLI prints by default).
+
+    ``skip_clean`` collapses clean reports into one summary line — the
+    devlint CLI uses it so a 90-file scan prints findings, not 90
+    "clean" lines.
+    """
     blocks: List[str] = []
+    clean = 0
     for report in reports:
         summary = report.summary()
         if report.clean:
-            blocks.append(f"{report.graph}: clean")
+            clean += 1
+            if not skip_clean:
+                blocks.append(f"{report.graph}: clean")
             continue
         lines = [
             f"{report.graph}: {summary['errors']} error(s), "
@@ -47,14 +61,22 @@ def render_text(reports: Sequence[LintReport]) -> str:
             if finding.fix:
                 lines.append(f"      fix: {finding.fix}")
         blocks.append("\n".join(lines))
+    if skip_clean:
+        findings = sum(len(r.findings) for r in reports)
+        blocks.append(
+            f"{len(reports)} file(s) scanned, {clean} clean, "
+            f"{findings} finding(s)"
+        )
     return "\n".join(blocks)
 
 
-def to_json_dict(reports: Sequence[LintReport]) -> Dict[str, Any]:
+def to_json_dict(
+    reports: Sequence[LintReport], tool_name: str = TOOL_NAME
+) -> Dict[str, Any]:
     """The stable machine-readable envelope of one lint invocation."""
     return {
         "version": JSON_FORMAT_VERSION,
-        "tool": {"name": TOOL_NAME, "version": _tool_version()},
+        "tool": {"name": tool_name, "version": _tool_version()},
         "runs": [report.as_dict() for report in reports],
         "summary": {
             "graphs": len(reports),
@@ -65,20 +87,63 @@ def to_json_dict(reports: Sequence[LintReport]) -> Dict[str, Any]:
     }
 
 
-def render_json(reports: Sequence[LintReport]) -> str:
-    return json.dumps(to_json_dict(reports), indent=2, sort_keys=True, default=str)
+def render_json(
+    reports: Sequence[LintReport], tool_name: str = TOOL_NAME
+) -> str:
+    return json.dumps(
+        to_json_dict(reports, tool_name=tool_name),
+        indent=2, sort_keys=True, default=str,
+    )
 
 
-def to_sarif(reports: Sequence[LintReport]) -> Dict[str, Any]:
-    """A SARIF 2.1.0 log: one run, all graphs' findings as results.
+def _locations(report: LintReport, finding) -> List[Dict[str, Any]]:
+    """SARIF locations: a physical one for file findings, plus one
+    logical location per graph/function anchor."""
+    locations: List[Dict[str, Any]] = []
+    if finding.file:
+        region: Dict[str, Any] = {"startLine": finding.line or 1}
+        if finding.col:
+            region["startColumn"] = finding.col
+        locations.append(
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.file},
+                    "region": region,
+                }
+            }
+        )
+    locations.extend(
+        {
+            "logicalLocations": [
+                {
+                    "name": actor,
+                    "kind": "member",
+                    "fullyQualifiedName": f"{report.graph}::{actor}",
+                }
+            ]
+        }
+        for actor in finding.actors
+    )
+    return locations
 
-    Graph elements have no file locations, so findings anchor with
-    *logical locations* (``<graph>::<actor>``); the per-rule metadata
-    (summary, default severity, doc URL) rides in the tool driver.
+
+def to_sarif(
+    reports: Sequence[LintReport],
+    rules: Optional[Sequence[RegisteredRule]] = None,
+    tool_name: str = TOOL_NAME,
+) -> Dict[str, Any]:
+    """A SARIF 2.1.0 log: one run, all reports' findings as results.
+
+    Graph findings anchor with *logical locations* (``<graph>::<actor>``);
+    devlint findings additionally carry *physical locations* (file +
+    line).  ``rules`` defaults to the graph registry — pass the devlint
+    registry's rules to emit under the ``repro-devlint`` driver.
     """
+    if rules is None:
+        rules = all_rules()
     rule_index: Dict[str, int] = {}
     sarif_rules: List[Dict[str, Any]] = []
-    for registered in all_rules():
+    for registered in rules:
         meta = registered.meta
         rule_index[meta.code] = len(sarif_rules)
         sarif_rules.append(
@@ -97,21 +162,8 @@ def to_sarif(reports: Sequence[LintReport]) -> Dict[str, Any]:
     results: List[Dict[str, Any]] = []
     for report in reports:
         for finding in report.findings:
-            locations = [
-                {
-                    "logicalLocations": [
-                        {
-                            "name": actor,
-                            "kind": "member",
-                            "fullyQualifiedName": f"{report.graph}::{actor}",
-                        }
-                    ]
-                }
-                for actor in finding.actors
-            ]
             result: Dict[str, Any] = {
                 "ruleId": finding.code,
-                "ruleIndex": rule_index[finding.code],
                 "level": _SARIF_LEVEL[finding.severity],
                 "message": {"text": finding.message},
                 "partialFingerprints": {"reproLint/v1": finding.fingerprint},
@@ -122,6 +174,9 @@ def to_sarif(reports: Sequence[LintReport]) -> Dict[str, Any]:
                     "data": {k: str(v) for k, v in finding.data.items()},
                 },
             }
+            if finding.code in rule_index:
+                result["ruleIndex"] = rule_index[finding.code]
+            locations = _locations(report, finding)
             if locations:
                 result["locations"] = locations
             if finding.fix:
@@ -135,7 +190,7 @@ def to_sarif(reports: Sequence[LintReport]) -> Dict[str, Any]:
             {
                 "tool": {
                     "driver": {
-                        "name": TOOL_NAME,
+                        "name": tool_name,
                         "version": _tool_version(),
                         "informationUri": "https://github.com/repro-sdf/repro",
                         "rules": sarif_rules,
@@ -148,8 +203,15 @@ def to_sarif(reports: Sequence[LintReport]) -> Dict[str, Any]:
     }
 
 
-def render_sarif(reports: Sequence[LintReport]) -> str:
-    return json.dumps(to_sarif(reports), indent=2, sort_keys=True, default=str)
+def render_sarif(
+    reports: Sequence[LintReport],
+    rules: Optional[Sequence[RegisteredRule]] = None,
+    tool_name: str = TOOL_NAME,
+) -> str:
+    return json.dumps(
+        to_sarif(reports, rules=rules, tool_name=tool_name),
+        indent=2, sort_keys=True, default=str,
+    )
 
 
 def _pascal(code: str) -> str:

@@ -15,6 +15,7 @@ consistency still runs (and reports) on an inconsistent graph.
 
 from __future__ import annotations
 
+from fractions import Fraction
 from math import gcd
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -226,6 +227,69 @@ def _unfolding_blowup(ctx: LintContext) -> Iterator[Diagnostic]:
             "of traditional_hsdf or large unfolding factors; if even that "
             "is too slow, analyse_with_policy(graph, timeout=...) degrades "
             "to a Theorem-1 conservative bound (see docs/robustness.md)",
+        )
+
+
+#: The numpy kernels refuse graphs whose LCM-scaled integer weights can
+#: push a dynamic-programming sum past exact float64 integer range (the
+#: ``NumericalGuardError`` guard in :mod:`repro.kernels.arraygraph`).
+#: Mirrored here so the lint layer warns *before* an analysis trips it.
+MAX_EXACT_FLOAT_SUM = 2 ** 53
+
+#: Flag when the estimate comes within this factor of the guard
+#: (override with the ``overflow_margin`` option).
+DEFAULT_OVERFLOW_MARGIN = 16
+
+
+@rule(
+    code="kernel-guard-overflow",
+    category="rate",
+    severity=WARNING,
+    summary="LCM-scaled weights approach the 2**53 exact-float kernel guard",
+    requires=("consistent",),
+)
+def _kernel_guard_overflow(ctx: LintContext) -> Iterator[Diagnostic]:
+    """The vectorized kernels scale every edge weight by the LCM of the
+    weight denominators into exact integers, and refuse the graph when
+    ``(n + 1) * largest_weight`` reaches ``2**53`` (beyond which float64
+    sums stop being exact).  The analysis-time weights are sums of
+    execution times along dependency chains, so ``scale * Σ γ(a)·t(a)``
+    — the scaled work of one whole iteration — bounds every weight the
+    kernels can see.  This rule warns when that conservative estimate
+    comes within ``overflow_margin`` of the guard: the numpy path would
+    raise ``NumericalGuardError`` mid-analysis, falling back to the
+    (slower) pure-Fraction kernel."""
+    from math import lcm
+
+    graph = ctx.graph
+    if not graph.actor_count():
+        return
+    times = {a: graph.execution_time(a) for a in graph.actor_names}
+    scale = 1
+    for value in times.values():
+        scale = lcm(scale, Fraction(value).denominator)
+    iteration_work = sum(
+        ctx.gamma[a] * Fraction(t) for a, t in times.items()
+    )
+    weight_bound = int(scale * iteration_work)
+    n = max(sum(ctx.gamma.values()), graph.total_tokens())
+    estimate = (n + 1) * max(weight_bound, 1)
+    margin = int(ctx.options.get("overflow_margin", DEFAULT_OVERFLOW_MARGIN))
+    if estimate * margin >= MAX_EXACT_FLOAT_SUM:
+        yield ctx.diag(
+            "kernel-guard-overflow",
+            f"scaled iteration weights reach ~2**{estimate.bit_length() - 1} "
+            f"(denominator LCM {scale}, iteration work {iteration_work}), "
+            f"within {margin}x of the 2**53 exact-float64 kernel guard; "
+            "the numpy kernels may refuse this graph",
+            data={
+                "scale": scale,
+                "estimate_bits": estimate.bit_length(),
+                "guard_bits": 53,
+                "margin": margin,
+            },
+            fix="reduce execution-time denominators (rescale times to a "
+                "common base) or run with kernel='exact'",
         )
 
 

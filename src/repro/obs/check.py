@@ -13,7 +13,9 @@ Dependency-free validators (no jsonschema in this environment) for:
 * the ``repro-provenance-v1`` certificate written by ``repro explain
   --json`` (and embedded in batch journals and outcome dicts);
 * the ``repro-profile-v1`` stage-cost table written by ``repro profile
-  --format json``.
+  --format json``;
+* the SARIF 2.1.0 logs written by ``repro lint`` and ``repro devlint``
+  with ``--format sarif`` (what CI uploads to code scanning).
 
 Each ``validate_*`` function raises :class:`SchemaError` with a precise
 location on the first violation and returns a small summary dict on
@@ -41,6 +43,7 @@ __all__ = [
     "validate_profile",
     "validate_prometheus_text",
     "validate_provenance",
+    "validate_sarif",
     "validate_span_jsonl",
 ]
 
@@ -379,6 +382,106 @@ def validate_profile(data: Any) -> Dict[str, int]:
 
 
 # ----------------------------------------------------------------------
+# SARIF logs (repro lint / repro devlint --format sarif)
+# ----------------------------------------------------------------------
+
+_SARIF_LEVELS = ("none", "note", "warning", "error")
+
+
+def validate_sarif(data: Any) -> Dict[str, int]:
+    """Validate a SARIF 2.1.0 log as emitted by ``repro lint`` /
+    ``repro devlint --format sarif``: runs carry a tool driver with rule
+    metadata, every result references a known rule with a valid level
+    and message, and locations are well-formed (physical locations need
+    a uri and a positive startLine; logical locations a name)."""
+    _need(isinstance(data, dict), "sarif", "must be an object")
+    _need(data.get("version") == "2.1.0", "sarif",
+          f"version must be '2.1.0', got {data.get('version')!r}")
+    runs = data.get("runs")
+    _need(isinstance(runs, list) and runs, "sarif",
+          "'runs' must be a non-empty array")
+    total_results = 0
+    total_rules = 0
+    for rindex, run in enumerate(runs):
+        where = f"runs[{rindex}]"
+        _need(isinstance(run, dict), where, "must be an object")
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        _need(isinstance(driver, dict), where, "needs tool.driver")
+        _need(isinstance(driver.get("name"), str) and driver["name"],
+              f"{where}.tool.driver", "needs a non-empty 'name'")
+        rules = driver.get("rules", [])
+        _need(isinstance(rules, list), f"{where}.tool.driver",
+              "'rules' must be an array")
+        rule_ids = set()
+        for index, rule in enumerate(rules):
+            rwhere = f"{where}.tool.driver.rules[{index}]"
+            _need(isinstance(rule, dict), rwhere, "must be an object")
+            _need(isinstance(rule.get("id"), str) and rule["id"], rwhere,
+                  "needs a non-empty string 'id'")
+            _need(rule["id"] not in rule_ids, rwhere,
+                  f"duplicate rule id {rule['id']!r}")
+            rule_ids.add(rule["id"])
+        total_rules += len(rule_ids)
+        results = run.get("results", [])
+        _need(isinstance(results, list), where, "'results' must be an array")
+        for index, result in enumerate(results):
+            rwhere = f"{where}.results[{index}]"
+            _need(isinstance(result, dict), rwhere, "must be an object")
+            _need(isinstance(result.get("ruleId"), str) and result["ruleId"],
+                  rwhere, "needs a non-empty string 'ruleId'")
+            if rule_ids:
+                _need(result["ruleId"] in rule_ids, rwhere,
+                      f"ruleId {result['ruleId']!r} not in the driver's rules")
+            _need(result.get("level") in _SARIF_LEVELS, rwhere,
+                  f"level must be one of {_SARIF_LEVELS}, "
+                  f"got {result.get('level')!r}")
+            message = result.get("message")
+            _need(isinstance(message, dict)
+                  and isinstance(message.get("text"), str)
+                  and message["text"], rwhere,
+                  "needs a message object with non-empty 'text'")
+            ri = result.get("ruleIndex")
+            if ri is not None:
+                _need(isinstance(ri, int) and 0 <= ri < len(rules), rwhere,
+                      f"ruleIndex {ri!r} out of range")
+                _need(rules[ri]["id"] == result["ruleId"], rwhere,
+                      "ruleIndex does not point at ruleId")
+            for lindex, location in enumerate(result.get("locations", [])):
+                lwhere = f"{rwhere}.locations[{lindex}]"
+                _need(isinstance(location, dict), lwhere, "must be an object")
+                physical = location.get("physicalLocation")
+                logical = location.get("logicalLocations")
+                _need(physical is not None or logical is not None, lwhere,
+                      "needs a physicalLocation or logicalLocations")
+                if physical is not None:
+                    _need(isinstance(physical, dict), lwhere,
+                          "'physicalLocation' must be an object")
+                    artifact = physical.get("artifactLocation", {})
+                    _need(isinstance(artifact, dict)
+                          and isinstance(artifact.get("uri"), str)
+                          and artifact["uri"], lwhere,
+                          "physicalLocation needs artifactLocation.uri")
+                    region = physical.get("region", {})
+                    _need(isinstance(region, dict), lwhere,
+                          "'region' must be an object")
+                    start = region.get("startLine")
+                    _need(isinstance(start, int) and start >= 1, lwhere,
+                          f"region.startLine must be a positive integer, "
+                          f"got {start!r}")
+                if logical is not None:
+                    _need(isinstance(logical, list) and logical, lwhere,
+                          "'logicalLocations' must be a non-empty array")
+                    for entry in logical:
+                        _need(isinstance(entry, dict)
+                              and isinstance(entry.get("name"), str)
+                              and entry["name"], lwhere,
+                              "logical locations need a non-empty 'name'")
+        total_results += len(results)
+    return {"runs": len(runs), "rules": total_rules, "results": total_results}
+
+
+# ----------------------------------------------------------------------
 # benchmark baselines
 # ----------------------------------------------------------------------
 
@@ -464,6 +567,8 @@ def check_file(path: str) -> Dict[str, int]:
     except json.JSONDecodeError as error:
         raise SchemaError(f"{path}: not valid JSON ({error})") from None
     if isinstance(data, dict):
+        if data.get("version") == "2.1.0" and "runs" in data:
+            return validate_sarif(data)
         if data.get("schema") == BENCH_SCHEMA:
             return validate_bench(data)
         if data.get("schema") == PROVENANCE_SCHEMA:

@@ -57,6 +57,8 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.errors import ValidationError
+
 __all__ = [
     "PROVENANCE_SCHEMA",
     "CycleWitness",
@@ -500,7 +502,7 @@ def verify_witness(graph, witness, cycle_time=None) -> Fraction:
                 edge_name, position = _parse_token_label(label)
                 try:
                     edge = graph.edge(edge_name)
-                except Exception:
+                except ValidationError:
                     raise WitnessError(
                         f"witness names token {label!r} but the graph has "
                         f"no channel {edge_name!r}"
@@ -526,7 +528,7 @@ def verify_witness(graph, witness, cycle_time=None) -> Fraction:
             if arc.key is not None:
                 try:
                     edge = graph.edge(arc.key)
-                except Exception:
+                except ValidationError:
                     raise WitnessError(
                         f"witness arc names channel {arc.key!r} missing "
                         "from the graph"

@@ -26,6 +26,7 @@ import html
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import ValidationError
 from repro.obs.provenance import (
     CycleWitness,
     ProvenanceRecord,
@@ -65,7 +66,7 @@ def witness_highlights(
                 edge_name = label.rpartition("[")[0] if "[" in label else label
                 try:
                     edge = graph.edge(edge_name)
-                except Exception:
+                except ValidationError:
                     continue
                 edges.add(edge_name)
                 actors.add(edge.source)

@@ -1,0 +1,246 @@
+"""`repro devlint` CLI: exit codes, formats, baselines, and the CI gate.
+
+The seeded-violation test is the end-to-end check the issue asks for: it
+copies a real kernel (Karp's algorithm), deletes its ``deadline.check()``
+polls, and asserts the gate fails with a SARIF diagnostic at the exact
+line of the now-unpollable loop.
+"""
+
+import json
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.check import check_file, validate_sarif
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A miniature src/repro tree with one warning and one error file."""
+    pkg = tmp_path / "src" / "repro" / "obs"
+    pkg.mkdir(parents=True)
+    (pkg / "warn.py").write_text(
+        textwrap.dedent(
+            """
+            def guarded():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """
+        )
+    )
+    return tmp_path
+
+
+@pytest.fixture()
+def clean_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "obs"
+    pkg.mkdir(parents=True)
+    (pkg / "fine.py").write_text("def fine():\n    return 1\n")
+    return tmp_path
+
+
+def target(tree):
+    return str(tree / "src" / "repro")
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_tree, capsys):
+        assert main(["devlint", target(clean_tree)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_warnings_pass_by_default(self, tree, capsys):
+        assert main(["devlint", target(tree)]) == 0
+        assert "broad-except" in capsys.readouterr().out
+
+    def test_fail_on_warning_exits_one(self, tree, capsys):
+        assert main(["devlint", target(tree), "--fail-on", "warning"]) == 1
+
+    def test_errors_exit_two(self, tree, capsys):
+        pkg = tree / "src" / "repro" / "obs"
+        (pkg / "err.py").write_text("def f(x=[]):\n    return x\n")
+        assert main(["devlint", target(tree)]) == 2
+
+    def test_fail_on_never_swallows_errors(self, tree, capsys):
+        pkg = tree / "src" / "repro" / "obs"
+        (pkg / "err.py").write_text("def f(x=[]):\n    return x\n")
+        assert main(["devlint", target(tree), "--fail-on", "never"]) == 0
+
+    def test_unknown_select_code_exits_two(self, tree, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["devlint", target(tree), "--select", "no-such-rule"])
+        assert excinfo.value.code == 2
+        assert "no-such-rule" in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_json_format(self, tree, capsys):
+        assert main(["devlint", target(tree), "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["tool"]["name"] == "repro-devlint"
+        assert data["summary"]["warnings"] == 1
+        codes = {
+            f["code"] for report in data["runs"] for f in report["findings"]
+        }
+        assert codes == {"broad-except"}
+
+    def test_sarif_format_validates(self, tree, capsys):
+        assert main(["devlint", target(tree), "--format", "sarif"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        summary = validate_sarif(data)
+        assert summary["runs"] == 1
+        assert summary["results"] == 1
+        driver = data["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-devlint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert "broad-except" in rule_ids
+        assert "exactness-discipline" in rule_ids
+
+    def test_sarif_artifact_passes_obs_check(self, tree, tmp_path, capsys):
+        out = tmp_path / "devlint.sarif"
+        assert (
+            main(["devlint", target(tree), "--format", "sarif", "-o", str(out)])
+            == 0
+        )
+        summary = check_file(str(out))
+        assert summary["runs"] == 1
+
+
+class TestBaseline:
+    def test_baseline_round_trip(self, tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "devlint",
+                    target(tree),
+                    "--write-baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        assert baseline.exists()
+        # With the baseline applied the pre-existing warning is subtracted.
+        assert (
+            main(
+                [
+                    "devlint",
+                    target(tree),
+                    "--baseline",
+                    str(baseline),
+                    "--fail-on",
+                    "warning",
+                ]
+            )
+            == 0
+        )
+        # A fresh finding still fails.
+        pkg = tree / "src" / "repro" / "obs"
+        (pkg / "fresh.py").write_text("def f(x=[]):\n    return x\n")
+        assert (
+            main(
+                [
+                    "devlint",
+                    target(tree),
+                    "--baseline",
+                    str(baseline),
+                    "--fail-on",
+                    "warning",
+                ]
+            )
+            == 2
+        )
+
+
+class TestSeededViolation:
+    def test_removed_checkpoint_fails_gate_at_exact_line(
+        self, tmp_path, capsys
+    ):
+        """Deleting karp.py's deadline polls must fail CI at the loop."""
+        seeded = tmp_path / "src" / "repro" / "mcm"
+        seeded.mkdir(parents=True)
+        original = (REPO_ROOT / "src" / "repro" / "mcm" / "karp.py").read_text()
+        assert "deadline.check()" in original, "seed removed nothing"
+        # Neutralise the polls in place (keeps the file syntactically valid
+        # and every line number identical to the shipped kernel).
+        mutated = original.replace("deadline.check()", "pass")
+        (seeded / "karp.py").write_text(mutated)
+
+        loop_line = next(
+            i
+            for i, line in enumerate(mutated.splitlines(), start=1)
+            if line.strip() == "for k in range(n):"
+        )
+
+        out_file = tmp_path / "seeded.sarif"
+        code = main(
+            [
+                "devlint",
+                str(tmp_path / "src" / "repro"),
+                "--format",
+                "sarif",
+                "--fail-on",
+                "warning",
+                "-o",
+                str(out_file),
+            ]
+        )
+        assert code == 1
+
+        data = json.loads(out_file.read_text())
+        validate_sarif(data)
+        results = data["runs"][0]["results"]
+        polling = [r for r in results if r["ruleId"] == "deadline-polling"]
+        assert polling, f"expected a deadline-polling result, got {results}"
+        start_lines = {
+            r["locations"][0]["physicalLocation"]["region"]["startLine"]
+            for r in polling
+        }
+        assert loop_line in start_lines
+
+    def test_pristine_kernel_passes_gate(self, tmp_path, capsys):
+        seeded = tmp_path / "src" / "repro" / "mcm"
+        seeded.mkdir(parents=True)
+        shutil.copy(
+            REPO_ROOT / "src" / "repro" / "mcm" / "karp.py",
+            seeded / "karp.py",
+        )
+        assert (
+            main(
+                [
+                    "devlint",
+                    str(tmp_path / "src" / "repro"),
+                    "--fail-on",
+                    "warning",
+                ]
+            )
+            == 0
+        )
+
+
+class TestDogfoodGate:
+    def test_ci_invocation_on_repo_source_exits_zero(self, capsys):
+        assert (
+            main(
+                [
+                    "devlint",
+                    str(REPO_ROOT / "src" / "repro"),
+                    "--format",
+                    "sarif",
+                    "--fail-on",
+                    "error",
+                ]
+            )
+            == 0
+        )
+        data = json.loads(capsys.readouterr().out)
+        summary = validate_sarif(data)
+        assert summary["results"] == 0

@@ -1,0 +1,226 @@
+"""Devlint engine: suppressions, fingerprints, file collection, dogfood."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devlint import (
+    collect_files,
+    lint_source,
+    parse_suppressions,
+    run_devlint,
+)
+from repro.errors import ReproError
+from repro.lint.config import LintConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run(source, path="src/repro/obs/fixture.py", config=None, project=None):
+    return lint_source(
+        textwrap.dedent(source), path=path, config=config, project=project
+    )
+
+
+def codes(report):
+    return set(report.codes())
+
+
+BROAD = """
+def guarded():
+    try:
+        work()
+    except Exception:{trailing}
+        pass
+"""
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_own_line(self):
+        report = run(
+            BROAD.format(
+                trailing="  # devlint: ignore[broad-except] isolation boundary"
+            )
+        )
+        assert codes(report) == set()
+
+    def test_standalone_comment_suppresses_next_code_line(self):
+        report = run(
+            """
+            def guarded():
+                try:
+                    work()
+                # devlint: ignore[broad-except] isolation boundary
+                except Exception:
+                    pass
+            """
+        )
+        assert codes(report) == set()
+
+    def test_reasonless_suppression_does_not_suppress(self):
+        report = run(
+            BROAD.format(trailing="  # devlint: ignore[broad-except]")
+        )
+        assert codes(report) == {"broad-except", "bad-suppression"}
+
+    def test_unknown_code_is_bad_suppression(self):
+        report = run(
+            BROAD.format(
+                trailing="  # devlint: ignore[no-such-rule] whatever"
+            )
+        )
+        assert "bad-suppression" in codes(report)
+        (finding,) = report.by_code("bad-suppression")
+        assert "no-such-rule" in finding.message
+
+    def test_empty_code_list_is_bad_suppression(self):
+        report = run(
+            """
+            x = 1  # devlint: ignore[] nothing
+            """
+        )
+        assert codes(report) == {"bad-suppression"}
+
+    def test_unmatched_suppression_is_unused(self):
+        report = run(
+            """
+            x = 1  # devlint: ignore[broad-except] nothing to see
+            """
+        )
+        assert codes(report) == {"unused-suppression"}
+        (finding,) = report.by_code("unused-suppression")
+        assert finding.line == 2
+
+    def test_multiple_codes_in_one_comment(self):
+        report = run(
+            """
+            def collect(into=[]):  # devlint: ignore[mutable-default, broad-except] demo
+                return into
+            """
+        )
+        # mutable-default is suppressed and used; broad-except never fires
+        # on this line, so the comment is still "used" as a whole.
+        assert codes(report) == set()
+
+    def test_hash_inside_string_is_not_a_suppression(self):
+        suppressions, _ = parse_suppressions(
+            'text = "# devlint: ignore[broad-except] fake"\n'
+        )
+        assert suppressions == []
+
+    def test_suppression_does_not_leak_to_other_lines(self):
+        report = run(
+            """
+            def a(into=[]):  # devlint: ignore[mutable-default] first
+                return into
+
+            def b(into=[]):
+                return into
+            """
+        )
+        assert codes(report) == {"mutable-default"}
+        (finding,) = report.by_code("mutable-default")
+        assert finding.line == 5
+
+
+class TestFingerprints:
+    def test_duplicate_findings_get_distinct_fingerprints(self):
+        report = run(
+            """
+            def twice(a=[], b=[]):
+                return a, b
+            """
+        )
+        found = report.by_code("mutable-default")
+        assert len(found) == 2
+        prints = {finding.fingerprint for finding in found}
+        assert len(prints) == 2
+
+    def test_fingerprint_survives_line_shift(self):
+        before = run("def collect(into=[]):\n    return into\n")
+        after = run("\n\n\ndef collect(into=[]):\n    return into\n")
+        (first,) = before.by_code("mutable-default")
+        (second,) = after.by_code("mutable-default")
+        assert first.line != second.line
+        assert first.fingerprint == second.fingerprint
+
+
+class TestConfig:
+    def test_select_narrows_to_listed_rules(self):
+        config = LintConfig.build(select=["broad-except"])
+        report = run(
+            """
+            def guarded(into=[]):
+                try:
+                    work()
+                except Exception:
+                    pass
+            """,
+            config=config,
+        )
+        assert codes(report) == {"broad-except"}
+
+    def test_ignore_drops_listed_rules(self):
+        config = LintConfig.build(ignore=["mutable-default"])
+        report = run("def collect(into=[]):\n    return into\n", config=config)
+        assert codes(report) == set()
+
+
+class TestProjectIndex:
+    def test_cross_file_recording_closure(self, tmp_path):
+        helper = tmp_path / "src" / "repro" / "core" / "steps.py"
+        helper.parent.mkdir(parents=True)
+        helper.write_text(
+            textwrap.dedent(
+                """
+                def note_reduction(before, after):
+                    record_step("reduce", before=before, after=after)
+                """
+            )
+        )
+        builder = helper.parent / "reduce.py"
+        builder.write_text(
+            textwrap.dedent(
+                """
+                from repro.core.steps import note_reduction
+
+                def reduce_graph(graph):
+                    result = SDFGraph(graph.name)
+                    note_reduction(graph, result)
+                    return result
+                """
+            )
+        )
+        reports = run_devlint([str(tmp_path / "src" / "repro")])
+        all_codes = {code for report in reports for code in report.codes()}
+        assert "provenance-hygiene" not in all_codes
+
+
+class TestCollectFiles:
+    def test_directory_collection_skips_pycache(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.py").write_text("x = 1\n")
+        files = collect_files([str(tmp_path)])
+        assert [Path(f).name for f in files] == ["a.py"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(ReproError):
+            collect_files(["/no/such/devlint/path"])
+
+    def test_single_file_and_dedupe(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text("x = 1\n")
+        files = collect_files([str(target), str(tmp_path)])
+        assert len(files) == 1
+
+
+class TestDogfood:
+    def test_repro_source_tree_is_clean(self):
+        reports = run_devlint([str(REPO_ROOT / "src" / "repro")])
+        findings = [f for report in reports for f in report.findings]
+        assert findings == [], "devlint must stay clean on its own codebase:\n" + "\n".join(
+            str(f) for f in findings
+        )

@@ -446,3 +446,46 @@ class TestScenarioTokenMismatch:
         assert "scenario-token-mismatch" not in set(
             lint_scenarios(modes, fsm).codes()
         )
+
+
+# ---------------------------------------------------------------------------
+# SDF · rate · kernel guard
+# ---------------------------------------------------------------------------
+
+
+class TestKernelGuardOverflow:
+    def test_fires_on_huge_execution_times(self):
+        report = lint(ring(t_a=2 ** 60, t_b=2 ** 60))
+        (finding,) = report.by_code("kernel-guard-overflow")
+        assert finding.severity == "warning"
+        assert finding.data["estimate_bits"] >= 53
+        assert finding.data["guard_bits"] == 53
+
+    def test_fires_on_huge_denominator_lcm(self):
+        from fractions import Fraction
+
+        # A fine-grained denominator scales the other actor's (tame)
+        # integer time past the guard once both sit on a common base.
+        g = ring(t_a=Fraction(1, 2 ** 30 - 1), t_b=2 ** 30)
+        (finding,) = lint(g).by_code("kernel-guard-overflow")
+        assert finding.data["scale"] == 2 ** 30 - 1
+
+    def test_margin_is_configurable(self):
+        # ~2**50 estimate: inside the default 16x margin, outside 1x.
+        g = ring(t_a=2 ** 48, t_b=2 ** 48)
+        assert "kernel-guard-overflow" in codes(lint(g))
+        assert "kernel-guard-overflow" not in codes(
+            lint(g, overflow_margin=1)
+        )
+
+    def test_clean_on_small_graphs(self):
+        assert "kernel-guard-overflow" not in codes(lint(ring()))
+        assert "kernel-guard-overflow" not in codes(lint(figure3_graph()))
+
+    def test_requires_consistency(self):
+        g = SDFGraph("inconsistent")
+        g.add_actor("a", 2 ** 60)
+        g.add_actor("b", 2 ** 60)
+        g.add_edge("a", "b", production=2, consumption=1, tokens=1)
+        g.add_edge("b", "a", production=2, consumption=1, tokens=1)
+        assert "kernel-guard-overflow" not in codes(lint(g))

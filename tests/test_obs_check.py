@@ -308,3 +308,129 @@ class TestCheckFile:
         captured = capsys.readouterr()
         assert "FAIL" in captured.err and "approximate" in captured.err
         assert main([]) == 2
+
+
+# ----------------------------------------------------------------------
+# SARIF logs
+# ----------------------------------------------------------------------
+
+
+def _sarif(**overrides):
+    doc = {
+        "version": "2.1.0",
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-devlint",
+                        "rules": [
+                            {"id": "broad-except"},
+                            {"id": "determinism"},
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": "broad-except",
+                        "ruleIndex": 0,
+                        "level": "warning",
+                        "message": {"text": "except clause catches Exception"},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": "src/a.py"},
+                                    "region": {"startLine": 5},
+                                },
+                                "logicalLocations": [{"name": "guarded"}],
+                            }
+                        ],
+                    }
+                ],
+            }
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestSarifValidator:
+    def test_valid_log(self):
+        assert check.validate_sarif(_sarif()) == {
+            "runs": 1, "rules": 2, "results": 1,
+        }
+
+    def test_wrong_version(self):
+        with pytest.raises(SchemaError, match=r"version must be '2\.1\.0'"):
+            check.validate_sarif(_sarif(version="2.0.0"))
+
+    def test_empty_runs(self):
+        with pytest.raises(SchemaError, match=r"non-empty array"):
+            check.validate_sarif(_sarif(runs=[]))
+
+    def test_missing_driver(self):
+        doc = _sarif()
+        doc["runs"][0]["tool"] = {}
+        with pytest.raises(SchemaError, match=r"runs\[0\]: needs tool\.driver"):
+            check.validate_sarif(doc)
+
+    def test_duplicate_rule_id(self):
+        doc = _sarif()
+        doc["runs"][0]["tool"]["driver"]["rules"].append({"id": "broad-except"})
+        with pytest.raises(SchemaError, match=r"rules\[2\].*duplicate rule id"):
+            check.validate_sarif(doc)
+
+    def test_unknown_rule_id(self):
+        doc = _sarif()
+        doc["runs"][0]["results"][0]["ruleId"] = "no-such-rule"
+        with pytest.raises(
+            SchemaError, match=r"results\[0\].*not in the driver's rules"
+        ):
+            check.validate_sarif(doc)
+
+    def test_bad_level(self):
+        doc = _sarif()
+        doc["runs"][0]["results"][0]["level"] = "fatal"
+        with pytest.raises(SchemaError, match=r"level must be one of"):
+            check.validate_sarif(doc)
+
+    def test_mismatched_rule_index(self):
+        doc = _sarif()
+        doc["runs"][0]["results"][0]["ruleIndex"] = 1
+        with pytest.raises(
+            SchemaError, match=r"ruleIndex does not point at ruleId"
+        ):
+            check.validate_sarif(doc)
+
+    def test_bad_start_line(self):
+        doc = _sarif()
+        doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"][
+            "region"
+        ]["startLine"] = 0
+        with pytest.raises(
+            SchemaError, match=r"locations\[0\].*startLine must be a positive"
+        ):
+            check.validate_sarif(doc)
+
+    def test_missing_artifact_uri(self):
+        doc = _sarif()
+        del doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]
+        with pytest.raises(
+            SchemaError, match=r"needs artifactLocation\.uri"
+        ):
+            check.validate_sarif(doc)
+
+    def test_empty_logical_name(self):
+        doc = _sarif()
+        doc["runs"][0]["results"][0]["locations"][0]["logicalLocations"] = [
+            {"name": ""}
+        ]
+        with pytest.raises(SchemaError, match=r"non-empty 'name'"):
+            check.validate_sarif(doc)
+
+    def test_check_file_routes_sarif(self, tmp_path):
+        path = tmp_path / "lint.sarif"
+        path.write_text(json.dumps(_sarif()))
+        assert check_file(str(path)) == {"runs": 1, "rules": 2, "results": 1}
