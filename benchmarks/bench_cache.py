@@ -13,16 +13,22 @@ baseline:
   (each scalability graph appears in three structurally identical
   variants, the shape parametric sweeps produce) analysed by a plain
   cold loop and by the 4-worker batch runner, whose shared single-flight
-  cache computes each distinct fingerprint once.
+  cache computes each distinct fingerprint once;
+* **warm disk tier** — the registry again through a *cold memory cache*
+  over a previously populated :class:`ResultStore`: every lookup is a
+  disk hit (read + checksum + unpickle), the price a fresh process pays
+  to reuse results that survived a restart.
 """
 
 from __future__ import annotations
 
 import pathlib
+import tempfile
 import time
 
 from repro.analysis.batch import run_batch
 from repro.analysis.cache import AnalysisCache
+from repro.analysis.store import ResultStore
 from repro.analysis.throughput import throughput
 from repro.graphs import TABLE1_CASES
 from repro.graphs.synthetic import regular_prefetch
@@ -64,7 +70,24 @@ def measure_cache_baseline() -> dict:
     batch_report = run_batch(suite, backend="thread", workers=4, cache=batch_cache)
     assert not batch_report.failures
 
+    # Warm disk tier: publish once, then read back through a cold
+    # memory cache in the same shape a restarted process would.
+    with tempfile.TemporaryDirectory() as root:
+        store = ResultStore(root)
+        publish_report = run_batch(registry, backend="serial",
+                                   cache=AnalysisCache(), store=store)
+        assert publish_report.cache_stats.disk_puts == len(registry)
+
+        disk_cache = AnalysisCache()
+        start = time.perf_counter()
+        disk_report = run_batch(registry, backend="serial",
+                                cache=disk_cache, store=store)
+        disk_warm = time.perf_counter() - start
+        disk_stats = disk_report.cache_stats
+        assert disk_stats.disk_hits == len(registry)
+
     warm_speedup = round(cold / warm, 2) if warm else float("inf")
+    disk_speedup = round(cold / disk_warm, 2) if disk_warm else float("inf")
     distinct = len({g.fingerprint() for g in suite})
     return [
         entry("registry_cold_seconds", "s", round(cold, 6),
@@ -81,6 +104,12 @@ def measure_cache_baseline() -> dict:
               round(sequential / batch_report.duration, 2)),
         entry("suite_batch_hit_rate", "ratio",
               round(batch_report.hit_rate, 4)),
+        entry("registry_disk_warm_seconds", "s", round(disk_warm, 6),
+              graphs=len(registry), disk_hits=disk_stats.disk_hits,
+              note="cold memory cache over a populated ResultStore"),
+        entry("registry_disk_warm_speedup", "x", disk_speedup, baseline=1.0,
+              note="baseline is the asserted floor: reading a record "
+                   "must beat recomputing it"),
     ]
 
 
@@ -104,14 +133,21 @@ def test_cache_acceleration_baseline(report):
            f"batch x4 {values['suite_batch_seconds']['value']:.4f}s "
            f"({values['suite_batch_speedup']['value']:.2f}x, "
            f"hit rate {values['suite_batch_hit_rate']['value']:.0%})")
+    disk_meta = values['registry_disk_warm_seconds']['meta']
+    report(f"disk tier ({disk_meta['disk_hits']} disk hits): warm "
+           f"{values['registry_disk_warm_seconds']['value']:.4f}s "
+           f"({values['registry_disk_warm_speedup']['value']:.1f}x over "
+           f"cold compute)")
     write_bench(BENCH_FILE, "cache", entries)
     report(f"written to {BENCH_FILE.name}")
     report.save("cache_acceleration")
 
-    # Acceptance floors: warm >= 5x cold; batch beats the cold loop.
+    # Acceptance floors: warm >= 5x cold; batch beats the cold loop;
+    # a disk hit beats recomputing the analysis.
     assert values["registry_warm_speedup"]["value"] >= 5.0
     assert (values["suite_batch_seconds"]["value"]
             < values["suite_sequential_cold_seconds"]["value"])
+    assert values["registry_disk_warm_speedup"]["value"] >= 1.0
 
 
 if __name__ == "__main__":  # standalone: regenerate the JSON baseline

@@ -299,10 +299,11 @@ def analyse_graph(
 
 
 #: Payload shipped to process-pool workers (primitives + picklable plan;
-#: the trailing bool asks the worker to trace its spans for adoption).
+#: the bool asks the worker to trace its spans for adoption, the
+#: trailing path roots the worker's durable result store, if any).
 _ColdPayload = Tuple[
     SDFGraph, Tuple[str, ...], str, str, Optional[str],
-    Optional[float], Optional[FaultPlan], int, float, bool,
+    Optional[float], Optional[FaultPlan], int, float, bool, Optional[str],
 ]
 
 
@@ -316,18 +317,28 @@ def _analyse_cold(payload: _ColdPayload) -> GraphResult:
     tracing, a fresh tracer) and ships the snapshots back on the result
     — the parent merges them on adoption, so one exported registry and
     one trace cover the whole batch.
+
+    When the batch has a durable store, every worker attaches its own
+    :class:`~repro.analysis.store.ResultStore` on the shared root: the
+    store's publish protocol is multi-process safe, so workers probe and
+    publish concurrently without coordination.
     """
     (graph, analyses, method, kernel, lint, timeout, faults, retries,
-     backoff, trace) = payload
+     backoff, trace, store_root) = payload
     registry = MetricsRegistry()
     previous = set_default_registry(registry)
     tracer = Tracer().install() if trace else None
+    cache = AnalysisCache(maxsize=8)
+    if store_root is not None:
+        from repro.analysis.store import ResultStore
+
+        cache.attach_store(ResultStore(store_root))
     try:
         result = analyse_graph(
             graph,
             analyses,
             method,
-            cache=AnalysisCache(maxsize=8),
+            cache=cache,
             lint=lint,
             timeout=timeout,
             faults=faults,
@@ -343,6 +354,10 @@ def _analyse_cold(payload: _ColdPayload) -> GraphResult:
         set_default_registry(previous)
     if tracer is not None:
         result.trace_spans = tracer.export_spans()
+    # Exported counters include this worker's cache/disk-tier traffic:
+    # the parent merges the snapshot, so `repro_cache_disk_*_total`
+    # aggregate additively across the whole fleet.
+    cache.register_metrics(registry)
     result.metrics = registry.as_dict()
     return result
 
@@ -402,6 +417,7 @@ def run_batch(
     resume: bool = False,
     token: Optional[CancelToken] = None,
     kernel: str = "auto",
+    store: Optional[Union[str, Path, "ResultStore"]] = None,
 ) -> BatchReport:
     """Analyse every graph in ``graphs`` concurrently and resiliently.
 
@@ -421,6 +437,15 @@ def run_batch(
     worker-crash-recovery contracts.  ``token`` cancels the whole batch
     cooperatively (thread/serial backends; already-dispatched process
     workers run their current graph to completion).
+
+    ``store`` (a :class:`repro.analysis.store.ResultStore` or a root
+    path) attaches the durable disk tier to the batch cache *and* to
+    every process-backend worker's private cache — so a re-run of the
+    same suite in a fresh process serves from disk instead of
+    recomputing, even without a journal.  Results are published to the
+    store before the journal records their graph as completed, so the
+    journal is always a subset of the store (``repro cache verify
+    --journal`` checks exactly that after a crash).
     """
     graphs = list(graphs)
     analyses = _check_analyses(analyses)
@@ -440,6 +465,23 @@ def run_batch(
         raise ValueError("resume=True requires a journal path")
     if cache is None:
         cache = default_cache()
+
+    store_root: Optional[str] = None
+    previous_store = cache.disk_store
+    if store is not None:
+        from repro.analysis.store import ResultStore
+
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        store_root = str(store.root)
+        # The parent cache serves warm lookups and adopts every worker
+        # result, so attaching the store here is what makes results
+        # durable across runs: store() publishes before the journal
+        # records a graph as done (journal ⊆ store, asserted by
+        # ``repro cache verify --journal``).  The previous tier is
+        # restored on exit so a shared cache (the CLI's process-global
+        # one) does not keep publishing to this run's root afterwards.
+        cache.attach_store(store)
 
     journal_store = BatchJournal(journal) if journal is not None else None
     completed: Dict[str, JournalRecord] = {}
@@ -484,12 +526,15 @@ def run_batch(
                 _run_process_backend(
                     todo, results, analyses, method, kernel, lint, timeout,
                     faults, retries, backoff, workers, cache, journal_store,
+                    store_root,
                 )
             else:
                 raise ValueError(
                     f"unknown backend {backend!r}; use thread, process or serial"
                 )
     finally:
+        if store is not None:
+            cache.attach_store(previous_store)
         if journal_store is not None:
             journal_store.close()
     duration = time.perf_counter() - start
@@ -539,6 +584,7 @@ def _run_process_backend(
     workers: int,
     cache: AnalysisCache,
     journal_store: Optional[BatchJournal],
+    store_root: Optional[str] = None,
 ) -> None:
     """Dispatch cold graphs to a process pool; survive worker deaths.
 
@@ -554,7 +600,7 @@ def _run_process_backend(
 
     def payload(graph: SDFGraph) -> _ColdPayload:
         return (graph, analyses, method, kernel, lint, timeout, faults,
-                retries, backoff, trace_workers)
+                retries, backoff, trace_workers, store_root)
 
     def adopt(index: int, graph: SDFGraph, outcome: GraphResult) -> None:
         if outcome.ok and not outcome.values and analyses:

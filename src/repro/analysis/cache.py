@@ -25,6 +25,17 @@ All operations are thread-safe.  Concurrent misses on the same key are
 *coalesced* (single-flight): one thread computes, the others wait and
 share the result — this is what lets the batch runner dedupe scenario
 suites full of repeated graphs.
+
+Disk tier
+---------
+:meth:`AnalysisCache.attach_store` adds a durable second tier (a
+:class:`repro.analysis.store.ResultStore`): lookups go memory → disk →
+compute.  Only the single-flight *leader* probes the disk (so a key is
+read at most once per miss storm) and publishes the freshly computed
+result back; waiters share whatever the leader found.  Timed-out
+computations raise before any insert, so — exactly as for the memory
+tier — budget-shaped results are never persisted.  Disk traffic is
+observable through the ``disk_*`` fields of :class:`CacheStats`.
 """
 
 from __future__ import annotations
@@ -66,6 +77,16 @@ class CacheStats:
     #: retry (transient failures — timeouts, cancellations — must not
     #: poison the key).
     errors: int = 0
+    #: Disk-tier traffic (all zero when no store is attached).  Probes
+    #: happen only on leader misses, so every snapshot satisfies
+    #: ``disk_hits + disk_misses <= misses``; quarantines and read
+    #: errors are subsets of ``disk_misses`` (both degrade to a miss).
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_quarantined: int = 0
+    disk_errors: int = 0
+    #: Results durably published to the disk tier by this cache.
+    disk_puts: int = 0
     size: int = 0
     maxsize: int = 0
 
@@ -85,6 +106,11 @@ class CacheStats:
             "evictions": self.evictions,
             "coalesced": self.coalesced,
             "errors": self.errors,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+            "disk_quarantined": self.disk_quarantined,
+            "disk_errors": self.disk_errors,
+            "disk_puts": self.disk_puts,
             "size": self.size,
             "maxsize": self.maxsize,
             "hit_rate": self.hit_rate,
@@ -109,6 +135,11 @@ def _freeze(params: Optional[Dict[str, Any]]) -> Tuple:
     return tuple(sorted(params.items()))
 
 
+#: Sentinel distinguishing "the disk tier had nothing" from a stored
+#: ``None`` value.
+_DISK_MISS = object()
+
+
 class AnalysisCache:
     """A bounded, thread-safe LRU cache of analysis results.
 
@@ -127,7 +158,7 @@ class AnalysisCache:
     (True, 1)
     """
 
-    def __init__(self, maxsize: int = 1024):
+    def __init__(self, maxsize: int = 1024, store=None):
         if maxsize < 1:
             raise ValueError(f"maxsize must be positive, got {maxsize!r}")
         self.maxsize = maxsize
@@ -143,7 +174,32 @@ class AnalysisCache:
         self._evictions = 0
         self._coalesced = 0
         self._errors = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
+        self._disk_quarantined = 0
+        self._disk_errors = 0
+        self._disk_puts = 0
         self._metrics_registries: set = set()
+        #: The durable second tier (a ResultStore), or None.
+        self._disk = store
+
+    def attach_store(self, store) -> "AnalysisCache":
+        """Attach a :class:`repro.analysis.store.ResultStore` as the
+        durable second tier (replacing any previous one; ``None``
+        detaches).  Returns ``self`` for chaining.
+
+        A bare reference swap (atomic in CPython): readers snapshot
+        ``self._disk`` once per operation, so no lock is needed and a
+        concurrent probe simply finishes against the tier it started
+        with.
+        """
+        self._disk = store
+        return self
+
+    @property
+    def disk_store(self):
+        """The attached :class:`ResultStore`, or ``None``."""
+        return self._disk
 
     # ------------------------------------------------------------------
     # core protocol
@@ -180,11 +236,52 @@ class AnalysisCache:
         value: Any,
         params: Optional[Dict[str, Any]] = None,
     ) -> Any:
-        """Insert a result computed elsewhere (e.g. by a worker process)."""
+        """Insert a result computed elsewhere (e.g. by a worker process).
+
+        With a disk tier attached the result is also published durably,
+        so worker-computed results survive the parent process.
+        """
         key = self.key(graph, analysis, params)
         with self._lock:
             self._insert(key, value)
+        self._disk_publish(key[0], analysis, value, params)
         return value
+
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+
+    def _disk_probe(
+        self, fingerprint: str, analysis: str, params: Optional[Dict[str, Any]]
+    ) -> Any:
+        """Probe the durable tier; :data:`_DISK_MISS` when it has
+        nothing (or no store is attached).  Runs outside the cache lock
+        — disk latency must never block the memory tier."""
+        disk = self._disk
+        if disk is None:
+            return _DISK_MISS
+        status, value = disk.get(fingerprint, analysis, params=params)
+        with self._lock:
+            if status == "hit":
+                self._disk_hits += 1
+            else:
+                self._disk_misses += 1
+                if status == "quarantined":
+                    self._disk_quarantined += 1
+                elif status == "error":
+                    self._disk_errors += 1
+        return value if status == "hit" else _DISK_MISS
+
+    def _disk_publish(
+        self, fingerprint: str, analysis: str, value: Any,
+        params: Optional[Dict[str, Any]],
+    ) -> None:
+        disk = self._disk
+        if disk is None:
+            return
+        if disk.put(fingerprint, analysis, value, params=params):
+            with self._lock:
+                self._disk_puts += 1
 
     def _insert(self, key: Tuple[str, str, Tuple], value: Any) -> None:
         # Caller holds the lock.
@@ -243,7 +340,18 @@ class AnalysisCache:
             )
             if leader:
                 try:
-                    value = compute()
+                    # Second tier: only the leader probes the disk, so a
+                    # miss storm costs one read; waiters share the result
+                    # through the normal single-flight protocol.
+                    value = self._disk_probe(key[0], analysis, params)
+                    if value is _DISK_MISS:
+                        value = compute()
+                        # A timed-out compute() raised above, so only
+                        # final results ever reach the durable tier.
+                        self._disk_publish(key[0], analysis, value, params)
+                    else:
+                        add_event("cache-disk-hit", analysis=analysis,
+                                  graph=graph.name)
                     with self._lock:
                         self._insert(key, value)
                     flight.value = value
@@ -340,6 +448,11 @@ class AnalysisCache:
                 evictions=self._evictions,
                 coalesced=self._coalesced,
                 errors=self._errors,
+                disk_hits=self._disk_hits,
+                disk_misses=self._disk_misses,
+                disk_quarantined=self._disk_quarantined,
+                disk_errors=self._disk_errors,
+                disk_puts=self._disk_puts,
                 size=len(self._store),
                 maxsize=self.maxsize,
             )
@@ -363,7 +476,9 @@ class AnalysisCache:
                 return
             self._metrics_registries.add(id(registry))
 
-        fields = ("hits", "misses", "evictions", "coalesced", "errors")
+        fields = ("hits", "misses", "evictions", "coalesced", "errors",
+                  "disk_hits", "disk_misses", "disk_quarantined",
+                  "disk_errors", "disk_puts")
         counters = {
             field: registry.counter(
                 f"repro_cache_{field}_total",
@@ -397,6 +512,8 @@ class AnalysisCache:
         with self._lock:
             self._hits = self._misses = self._evictions = 0
             self._coalesced = self._errors = 0
+            self._disk_hits = self._disk_misses = 0
+            self._disk_quarantined = self._disk_errors = self._disk_puts = 0
 
     def __len__(self) -> int:
         with self._lock:

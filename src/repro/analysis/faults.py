@@ -7,6 +7,16 @@ honours deadlines), a *raise* (any named exception, e.g. a transient
 flake or a ``MemoryError``), or a *kill* (hard ``os._exit`` of the
 worker process, provoking ``BrokenProcessPool`` recovery).
 
+A second, orthogonal mechanism targets the *durable I/O boundaries* of
+the on-disk result store (:mod:`repro.analysis.store`): **named crash
+points**.  Each store I/O site calls :func:`crash_point` with its name
+(``store.tmp-write``, ``store.publish``, …); an armed plan — from
+:func:`arm_crash_points` or the ``REPRO_CRASH_POINTS`` environment
+variable, which is how chaos tests reach into subprocesses — kills the
+process (``os._exit(86)``) or raises at exactly that site, on exactly
+the Nth arrival.  Crash-consistency tests kill a process at every site
+in turn and assert the store recovers to a consistent state on restart.
+
 Faults select their victims by graph **fingerprint prefix**, by graph
 **name**, or by **probability** — the probabilistic choice is derived
 from a seeded hash of ``(seed, fingerprint, rule)``, so it is fully
@@ -30,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Optional, Tuple
@@ -38,9 +49,16 @@ from repro import errors as _errors
 from repro.errors import ReproError, TransientWorkerError, WorkerCrashed
 
 __all__ = [
+    "CRASH_POINT_ENV",
+    "CRASH_SITES",
+    "CrashPoint",
     "FaultInjected",
     "FaultPlan",
     "FaultRule",
+    "arm_crash_points",
+    "crash_point",
+    "disarm_crash_points",
+    "parse_crash_point",
     "parse_fault",
 ]
 
@@ -190,7 +208,7 @@ class FaultPlan:
                 )
             elif rule.action == "kill":
                 if allow_kill:
-                    os._exit(86)  # hard death: no cleanup, no excepthook
+                    os._exit(KILL_EXIT_STATUS)  # hard death: no cleanup
                 raise WorkerCrashed(
                     f"injected worker kill for graph {name!r} "
                     f"[{fingerprint[:12]}] (thread/serial backend: "
@@ -285,3 +303,167 @@ def parse_fault(spec: str) -> FaultRule:
             f"unknown fault action {action!r} in {spec!r}; use one of {ACTIONS}"
         )
     return FaultRule(action=action, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Named crash points (durable-store chaos harness)
+# ---------------------------------------------------------------------------
+
+#: Environment variable carrying a comma-separated crash-point plan into
+#: subprocesses (workers, CLI invocations under chaos tests).
+CRASH_POINT_ENV = "REPRO_CRASH_POINTS"
+
+#: The exit status of an injected ``kill`` (both fault rules and crash
+#: points), so harnesses can tell an injected death from a real one.
+KILL_EXIT_STATUS = 86
+
+#: Every named I/O boundary of the durable result store.  A crash plan
+#: may only name sites from this list — a typo in a chaos test must be
+#: a loud parse error, not a silently-never-firing kill.
+CRASH_SITES = (
+    "store.read",          # start of a record read
+    "store.tmp-write",     # temp file half-written (torn payload)
+    "store.tmp-sync",      # temp fully written, not yet fsynced
+    "store.publish",       # fsynced, immediately before os.replace
+    "store.publish-done",  # after os.replace, before the directory fsync
+    "store.quarantine",    # before moving a corrupt record aside
+    "store.evict",         # before each eviction unlink in compact()
+)
+
+#: Crash-point actions (``delay``/``hang`` make no sense at a torn-write
+#: boundary; the store's I/O is not deadline-polled).
+CRASH_ACTIONS = ("kill", "raise")
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One armed crash site: *where* (a :data:`CRASH_SITES` name),
+    *what* (``kill`` hard-exits with status 86, ``raise`` throws —
+    ``OSError`` by default, the honest disguise for an I/O boundary) and
+    *when* (``hits``: fire on the Nth arrival at the site, default the
+    first)."""
+
+    action: str
+    site: str
+    exception: Optional[str] = None
+    hits: int = 1
+
+    def __post_init__(self):
+        if self.action not in CRASH_ACTIONS:
+            raise ValueError(
+                f"unknown crash-point action {self.action!r}; "
+                f"use one of {CRASH_ACTIONS}"
+            )
+        if self.site not in CRASH_SITES:
+            raise ValueError(
+                f"unknown crash site {self.site!r}; "
+                f"known sites: {', '.join(CRASH_SITES)}"
+            )
+        if self.hits < 1:
+            raise ValueError(f"hits must be >= 1, got {self.hits!r}")
+        if self.exception is not None:
+            if self.action == "kill":
+                raise ValueError(
+                    "kill crash points take no exception name "
+                    "(the process dies, nothing catches it)"
+                )
+            _resolve_exception(self.exception)  # validate eagerly
+
+
+def parse_crash_point(spec: str) -> CrashPoint:
+    """Parse ``<action>@<site>[:<Exception>][#<hits>]``.
+
+    >>> parse_crash_point("kill@store.publish")
+    CrashPoint(action='kill', site='store.publish', exception=None, hits=1)
+    >>> parse_crash_point("raise@store.read:MemoryError#2").hits
+    2
+    """
+    body = spec.strip()
+    hits = 1
+    if "#" in body:
+        body, _, suffix = body.rpartition("#")
+        try:
+            hits = int(suffix)
+        except ValueError:
+            raise ValueError(f"bad hits suffix in crash-point spec {spec!r}")
+    action, at, site = body.partition("@")
+    if not at or not action or not site:
+        raise ValueError(
+            f"bad crash-point spec {spec!r}; expected "
+            "'<kill|raise>@<site>[:<Exception>][#<hits>]'"
+        )
+    exception = None
+    if ":" in site:
+        site, _, exception = site.partition(":")
+    return CrashPoint(action=action, site=site, exception=exception, hits=hits)
+
+
+# The armed plan.  ``None`` means "not yet initialised from the
+# environment"; after the lazy init (or an explicit arm/disarm) it is a
+# tuple, possibly empty.  Counts are per-process, guarded by the lock —
+# the store is used from many threads at once.
+_crash_plan: Optional[Tuple[CrashPoint, ...]] = None
+_crash_counts: Dict[str, int] = {}
+_crash_lock = threading.Lock()
+
+
+def arm_crash_points(specs: Iterable) -> Tuple[CrashPoint, ...]:
+    """Arm a crash plan in this process (specs or :class:`CrashPoint`
+    instances); replaces any armed plan and resets the hit counters."""
+    global _crash_plan
+    plan = tuple(
+        spec if isinstance(spec, CrashPoint) else parse_crash_point(spec)
+        for spec in specs
+    )
+    with _crash_lock:
+        _crash_plan = plan
+        _crash_counts.clear()
+    return plan
+
+
+def disarm_crash_points() -> None:
+    """Disarm every crash point (also forgets the environment plan)."""
+    global _crash_plan
+    with _crash_lock:
+        _crash_plan = ()
+        _crash_counts.clear()
+
+
+def _ensure_crash_plan() -> Tuple[CrashPoint, ...]:
+    global _crash_plan
+    with _crash_lock:
+        if _crash_plan is None:
+            raw = os.environ.get(CRASH_POINT_ENV, "")
+            _crash_plan = tuple(
+                parse_crash_point(piece)
+                for piece in raw.split(",") if piece.strip()
+            )
+        return _crash_plan
+
+
+def crash_point(site: str) -> None:
+    """Fire any armed crash point for ``site``.
+
+    Called by the durable store at every named I/O boundary.  Unarmed
+    (the overwhelmingly common case) this is one lock-free tuple read
+    after the first call; armed, the per-site arrival counter decides
+    whether this is the Nth hit the plan targets.
+    """
+    plan = _crash_plan
+    if plan is None:
+        plan = _ensure_crash_plan()
+    if not plan:
+        return
+    with _crash_lock:
+        count = _crash_counts.get(site, 0) + 1
+        _crash_counts[site] = count
+    for point in plan:
+        if point.site != site or point.hits != count:
+            continue
+        if point.action == "kill":
+            os._exit(KILL_EXIT_STATUS)  # hard death: no cleanup, no atexit
+        exc = (_resolve_exception(point.exception)
+               if point.exception is not None else OSError)
+        raise exc(
+            f"injected crash-point failure at {site} (arrival {count})"
+        )

@@ -8,6 +8,8 @@ Gives the library's analyses a design-flow-friendly surface::
     python -m repro explain builtin:modem --html report.html --json prov.json
     python -m repro profile builtin:modem --format json
     python -m repro batch --registry --workers 4 --analysis throughput latency
+    python -m repro batch --registry --journal run.jsonl --store .repro-store
+    python -m repro cache verify --store .repro-store --journal run.jsonl
     python -m repro convert graph.json -o compact.json
     python -m repro convert graph.json --traditional -o expanded.xml
     python -m repro abstract graph.json --strategy name -o abstract.json
@@ -283,6 +285,7 @@ def cmd_batch(args) -> int:
         journal=journal,
         resume=bool(args.resume),
         kernel=args.kernel,
+        store=args.store,
     )
     after = report.cache_stats
 
@@ -321,7 +324,76 @@ def cmd_batch(args) -> int:
     print(f"cache: {hits} hits / {misses} misses this run "
           f"(hit rate {rate:.0%}; lifetime {after.hit_rate:.0%}, "
           f"{after.size}/{after.maxsize} entries)")
+    if args.store:
+        disk_hits = after.disk_hits - before.disk_hits
+        disk_misses = after.disk_misses - before.disk_misses
+        line = (f"store: {disk_hits} disk hits / {disk_misses} disk misses, "
+                f"{after.disk_puts - before.disk_puts} published "
+                f"({args.store})")
+        if after.disk_quarantined - before.disk_quarantined:
+            line += (f", {after.disk_quarantined - before.disk_quarantined} "
+                     "quarantined")
+        print(line)
     return 0 if not report.failures else 1
+
+
+def cmd_cache(args) -> int:
+    import json
+
+    from repro.analysis.store import DEFAULT_MAX_BYTES, ResultStore
+
+    max_bytes = getattr(args, "max_bytes", None)
+    store = ResultStore(args.store, max_bytes=max_bytes
+                        if max_bytes is not None else DEFAULT_MAX_BYTES)
+
+    if args.action == "stats":
+        stats = store.stats()
+        if args.json:
+            doc = {"schema": "repro-store-stats-v1", **stats.as_dict()}
+            print(json.dumps(doc, indent=2))
+        else:
+            print(f"store:       {stats.root}")
+            print(f"records:     {stats.records} "
+                  f"({stats.bytes} bytes of {stats.max_bytes} budget)")
+            print(f"quarantined: {stats.quarantined_records}")
+            print(f"tmp files:   {stats.tmp_files}")
+        return 0
+
+    if args.action == "verify":
+        report = store.verify(quarantine=not args.no_quarantine)
+        if args.journal:
+            store.check_journal(args.journal, report=report)
+        doc = report.as_dict()
+        if args.json:
+            pathlib.Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
+            print(f"report: written to {args.json}", file=sys.stderr)
+        print(f"verified {report.records} record(s): {report.valid} valid, "
+              f"{len(report.corrupt)} corrupt "
+              f"({report.quarantined_now} quarantined now, "
+              f"{report.undetected_corrupt} undetected)")
+        if report.journal is not None:
+            j = report.journal
+            print(f"journal: {j['matched']}/{j['checked']} journaled "
+                  f"result(s) present in the store")
+            for entry in j["missing"]:
+                print(f"  missing: {entry['analysis']} of "
+                      f"{entry['fingerprint'][:16]} ({entry['status']})")
+        return 0 if report.ok else 1
+
+    if args.action == "purge":
+        removed = store.purge(analysis=args.analysis,
+                              quarantine_only=args.quarantine)
+        what = ("quarantined record(s)" if args.quarantine
+                else f"{args.analysis or 'all'} record(s)")
+        print(f"purged {removed} {what} from {store.root}")
+        return 0
+
+    # compact
+    outcome = store.compact()
+    print(f"compacted {store.root}: evicted {outcome['evicted']} record(s) "
+          f"({outcome['freed_bytes']} bytes), swept {outcome['tmp_removed']} "
+          f"tmp file(s), {outcome['remaining_bytes']} bytes remain")
+    return 0
 
 
 def cmd_convert(args) -> int:
@@ -812,6 +884,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", metavar="JOURNAL",
                    help="skip graphs this journal records as completed and "
                         "keep journaling to it")
+    p.add_argument("--store", metavar="DIR",
+                   help="durable result store: serve repeat analyses from "
+                        "disk and publish new results crash-consistently "
+                        "(shared with process-backend workers; inspect with "
+                        "'repro cache')")
     p.add_argument("--inject", action="append", metavar="SPEC", default=[],
                    help="deterministic fault injection, e.g. "
                         "'name=modem:kill', 'p=0.2:raise:"
@@ -821,6 +898,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed for probabilistic fault selectors")
     _add_observability_args(p)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect and maintain a durable result store "
+             "(see docs/robustness.md for the durability model)",
+    )
+    cache_sub = p.add_subparsers(dest="action", required=True)
+
+    def _store_arg(sp):
+        sp.add_argument("--store", metavar="DIR", required=True,
+                        help="root directory of the result store")
+
+    sp = cache_sub.add_parser("stats", help="record census and size budget")
+    _store_arg(sp)
+    sp.add_argument("--json", action="store_true",
+                    help="print a repro-store-stats-v1 JSON document")
+    sp.set_defaults(func=cmd_cache)
+
+    sp = cache_sub.add_parser(
+        "verify",
+        help="re-check every record's checksum, key echo and payload; "
+             "quarantine corrupt ones (exit 1 if any corruption survives "
+             "undetected or the journal disagrees)",
+    )
+    _store_arg(sp)
+    sp.add_argument("--json", metavar="FILE",
+                    help="write a repro-store-verify-v1 report (validate "
+                         "with python -m repro.obs.check)")
+    sp.add_argument("--journal", metavar="FILE",
+                    help="also check every ok-journaled analysis has a "
+                         "valid store record (journal ⊆ store)")
+    sp.add_argument("--no-quarantine", action="store_true",
+                    help="report corrupt records but leave them in place")
+    sp.set_defaults(func=cmd_cache)
+
+    sp = cache_sub.add_parser("purge", help="delete records")
+    _store_arg(sp)
+    sp.add_argument("--analysis", metavar="NAME",
+                    help="only records of this analysis")
+    sp.add_argument("--quarantine", action="store_true",
+                    help="only the quarantine directory")
+    sp.set_defaults(func=cmd_cache)
+
+    sp = cache_sub.add_parser(
+        "compact", help="sweep tmp garbage and evict LRU records to budget"
+    )
+    _store_arg(sp)
+    sp.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                    help="size budget to compact down to (default 256 MiB)")
+    sp.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("latency", help="single-iteration latency")
     p.add_argument("graph")

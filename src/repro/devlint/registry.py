@@ -16,6 +16,10 @@ Categories group the project invariants each rule enforces:
   trace layers (PRs 2 and 5).
 * ``determinism`` — analyses must be replayable: no wall-clock or
   unseeded randomness outside the sanctioned call sites.
+* ``durability`` — the crash-consistency contract of the persistence
+  layer (journal, result store): files under a durable root publish via
+  write-temp → fsync → atomic rename, never by writing the final path
+  in place.
 * ``hygiene`` — generic Python footguns (broad excepts, mutable
   defaults) plus the suppression-comment grammar itself.
 """
@@ -30,6 +34,7 @@ CATEGORIES = (
     "provenance",
     "concurrency",
     "determinism",
+    "durability",
     "hygiene",
 )
 

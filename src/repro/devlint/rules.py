@@ -43,6 +43,10 @@ DETERMINISTIC_MODULES = (
     "lint/", "devlint/",
 )
 
+#: Modules owning crash-consistent on-disk state: every write must
+#: follow the durable publish protocol (see docs/robustness.md).
+DURABLE_MODULES = ("analysis/store.py", "analysis/journal.py")
+
 #: The cooperative-deadline poll methods (``repro.analysis.deadline``).
 _POLL_METHODS = {"check", "check_now", "checkpoint", "raise_if_cancelled"}
 
@@ -642,6 +646,131 @@ def _determinism(ctx: FileContext) -> Iterator:
                 "random.Random(seed) through instead",
                 node=node,
             )
+
+
+# ---------------------------------------------------------------------------
+# durability
+# ---------------------------------------------------------------------------
+
+def _path_mentions_temp(expr: ast.AST) -> bool:
+    """Whether a path expression is recognisably a temp location: a name
+    or attribute containing ``tmp``/``temp``, or a call whose tail does
+    (``self._tmp_path(...)``)."""
+    for sub in ast.walk(expr):
+        text = ""
+        if isinstance(sub, ast.Name):
+            text = sub.id
+        elif isinstance(sub, ast.Attribute):
+            text = sub.attr
+        elif isinstance(sub, ast.Call):
+            text = _call_tail(sub)
+        if "tmp" in text.lower() or "temp" in text.lower():
+            return True
+    return False
+
+
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode string of an ``open(...)`` call, or ``None``
+    when it is dynamic (dynamic modes are treated as writes)."""
+    mode: Optional[ast.AST] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+@rule(
+    code="durability-discipline",
+    category="durability",
+    severity=ERROR,
+    summary="durable module writes a final path in place instead of "
+            "write-temp → fsync → os.replace",
+)
+def _durability_discipline(ctx: FileContext) -> Iterator:
+    """The crash-consistency contract of the persistence layer
+    (``analysis/store.py``, ``analysis/journal.py``): a process may die
+    at any instruction, so a file under a durable root must never be
+    truncated or created at its final path — a crash mid-write leaves a
+    torn file that a later reader can mistake for the real thing.  The
+    only blessed publish protocol is write to a temp path, ``fsync`` the
+    handle, then ``os.replace`` onto the final name (atomic on POSIX);
+    append-only logs may write the final path but must ``fsync`` in the
+    same function.  ``Path.write_text``/``write_bytes`` truncate in
+    place and are banned outright in durable modules.
+    """
+    if not ctx.in_modules(ctx.scope_option("durable_modules",
+                                           DURABLE_MODULES)):
+        return
+    for qualname, func in ctx.functions():
+        fsyncs = False
+        replaces = False
+        opens: List[Tuple[ast.Call, Optional[str], ast.AST]] = []
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted == "os.fsync":
+                fsyncs = True
+            elif dotted in ("os.replace", "os.rename"):
+                replaces = True
+            elif _call_tail(node) in ("write_text", "write_bytes") \
+                    and isinstance(node.func, ast.Attribute):
+                yield ctx.diag(
+                    "durability-discipline",
+                    f"{_call_tail(node)}() in {qualname} truncates its "
+                    "target in place; a crash mid-write leaves a torn "
+                    "file at the final path",
+                    node=node,
+                    fix="write to a temp path, os.fsync the handle, "
+                        "then os.replace onto the final name",
+                )
+            elif dotted in ("open", "io.open") and node.args:
+                opens.append((node, _open_mode(node), node.args[0]))
+        for node, mode, path_expr in opens:
+            if mode == "r" or (mode is not None
+                               and not set(mode) & {"w", "x", "a", "+"}):
+                continue
+            appending = mode is not None and "a" in mode \
+                and not set(mode) & {"w", "x"}
+            if appending:
+                if not fsyncs:
+                    yield ctx.diag(
+                        "durability-discipline",
+                        f"append-mode open in {qualname} without "
+                        "os.fsync in the same function; the appended "
+                        "record is not durable when the process dies",
+                        node=node,
+                        fix="flush the handle and os.fsync(fileno()) "
+                            "before returning",
+                    )
+                continue
+            if not _path_mentions_temp(path_expr):
+                yield ctx.diag(
+                    "durability-discipline",
+                    f"open({ast.unparse(path_expr)!r}-like path, "
+                    f"mode {mode!r}) in {qualname} writes a final path "
+                    "directly; a reader can observe the torn file",
+                    node=node,
+                    fix="write to a temp path (name it *tmp*), fsync, "
+                        "then os.replace onto the final path",
+                )
+            elif not (fsyncs and replaces):
+                missing = "os.fsync" if not fsyncs else "os.replace"
+                yield ctx.diag(
+                    "durability-discipline",
+                    f"temp-file write in {qualname} never reaches "
+                    f"{missing}; the record is either not durable or "
+                    "never atomically published",
+                    node=node,
+                    fix="complete the protocol: write-temp → "
+                        "fsync → os.replace",
+                )
 
 
 # ---------------------------------------------------------------------------

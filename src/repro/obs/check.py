@@ -15,7 +15,14 @@ Dependency-free validators (no jsonschema in this environment) for:
 * the ``repro-profile-v1`` stage-cost table written by ``repro profile
   --format json``;
 * the SARIF 2.1.0 logs written by ``repro lint`` and ``repro devlint``
-  with ``--format sarif`` (what CI uploads to code scanning).
+  with ``--format sarif`` (what CI uploads to code scanning);
+* the binary ``repro-store-v1`` record files of the durable result
+  store (magic line, self-describing JSON header, SHA-256-checksummed
+  payload — see :mod:`repro.analysis.store`), re-verified here
+  *independently* of the store's own read path;
+* the ``repro-store-verify-v1`` report written by ``repro cache verify
+  --json`` and the ``repro-store-stats-v1`` census from ``repro cache
+  stats --json``.
 
 Each ``validate_*`` function raises :class:`SchemaError` with a precise
 location on the first violation and returns a small summary dict on
@@ -45,12 +52,19 @@ __all__ = [
     "validate_provenance",
     "validate_sarif",
     "validate_span_jsonl",
+    "validate_store_record",
+    "validate_store_stats",
+    "validate_store_verify",
 ]
 
 BENCH_SCHEMA = "repro-bench-v1"
 #: Kept in sync with repro.obs.provenance.PROVENANCE_SCHEMA (tested).
 PROVENANCE_SCHEMA = "repro-provenance-v1"
 PROFILE_SCHEMA = "repro-profile-v1"
+#: Kept in sync with repro.analysis.store.STORE_SCHEMA (tested).
+STORE_SCHEMA = "repro-store-v1"
+STORE_VERIFY_SCHEMA = "repro-store-verify-v1"
+STORE_STATS_SCHEMA = "repro-store-stats-v1"
 
 _PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
 _PROM_SAMPLE = re.compile(
@@ -482,6 +496,147 @@ def validate_sarif(data: Any) -> Dict[str, int]:
 
 
 # ----------------------------------------------------------------------
+# durable result store (repro.analysis.store)
+# ----------------------------------------------------------------------
+
+def validate_store_record(raw: bytes,
+                          expected_digest: str = None) -> Dict[str, int]:
+    """Validate one binary ``repro-store-v1`` record file.
+
+    Deliberately re-implements the store's verification (magic line,
+    JSON header with a complete key echo, payload length, SHA-256
+    checksum, content-address consistency) so CI checks records with
+    code that shares nothing with the writer.  ``expected_digest`` is
+    the record's file stem; when given, the header's key must hash to
+    it (a renamed record is a schema violation).
+    """
+    import hashlib
+
+    magic = (STORE_SCHEMA + "\n").encode("ascii")
+    _need(raw.startswith(magic), "record",
+          f"must start with the {STORE_SCHEMA!r} magic line")
+    rest = raw[len(magic):]
+    newline = rest.find(b"\n")
+    _need(newline >= 0, "record", "header line is truncated")
+    try:
+        header = json.loads(rest[:newline])
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        raise SchemaError("record: header is not valid JSON") from None
+    _need(isinstance(header, dict), "record.header", "must be an object")
+    for key in ("fingerprint", "analysis", "params"):
+        _need(isinstance(header.get(key), str) and header[key],
+              "record.header", f"needs a non-empty string {key!r}")
+    try:
+        params = json.loads(header["params"])
+    except json.JSONDecodeError:
+        raise SchemaError(
+            "record.header: 'params' must itself be valid JSON"
+        ) from None
+    _need(isinstance(params, dict), "record.header",
+          "'params' must encode an object")
+    length = header.get("payload_len")
+    _need(isinstance(length, int) and not isinstance(length, bool)
+          and length >= 0, "record.header",
+          f"'payload_len' must be a non-negative integer, got {length!r}")
+    checksum = header.get("checksum")
+    _need(isinstance(checksum, str) and len(checksum) == 64,
+          "record.header", "'checksum' must be a 64-char SHA-256 hex digest")
+    payload = rest[newline + 1:]
+    _need(len(payload) == length, "record",
+          f"payload is {len(payload)} bytes, header claims {length} (torn write)")
+    _need(hashlib.sha256(payload).hexdigest() == checksum, "record",
+          "payload checksum mismatch (corrupt record)")
+    if expected_digest is not None:
+        blob = "\x00".join(
+            (header["fingerprint"], header["analysis"], header["params"])
+        )
+        _need(hashlib.sha256(blob.encode("utf-8")).hexdigest()
+              == expected_digest, "record",
+              "header key does not hash to the record's file name "
+              "(renamed or aliased record)")
+    return {"payload_bytes": length, "header_keys": len(header)}
+
+
+def validate_store_verify(data: Any) -> Dict[str, int]:
+    """Validate a ``repro-store-verify-v1`` report (``repro cache verify
+    --json``), including its internal arithmetic: ``undetected_corrupt``
+    must equal ``len(corrupt) - quarantined_now``."""
+    _need(isinstance(data, dict), "store-verify", "must be an object")
+    _need(data.get("schema") == STORE_VERIFY_SCHEMA, "store-verify",
+          f"schema must be {STORE_VERIFY_SCHEMA!r}, got {data.get('schema')!r}")
+    _need(isinstance(data.get("root"), str) and data["root"], "store-verify",
+          "needs a non-empty string 'root'")
+    for key in ("records", "valid", "quarantined_now", "quarantined_records",
+                "undetected_corrupt", "tmp_files", "bytes"):
+        value = data.get(key)
+        _need(isinstance(value, int) and not isinstance(value, bool)
+              and value >= 0, "store-verify",
+              f"{key!r} must be a non-negative integer, got {value!r}")
+    corrupt = data.get("corrupt")
+    _need(isinstance(corrupt, list), "store-verify",
+          "'corrupt' must be an array")
+    for index, entry in enumerate(corrupt):
+        where = f"store-verify.corrupt[{index}]"
+        _need(isinstance(entry, dict), where, "must be an object")
+        for key in ("path", "reason"):
+            _need(isinstance(entry.get(key), str) and entry[key], where,
+                  f"needs a non-empty string {key!r}")
+    _need(data["valid"] + len(corrupt) == data["records"], "store-verify",
+          f"valid ({data['valid']}) + corrupt ({len(corrupt)}) must equal "
+          f"records ({data['records']})")
+    _need(data["undetected_corrupt"]
+          == len(corrupt) - data["quarantined_now"], "store-verify",
+          "'undetected_corrupt' must equal len(corrupt) - quarantined_now")
+    journal = data.get("journal")
+    if journal is not None:
+        _need(isinstance(journal, dict), "store-verify",
+              "'journal' must be an object or null")
+        _need(isinstance(journal.get("path"), str) and journal["path"],
+              "store-verify.journal", "needs a non-empty string 'path'")
+        for key in ("checked", "matched"):
+            value = journal.get(key)
+            _need(isinstance(value, int) and not isinstance(value, bool)
+                  and value >= 0, "store-verify.journal",
+                  f"{key!r} must be a non-negative integer, got {value!r}")
+        missing = journal.get("missing")
+        _need(isinstance(missing, list), "store-verify.journal",
+              "'missing' must be an array")
+        _need(journal["matched"] + len(missing) == journal["checked"],
+              "store-verify.journal",
+              "matched + len(missing) must equal checked")
+        for index, entry in enumerate(missing):
+            where = f"store-verify.journal.missing[{index}]"
+            _need(isinstance(entry, dict), where, "must be an object")
+            for key in ("fingerprint", "analysis", "status"):
+                _need(isinstance(entry.get(key), str) and entry[key], where,
+                      f"needs a non-empty string {key!r}")
+    return {"records": data["records"], "corrupt": len(corrupt),
+            "undetected_corrupt": data["undetected_corrupt"]}
+
+
+def validate_store_stats(data: Any) -> Dict[str, int]:
+    """Validate a ``repro-store-stats-v1`` census (``repro cache stats
+    --json``)."""
+    _need(isinstance(data, dict), "store-stats", "must be an object")
+    _need(data.get("schema") == STORE_STATS_SCHEMA, "store-stats",
+          f"schema must be {STORE_STATS_SCHEMA!r}, got {data.get('schema')!r}")
+    _need(isinstance(data.get("root"), str) and data["root"], "store-stats",
+          "needs a non-empty string 'root'")
+    for key in ("hits", "misses", "puts", "put_skips", "put_errors",
+                "quarantined", "evictions", "read_errors", "records",
+                "bytes", "quarantined_records", "tmp_files", "max_bytes"):
+        value = data.get(key)
+        _need(isinstance(value, int) and not isinstance(value, bool)
+              and value >= 0, "store-stats",
+              f"{key!r} must be a non-negative integer, got {value!r}")
+    rate = data.get("hit_rate")
+    _need(isinstance(rate, (int, float)) and not isinstance(rate, bool)
+          and 0.0 <= rate <= 1.0, "store-stats",
+          f"'hit_rate' must be in [0, 1], got {rate!r}")
+    return {"records": data["records"], "bytes": data["bytes"]}
+
+
+# ----------------------------------------------------------------------
 # benchmark baselines
 # ----------------------------------------------------------------------
 
@@ -534,9 +689,18 @@ def validate_bench(data: Any) -> Dict[str, int]:
 
 def check_file(path: str) -> Dict[str, int]:
     """Validate one artefact, inferring its kind from name/content."""
+    name = path.rsplit("/", 1)[-1]
+    if name.endswith(".rec"):
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        stem = name[: -len(".rec")]
+        # Quarantined records carry a ".reason" suffix after the digest
+        # and are expected to be corrupt — only live records (a bare
+        # 64-hex stem) must round-trip their content address.
+        digest = stem if re.fullmatch(r"[0-9a-f]{64}", stem) else None
+        return validate_store_record(raw, expected_digest=digest)
     with open(path) as handle:
         text = handle.read()
-    name = path.rsplit("/", 1)[-1]
     if name.endswith((".prom", ".txt")):
         return validate_prometheus_text(text)
     if name.endswith(".jsonl"):
@@ -575,6 +739,10 @@ def check_file(path: str) -> Dict[str, int]:
             return validate_provenance(data)
         if data.get("schema") == PROFILE_SCHEMA:
             return validate_profile(data)
+        if data.get("schema") == STORE_VERIFY_SCHEMA:
+            return validate_store_verify(data)
+        if data.get("schema") == STORE_STATS_SCHEMA:
+            return validate_store_stats(data)
         if "metrics" in data and "schema" in data:
             return validate_metrics_snapshot(data)
         if "traceEvents" in data:

@@ -406,3 +406,65 @@ class TestStatsSnapshotConsistency:
         assert final.evictions > 0, "12 keys through maxsize=8 must evict"
         assert final.errors == 0
         assert final.size <= final.maxsize
+
+
+class TestDiskTierStats:
+    """The disk-tier counters added with the durable result store.
+
+    Deep two-tier behaviour lives in ``tests/test_store.py``; here we
+    pin the accounting surface: snapshot fields, invariants under
+    concurrency, and the metrics-registry export.
+    """
+
+    def test_snapshot_has_disk_fields_zero_without_store(self):
+        cache = AnalysisCache(maxsize=4)
+        stats = cache.stats()
+        for field in ("disk_hits", "disk_misses", "disk_quarantined",
+                      "disk_errors", "disk_puts"):
+            assert getattr(stats, field) == 0
+            assert stats.as_dict()[field] == 0
+
+    def test_disk_invariants_under_concurrent_storms(self, tmp_path):
+        from repro.analysis.store import ResultStore
+
+        cache = AnalysisCache(maxsize=4, store=ResultStore(tmp_path))
+        graphs = TestStatsSnapshotConsistency._distinct_graphs(8)
+
+        def worker(index):
+            for i in range(40):
+                g = graphs[(index * 13 + i) % len(graphs)]
+                cache.get_or_compute(g, "t", lambda: index)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            for future in [pool.submit(worker, t) for t in range(6)]:
+                future.result()
+
+        stats = cache.stats()
+        # Only a miss's leader probes the disk: one probe per storm.
+        assert stats.disk_hits + stats.disk_misses <= stats.misses
+        assert stats.disk_quarantined <= stats.disk_misses
+        assert stats.disk_errors <= stats.disk_misses
+        assert stats.disk_puts <= stats.disk_misses
+
+    def test_register_metrics_exports_disk_counters(self, tmp_path):
+        from repro.analysis.store import ResultStore
+        from repro.obs.metrics import MetricsRegistry
+
+        store = ResultStore(tmp_path)
+        cache = AnalysisCache(maxsize=4, store=store)
+        g = TestStatsSnapshotConsistency._distinct_graphs(1)[0]
+        cache.get_or_compute(g, "t", lambda: 1)          # miss + publish
+        AnalysisCache(maxsize=4, store=store).get_or_compute(
+            g, "t", lambda: 2)  # the warm cache never reaches compute
+
+        registry = MetricsRegistry()
+        cache.register_metrics(registry)
+        doc = registry.as_dict()  # the export pulls the collector
+        exported = {
+            metric["name"]: metric["samples"][0]["value"]
+            for metric in doc["metrics"] if metric["samples"]
+        }
+        assert exported["repro_cache_disk_misses_total"] == 1
+        assert exported["repro_cache_disk_puts_total"] == 1
+        assert exported.get("repro_cache_disk_hits_total", 0) == 0
+        assert exported.get("repro_cache_disk_quarantined_total", 0) == 0

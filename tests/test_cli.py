@@ -258,3 +258,92 @@ class TestMapCommand:
         out = capsys.readouterr().out
         assert "guaranteed period 7" in out
         assert "utilisation 1.00" in out
+
+
+class TestCacheCommand:
+    def _seed(self, tmp_path, capsys):
+        """One cold serial batch publishing into a store; returns its root.
+
+        The CLI shares one process-global memory cache across ``main()``
+        calls, so each stage clears it first — the disk tier is what is
+        under test here.
+        """
+        from repro.analysis.cache import default_cache
+
+        default_cache().clear()
+        store = tmp_path / "store"
+        journal = tmp_path / "journal.jsonl"
+        assert main(["batch", "builtin:figure3", "--backend", "serial",
+                     "--store", str(store), "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "1 published" in out
+        return store, journal
+
+    def test_batch_store_then_warm_disk_hits(self, capsys, tmp_path):
+        from repro.analysis.cache import default_cache
+
+        store, _ = self._seed(tmp_path, capsys)
+        # A cold memory cache over the same store: the result comes
+        # back from disk, nothing is recomputed or republished.
+        default_cache().clear()
+        assert main(["batch", "builtin:figure3", "--backend", "serial",
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "store: 1 disk hits / 0 disk misses, 0 published" in out
+
+    def test_cache_stats(self, capsys, tmp_path):
+        store, _ = self._seed(tmp_path, capsys)
+        assert main(["cache", "stats", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "1" in out
+
+    def test_cache_stats_json_validates(self, capsys, tmp_path):
+        from repro.obs.check import validate_store_stats
+
+        store, _ = self._seed(tmp_path, capsys)
+        assert main(["cache", "stats", "--store", str(store),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_store_stats(doc)["records"] == 1
+
+    def test_cache_verify_clean_with_journal(self, capsys, tmp_path):
+        store, journal = self._seed(tmp_path, capsys)
+        assert main(["cache", "verify", "--store", str(store),
+                     "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "1 valid, 0 corrupt" in out
+        assert "journal: 1/1" in out
+
+    def test_cache_verify_json_validates_and_fails_on_missing(
+            self, capsys, tmp_path):
+        from repro.obs.check import validate_store_verify
+
+        store, journal = self._seed(tmp_path, capsys)
+        assert main(["cache", "purge", "--store", str(store)]) == 0
+        capsys.readouterr()
+        report_path = tmp_path / "verify.json"
+        assert main(["cache", "verify", "--store", str(store),
+                     "--journal", str(journal),
+                     "--json", str(report_path)]) == 1
+        doc = json.loads(report_path.read_text())
+        summary = validate_store_verify(doc)
+        assert summary["undetected_corrupt"] == 0
+        assert doc["journal"]["missing"]
+
+    def test_cache_verify_quarantines_corruption(self, capsys, tmp_path):
+        store, _ = self._seed(tmp_path, capsys)
+        record = next((store / "records").rglob("*.rec"))
+        record.write_bytes(b"garbage")
+        assert main(["cache", "verify", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined now" in out and "0 undetected" in out
+
+    def test_cache_purge_and_compact(self, capsys, tmp_path):
+        store, _ = self._seed(tmp_path, capsys)
+        assert main(["cache", "compact", "--store", str(store),
+                     "--max-bytes", "1"]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+        assert main(["cache", "purge", "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--store", str(store)]) == 0
+        assert "records:     0" in capsys.readouterr().out

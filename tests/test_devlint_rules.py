@@ -591,6 +591,144 @@ class TestMutableDefault:
 # ---------------------------------------------------------------------------
 
 
+# ---------------------------------------------------------------------------
+# durability-discipline
+# ---------------------------------------------------------------------------
+
+
+class TestDurabilityDiscipline:
+    DURABLE = "src/repro/analysis/store.py"
+
+    def test_direct_final_path_write_fires(self):
+        report = run(
+            """
+            def publish(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+            """,
+            path=self.DURABLE,
+        )
+        (finding,) = only(report, "durability-discipline")
+        assert "final path directly" in finding.message
+        assert finding.severity == "error"
+
+    def test_write_text_fires(self):
+        report = run(
+            """
+            def publish(path, data):
+                path.write_text(data)
+            """,
+            path=self.DURABLE,
+        )
+        (finding,) = only(report, "durability-discipline")
+        assert "truncates its target in place" in finding.message
+
+    def test_append_without_fsync_fires(self):
+        report = run(
+            """
+            def log(path, line):
+                with open(path, "a") as handle:
+                    handle.write(line)
+            """,
+            path=self.DURABLE,
+        )
+        (finding,) = only(report, "durability-discipline")
+        assert "not durable" in finding.message
+
+    def test_append_with_fsync_is_clean(self):
+        report = run(
+            """
+            import os
+
+            def log(path, line):
+                with open(path, "a") as handle:
+                    handle.write(line)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            """,
+            path=self.DURABLE,
+        )
+        assert "durability-discipline" not in codes(report)
+
+    def test_blessed_publish_protocol_is_clean(self):
+        report = run(
+            """
+            import os
+
+            def publish(tmp_path, final, data):
+                with open(tmp_path, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, final)
+            """,
+            path=self.DURABLE,
+        )
+        assert "durability-discipline" not in codes(report)
+
+    def test_temp_write_without_replace_fires(self):
+        report = run(
+            """
+            import os
+
+            def publish(tmp_path, data):
+                with open(tmp_path, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            """,
+            path=self.DURABLE,
+        )
+        (finding,) = only(report, "durability-discipline")
+        assert "os.replace" in finding.message
+
+    def test_temp_write_without_fsync_fires(self):
+        report = run(
+            """
+            import os
+
+            def publish(tmp_path, final, data):
+                with open(tmp_path, "wb") as handle:
+                    handle.write(data)
+                os.replace(tmp_path, final)
+            """,
+            path=self.DURABLE,
+        )
+        (finding,) = only(report, "durability-discipline")
+        assert "os.fsync" in finding.message
+
+    def test_reads_are_exempt(self):
+        report = run(
+            """
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+            path=self.DURABLE,
+        )
+        assert "durability-discipline" not in codes(report)
+
+    def test_outside_durable_modules_is_exempt(self):
+        report = run(
+            """
+            def publish(path, data):
+                path.write_text(data)
+            """,
+            path="src/repro/obs/fixture.py",
+        )
+        assert "durability-discipline" not in codes(report)
+
+    def test_dogfood_real_persistence_layer(self):
+        # The rule must hold on the very modules it was written for.
+        from pathlib import Path
+
+        for module in ("store.py", "journal.py"):
+            source = Path("src/repro/analysis", module).read_text()
+            report = lint_source(source,
+                                 path=f"src/repro/analysis/{module}")
+            assert "durability-discipline" not in codes(report), module
+
+
 class TestScopeOptions:
     def test_scopes_are_configurable(self):
         config = LintConfig.build(options={"exact_modules": ["obs/"]})

@@ -8,9 +8,15 @@ import pytest
 
 from repro.analysis.deadline import Deadline
 from repro.analysis.faults import (
+    CRASH_SITES,
+    CrashPoint,
     FaultInjected,
     FaultPlan,
     FaultRule,
+    arm_crash_points,
+    crash_point,
+    disarm_crash_points,
+    parse_crash_point,
     parse_fault,
 )
 from repro.errors import (
@@ -153,3 +159,76 @@ class TestParseFault:
     def test_bad_specs_rejected(self, bad):
         with pytest.raises(ValueError):
             parse_fault(bad)
+
+
+class TestCrashPoint:
+    def teardown_method(self):
+        disarm_crash_points()
+
+    def test_parse_minimal(self):
+        point = parse_crash_point("kill@store.publish")
+        assert point == CrashPoint(action="kill", site="store.publish")
+        assert point.hits == 1 and point.exception is None
+
+    def test_parse_full_grammar(self):
+        point = parse_crash_point("raise@store.read:MemoryError#3")
+        assert point.action == "raise"
+        assert point.site == "store.read"
+        assert point.exception == "MemoryError"
+        assert point.hits == 3
+
+    @pytest.mark.parametrize("bad", [
+        "store.publish",            # no action
+        "detonate@store.publish",   # unknown action
+        "kill@nowhere",             # unknown site
+        "kill@store.publish#0",     # hits must be >= 1
+        "kill@store.publish#two",   # non-integer hits
+        "kill@store.publish:OSError",   # kill takes no exception
+        "",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_crash_point(bad)
+
+    def test_sites_are_closed_set(self):
+        # The chaos suite iterates CRASH_SITES; every advertised site
+        # must parse and every parse must name an advertised site.
+        for site in CRASH_SITES:
+            assert parse_crash_point(f"kill@{site}").site == site
+
+    def test_unarmed_is_a_noop(self):
+        disarm_crash_points()
+        crash_point("store.publish")  # must not raise
+
+    def test_raise_fires_on_exact_arrival(self):
+        arm_crash_points(["raise@store.publish#2"])
+        crash_point("store.publish")           # arrival 1: pass
+        with pytest.raises(OSError):
+            crash_point("store.publish")       # arrival 2: fire
+        crash_point("store.publish")           # arrival 3: pass again
+
+    def test_raise_custom_exception(self):
+        arm_crash_points(["raise@store.read:MemoryError"])
+        with pytest.raises(MemoryError):
+            crash_point("store.read")
+
+    def test_sites_are_independent(self):
+        arm_crash_points(["raise@store.read"])
+        crash_point("store.publish")  # different site: no fire
+        with pytest.raises(OSError):
+            crash_point("store.read")
+
+    def test_arm_accepts_parsed_points(self):
+        plan = arm_crash_points([CrashPoint(action="raise",
+                                            site="store.evict")])
+        assert plan == (CrashPoint(action="raise", site="store.evict"),)
+        with pytest.raises(OSError):
+            crash_point("store.evict")
+
+    def test_disarm_resets_counts(self):
+        arm_crash_points(["raise@store.read#2"])
+        crash_point("store.read")
+        arm_crash_points(["raise@store.read#2"])  # re-arm resets arrivals
+        crash_point("store.read")                 # arrival 1 again: pass
+        with pytest.raises(OSError):
+            crash_point("store.read")

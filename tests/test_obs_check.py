@@ -434,3 +434,169 @@ class TestSarifValidator:
         path = tmp_path / "lint.sarif"
         path.write_text(json.dumps(_sarif()))
         assert check_file(str(path)) == {"runs": 1, "rules": 2, "results": 1}
+
+
+# ----------------------------------------------------------------------
+# result-store artefacts (records, verify reports, stats censuses)
+# ----------------------------------------------------------------------
+
+
+def _store_record(value=(1, 2, 3), fingerprint="fp", analysis="throughput"):
+    """A real record written by the store, plus its digest — the
+    validator must agree with the writer without sharing code."""
+    import tempfile
+
+    from repro.analysis.store import ResultStore, key_digest
+
+    with tempfile.TemporaryDirectory() as root:
+        store = ResultStore(root)
+        assert store.put(fingerprint, analysis, value)
+        digest = key_digest(fingerprint, analysis)
+        return store._record_path(digest).read_bytes(), digest
+
+
+def _store_verify_doc(**over):
+    doc = {
+        "schema": check.STORE_VERIFY_SCHEMA, "root": "/tmp/store",
+        "records": 2, "valid": 1,
+        "corrupt": [{"path": "records/ab/abc.rec", "reason": "torn-payload"}],
+        "quarantined_now": 1, "undetected_corrupt": 0,
+        "quarantined_records": 1, "tmp_files": 0, "bytes": 512,
+        "journal": None,
+    }
+    doc.update(over)
+    return doc
+
+
+def _store_stats_doc(**over):
+    doc = {
+        "schema": check.STORE_STATS_SCHEMA, "root": "/tmp/store",
+        "hits": 4, "misses": 2, "puts": 2, "put_skips": 0,
+        "put_errors": 0, "quarantined": 0, "evictions": 0,
+        "read_errors": 0, "records": 2, "bytes": 512,
+        "quarantined_records": 0, "tmp_files": 0,
+        "max_bytes": 1024, "hit_rate": 4 / 6,
+    }
+    doc.update(over)
+    return doc
+
+
+class TestStoreRecordValidator:
+    def test_schema_constant_in_sync_with_the_store(self):
+        from repro.analysis import store as store_mod
+
+        assert check.STORE_SCHEMA == store_mod.STORE_SCHEMA
+        assert check.STORE_VERIFY_SCHEMA == store_mod.VerifyReport.SCHEMA
+
+    def test_real_record_validates(self):
+        raw, digest = _store_record()
+        summary = check.validate_store_record(raw, expected_digest=digest)
+        assert summary["payload_bytes"] > 0
+
+    def test_bad_magic(self):
+        raw, _ = _store_record()
+        with pytest.raises(SchemaError, match="magic"):
+            check.validate_store_record(b"x" + raw)
+
+    def test_torn_payload(self):
+        raw, _ = _store_record()
+        with pytest.raises(SchemaError, match="torn write"):
+            check.validate_store_record(raw[:-1])
+
+    def test_flipped_payload_byte(self):
+        raw, _ = _store_record()
+        with pytest.raises(SchemaError, match="checksum mismatch"):
+            check.validate_store_record(raw[:-1] + bytes([raw[-1] ^ 1]))
+
+    def test_renamed_record_fails_content_address(self):
+        raw, _ = _store_record()
+        with pytest.raises(SchemaError, match="renamed or aliased"):
+            check.validate_store_record(raw, expected_digest="0" * 64)
+
+    def test_header_must_be_json(self):
+        bad = b"repro-store-v1\nnot json\npayload"
+        with pytest.raises(SchemaError, match="not valid JSON"):
+            check.validate_store_record(bad)
+
+
+class TestStoreVerifyValidator:
+    def test_valid_report(self):
+        summary = check.validate_store_verify(_store_verify_doc())
+        assert summary == {"records": 2, "corrupt": 1,
+                           "undetected_corrupt": 0}
+
+    def test_arithmetic_must_balance(self):
+        with pytest.raises(SchemaError, match="must equal"):
+            check.validate_store_verify(_store_verify_doc(valid=2))
+
+    def test_undetected_arithmetic(self):
+        with pytest.raises(SchemaError, match="undetected_corrupt"):
+            check.validate_store_verify(
+                _store_verify_doc(undetected_corrupt=1))
+
+    def test_journal_agreement_block(self):
+        doc = _store_verify_doc(journal={
+            "path": "journal.jsonl", "checked": 2, "matched": 1,
+            "missing": [{"fingerprint": "fp", "analysis": "throughput",
+                         "status": "miss"}],
+        })
+        check.validate_store_verify(doc)
+        doc["journal"]["matched"] = 2
+        with pytest.raises(SchemaError, match="matched"):
+            check.validate_store_verify(doc)
+
+    def test_wrong_schema_tag(self):
+        with pytest.raises(SchemaError, match="schema"):
+            check.validate_store_verify(_store_verify_doc(schema="nope"))
+
+
+class TestStoreStatsValidator:
+    def test_valid_census(self):
+        assert check.validate_store_stats(_store_stats_doc()) \
+            == {"records": 2, "bytes": 512}
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(SchemaError, match="non-negative"):
+            check.validate_store_stats(_store_stats_doc(puts=-1))
+
+    def test_hit_rate_bounds(self):
+        with pytest.raises(SchemaError, match="hit_rate"):
+            check.validate_store_stats(_store_stats_doc(hit_rate=1.5))
+
+
+class TestStoreCheckFileDispatch:
+    def test_live_record_checked_with_content_address(self, tmp_path):
+        raw, digest = _store_record()
+        path = tmp_path / f"{digest}.rec"
+        path.write_bytes(raw)
+        assert check_file(str(path))["payload_bytes"] > 0
+        # A renamed live record must fail: the stem is its address.
+        alias = tmp_path / ("0" * 64 + ".rec")
+        alias.write_bytes(raw)
+        with pytest.raises(SchemaError, match="renamed"):
+            check_file(str(alias))
+
+    def test_quarantined_record_skips_the_address_check(self, tmp_path):
+        raw, digest = _store_record()
+        path = tmp_path / f"{digest}.key-mismatch.rec"
+        path.write_bytes(raw)  # valid bytes under a quarantine name
+        assert check_file(str(path))["payload_bytes"] > 0
+
+    def test_verify_report_json_is_inferred(self, tmp_path):
+        path = tmp_path / "verify.json"
+        path.write_text(json.dumps(_store_verify_doc()))
+        assert check_file(str(path))["records"] == 2
+
+    def test_stats_json_is_inferred(self, tmp_path):
+        path = tmp_path / "stats.json"
+        path.write_text(json.dumps(_store_stats_doc()))
+        assert check_file(str(path))["bytes"] == 512
+
+    def test_cli_main_gates_a_real_verify_report(self, tmp_path):
+        from repro.analysis.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        store.put("fp", "throughput", [1, 2, 3])
+        report_path = tmp_path / "verify.json"
+        report_path.write_text(json.dumps(store.verify().as_dict()))
+        assert main([str(report_path)]) == 0
