@@ -44,6 +44,7 @@ import subprocess
 from typing import Any, Dict, List, Optional, Union
 
 from repro.obs.check import BENCH_SCHEMA, validate_bench
+from repro.obs.diff import apply_noise_floor
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -81,12 +82,14 @@ def noise_floored(name: str, unit: str, value: float,
     ``floor`` it is measurement noise, so the published value is the
     floor and ``meta`` records both the raw measurement
     (``measured``) and the fact of the clamp (``noise_floored``).
+    The scalar clamp itself is :func:`repro.obs.diff.apply_noise_floor`
+    — the same primitive ``repro obs diff`` uses on relative deltas, so
+    "what counts as noise" is defined once.
     """
-    clamped = value < floor
+    published, clamped = apply_noise_floor(value, floor)
     if clamped:
         meta = {**meta, "measured": value, "noise_floored": True}
-        value = floor
-    return entry(name, unit, value, baseline, **meta)
+    return entry(name, unit, published, baseline, **meta)
 
 
 def _git_sha() -> Optional[str]:

@@ -171,11 +171,12 @@ def _entries(disabled: dict, nullspan: dict, derived: dict) -> list:
               note="derived: sites x ns_per_call / analysis_seconds; "
                    "baseline is the asserted ceiling"),
         noise_floored("tracing_ab_overhead_fraction", "ratio",
-                      disabled["overhead_fraction"],
+                      disabled["overhead_fraction"], baseline=0.10,
                       graph=disabled["graph"], batch=disabled["batch"],
                       repeats=disabled["repeats"],
-                      note="informational A/B; noise floor ~±2% exceeds the "
-                           "true cost; negative measurements clamp to 0"),
+                      note="A/B with ~±2% noise floor; baseline is the "
+                           "asserted |overhead| <= 10% sanity ceiling; "
+                           "negative measurements clamp to 0"),
         entry("tracing_stubbed_seconds", "s", disabled["stubbed_seconds"]),
         entry("tracing_disabled_seconds", "s", disabled["disabled_seconds"]),
         entry("tracing_enabled_seconds", "s", disabled["enabled_seconds"],

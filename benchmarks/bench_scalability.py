@@ -10,8 +10,11 @@ Two empirical laws from the paper made visible:
   leaves the compact conversion's size untouched.
 """
 
+import pathlib
+
 import pytest
 
+from bench_common import entry, write_bench
 from repro.analysis.batch import run_batch
 from repro.analysis.cache import AnalysisCache
 from repro.analysis.throughput import throughput
@@ -19,6 +22,8 @@ from repro.core.hsdf_conversion import convert_to_hsdf
 from repro.graphs.synthetic import homogeneous_pipeline, regular_prefetch
 from repro.sdf.graph import SDFGraph
 from repro.sdf.repetition import iteration_length
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scalability.json"
 
 
 def multirate_pair(scale: int) -> SDFGraph:
@@ -88,6 +93,16 @@ def test_batch_runner_on_scalability_suite(report):
     for g, result in zip(suite, batch.results):
         assert result.values["throughput"].cycle_time == throughput(g).cycle_time
     report(f"total {batch.duration:.4f}s, cache {batch.cache_stats.size} entries")
+    # Informational trend entries (no asserted floor): the regression
+    # sentinel watches them drift across commits via history.jsonl.
+    write_bench(BENCH_FILE, "scalability", [
+        entry("batch_wall_seconds", "s", batch.duration,
+              graphs=len(suite), backend="thread", workers=4),
+        entry("batch_graphs_per_second", "graphs/s",
+              len(suite) / batch.duration if batch.duration else 0.0,
+              graphs=len(suite), backend="thread", workers=4),
+    ])
+    report(f"written to {BENCH_FILE.name}")
     report.save("scalability_batch")
 
 

@@ -16,6 +16,57 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def _history_lines(path: pathlib.Path) -> list[str]:
+    if not path.exists():
+        return []
+    return [line for line in path.read_text().splitlines() if line.strip()]
+
+
+@pytest.fixture(autouse=True)
+def history_feed_guard():
+    """Every suite that (re)writes a root ``BENCH_*.json`` must also
+    append the run to the shared history journal — the regression
+    sentinel (``repro obs regress``) needs a uniform feed, so a bench
+    that publishes a baseline without feeding the history is a bug this
+    fixture turns into a test failure.  The appended lines must be
+    valid ``repro-bench-v1`` documents covering the suites of the
+    changed files (``BENCH_<suite>.json`` naming convention)."""
+    import json
+
+    from bench_common import HISTORY_FILE
+    from repro.obs.check import validate_bench
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+
+    def snapshot() -> dict:
+        return {p: p.stat().st_mtime_ns for p in root.glob("BENCH_*.json")}
+
+    before = snapshot()
+    lines_before = len(_history_lines(HISTORY_FILE))
+    yield
+    after = snapshot()
+    changed = sorted(p for p, mtime in after.items()
+                     if before.get(p) != mtime)
+    if not changed:
+        return
+    lines = _history_lines(HISTORY_FILE)
+    grown = len(lines) - lines_before
+    assert grown >= len(changed), (
+        f"{[p.name for p in changed]} were (re)written but history.jsonl "
+        f"gained only {grown} line(s): every write_bench must feed the "
+        "regression sentinel's journal (do not pass history=False)"
+    )
+    appended = [json.loads(line) for line in lines[-grown:]]
+    for doc in appended:
+        validate_bench(doc)
+    suites = {doc["suite"] for doc in appended}
+    expected = {p.name[len("BENCH_"):-len(".json")] for p in changed}
+    assert expected <= suites, (
+        f"history.jsonl gained suites {sorted(suites)} but the changed "
+        f"baseline files imply {sorted(expected)}"
+    )
+
+
 @pytest.fixture
 def report():
     """A tiny sink: collects lines, prints them, writes them to results/."""

@@ -100,6 +100,9 @@ class GraphResult:
     #: Span dicts exported by a process-backend worker's private tracer;
     #: adopted into the parent trace under the worker's process lane.
     trace_spans: Optional[List[Dict[str, Any]]] = None
+    #: The worker tracer's wall-clock epoch (``Tracer.epoch_wall``):
+    #: lets the parent rebase the spans onto its own timeline.
+    trace_epoch: Optional[float] = None
     #: ``repro-metrics-v1`` snapshot of a worker's private registry,
     #: merged into the parent's registry on adoption.
     metrics: Optional[Dict[str, Any]] = None
@@ -354,6 +357,7 @@ def _analyse_cold(payload: _ColdPayload) -> GraphResult:
         set_default_registry(previous)
     if tracer is not None:
         result.trace_spans = tracer.export_spans()
+        result.trace_epoch = tracer.epoch_wall
     # Exported counters include this worker's cache/disk-tier traffic:
     # the parent merges the snapshot, so `repro_cache_disk_*_total`
     # aggregate additively across the whole fleet.
@@ -614,6 +618,7 @@ def _run_process_backend(
             tracer.adopt(
                 outcome.trace_spans,
                 lane_name=f"worker[{outcome.trace_spans[0]['pid']}]",
+                epoch=outcome.trace_epoch,
             )
         if outcome.metrics is not None:
             default_registry().merge(outcome.metrics)

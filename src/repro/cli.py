@@ -10,6 +10,11 @@ Gives the library's analyses a design-flow-friendly surface::
     python -m repro batch --registry --workers 4 --analysis throughput latency
     python -m repro batch --registry --journal run.jsonl --store .repro-store
     python -m repro cache verify --store .repro-store --journal run.jsonl
+    python -m repro obs analyze trace.json --json summary.json
+    python -m repro obs flame spans.jsonl -o profile.folded
+    python -m repro obs diff before.json after.json --format html -o diff.html
+    python -m repro obs regress --history benchmarks/results/history.jsonl
+    python -m repro obs check trace.json metrics.prom BENCH_obs.json
     python -m repro convert graph.json -o compact.json
     python -m repro convert graph.json --traditional -o expanded.xml
     python -m repro abstract graph.json --strategy name -o abstract.json
@@ -394,6 +399,109 @@ def cmd_cache(args) -> int:
           f"({outcome['freed_bytes']} bytes), swept {outcome['tmp_removed']} "
           f"tmp file(s), {outcome['remaining_bytes']} bytes remain")
     return 0
+
+
+def cmd_obs_analyze(args) -> int:
+    import json
+
+    from repro.obs.analyze import render_summary_text, summarize_files
+
+    try:
+        summary = summarize_files(args.traces)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        pathlib.Path(args.json).write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"summary: written to {args.json} "
+              "(validate with repro obs check)", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_summary_text(summary, top=args.top))
+    return 0
+
+
+def cmd_obs_flame(args) -> int:
+    from repro.obs.analyze import collapsed_stacks, load_trace
+
+    try:
+        lines = collapsed_stacks([(str(p), load_trace(p))
+                                  for p in args.traces])
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.output:
+        pathlib.Path(args.output).write_text(
+            "\n".join(lines) + ("\n" if lines else "")
+        )
+        print(f"flamegraph: {len(lines)} stack(s) written to {args.output} "
+              "(feed to flamegraph.pl or https://speedscope.app)",
+              file=sys.stderr)
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    import json
+
+    from repro.obs.diff import diff_files, render_diff_html, render_diff_text
+
+    try:
+        diff = diff_files(args.a, args.b, noise_floor=args.noise)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    render = {
+        "text": render_diff_text,
+        "json": lambda d: json.dumps(d, indent=2),
+        "html": render_diff_html,
+    }
+    text = render[args.format](diff)
+    if args.output:
+        pathlib.Path(args.output).write_text(text + "\n")
+        print(f"diff: written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_obs_regress(args) -> int:
+    import json
+
+    from repro.obs.regress import evaluate_history, render_regress_text
+
+    try:
+        report = evaluate_history(
+            args.history,
+            window=args.window,
+            min_samples=args.min_samples,
+            threshold=args.threshold,
+            noise_rel=args.noise,
+            mad_mult=args.mad_mult,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        pathlib.Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"verdicts: written to {args.json} "
+              "(validate with repro obs check)", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_regress_text(report, verbose=args.verbose))
+    if report["counts"]["regressed"] and not args.report_only:
+        return 5
+    return 0
+
+
+def cmd_obs_check(args) -> int:
+    from repro.obs.check import main as check_main
+
+    return check_main(list(args.paths))
 
 
 def cmd_convert(args) -> int:
@@ -948,6 +1056,103 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--max-bytes", type=int, default=None, metavar="N",
                     help="size budget to compact down to (default 256 MiB)")
     sp.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "obs",
+        help="consume the emitted telemetry: trace analytics, "
+             "flamegraphs, A/B diffs, the benchmark regression sentinel "
+             "and schema checks (see docs/observability.md)",
+    )
+    obs_sub = p.add_subparsers(dest="action", required=True)
+
+    sp = obs_sub.add_parser(
+        "analyze",
+        help="reconstruct span trees from trace files (Chrome trace or "
+             "span JSONL), attribute self time per (stage, graph, kernel) "
+             "and extract the critical path (repro-trace-summary-v1)",
+    )
+    sp.add_argument("traces", nargs="+", metavar="TRACE",
+                    help="trace files from --trace (Chrome JSON or .jsonl); "
+                         "several runs aggregate into one percentile table")
+    sp.add_argument("--format", choices=("text", "json"), default="text",
+                    help="terminal report or the raw summary document")
+    sp.add_argument("--json", metavar="FILE",
+                    help="also write the repro-trace-summary-v1 document")
+    sp.add_argument("--top", type=int, default=20,
+                    help="stage rows to show in the text report (default 20)")
+    sp.set_defaults(func=cmd_obs_analyze)
+
+    sp = obs_sub.add_parser(
+        "flame",
+        help="collapsed-stack flamegraph (self-time µs per unique span "
+             "stack; render with flamegraph.pl or speedscope.app)",
+    )
+    sp.add_argument("traces", nargs="+", metavar="TRACE")
+    sp.add_argument("-o", "--output", metavar="FILE",
+                    help="write the .folded file (default: stdout)")
+    sp.set_defaults(func=cmd_obs_flame)
+
+    sp = obs_sub.add_parser(
+        "diff",
+        help="structural A/B diff of two trace summaries or two "
+             "repro-metrics-v1 snapshots, with noise-floored relative "
+             "deltas (repro-trace-diff-v1)",
+    )
+    sp.add_argument("a", help="baseline document (JSON)")
+    sp.add_argument("b", help="candidate document (JSON)")
+    sp.add_argument("--format", choices=("text", "json", "html"),
+                    default="text")
+    sp.add_argument("--noise", type=float, default=0.05, metavar="FRACTION",
+                    help="relative changes below this magnitude are "
+                         "published as unchanged (default 0.05)")
+    sp.add_argument("-o", "--output", metavar="FILE",
+                    help="write the rendering to a file")
+    sp.set_defaults(func=cmd_obs_diff)
+
+    sp = obs_sub.add_parser(
+        "regress",
+        help="statistical regression sentinel over the benchmark history "
+             "journal: per-(suite, entry) robust baselines (median + MAD "
+             "over host-compatible samples), exit 5 on any regression "
+             "(repro-regress-v1)",
+    )
+    sp.add_argument("--history", metavar="FILE",
+                    default="benchmarks/results/history.jsonl",
+                    help="history journal "
+                         "(default benchmarks/results/history.jsonl)")
+    sp.add_argument("--window", type=int, default=20, metavar="K",
+                    help="rolling baseline window (default 20)")
+    sp.add_argument("--min-samples", dest="min_samples", type=int, default=3,
+                    metavar="N",
+                    help="host-compatible priors needed for a verdict "
+                         "(default 3)")
+    sp.add_argument("--threshold", type=float, default=0.25,
+                    metavar="FRACTION",
+                    help="relative drift that counts as a regression "
+                         "(default 0.25)")
+    sp.add_argument("--noise", type=float, default=0.20, metavar="FRACTION",
+                    help="MAD/|median| above this marks a series noisy "
+                         "(default 0.20)")
+    sp.add_argument("--mad-mult", dest="mad_mult", type=float, default=4.0,
+                    metavar="X",
+                    help="widen the threshold to X times the series' own "
+                         "MAD (default 4.0)")
+    sp.add_argument("--format", choices=("text", "json"), default="text")
+    sp.add_argument("--json", metavar="FILE",
+                    help="also write the repro-regress-v1 document")
+    sp.add_argument("--report-only", dest="report_only", action="store_true",
+                    help="always exit 0 (report without gating)")
+    sp.add_argument("-v", "--verbose", action="store_true",
+                    help="also list ok / insufficient-data series")
+    sp.set_defaults(func=cmd_obs_regress)
+
+    sp = obs_sub.add_parser(
+        "check",
+        help="validate observability/benchmark artefacts against their "
+             "schemas (alias of python -m repro.obs.check)",
+    )
+    sp.add_argument("paths", nargs="+", metavar="ARTEFACT")
+    sp.set_defaults(func=cmd_obs_check)
 
     p = sub.add_parser("latency", help="single-iteration latency")
     p.add_argument("graph")

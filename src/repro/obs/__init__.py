@@ -40,6 +40,22 @@ offline-benchmark claim.  Three coordinated, zero-dependency pieces:
     report or a self-contained HTML page with the critical cycle
     highlighted on the DOT rendering.
 
+:mod:`repro.obs.analyze`
+    The consumption side of tracing: span-tree reconstruction from
+    either export format, per-stage self-time attribution, critical
+    paths, cross-run percentile tables and collapsed-stack flamegraphs
+    (``repro obs analyze`` / ``repro obs flame``).
+
+:mod:`repro.obs.diff`
+    Structural A/B diff of two trace summaries or metrics snapshots
+    with noise-floored relative deltas (``repro obs diff``).
+
+:mod:`repro.obs.regress`
+    The performance-regression sentinel over
+    ``benchmarks/results/history.jsonl``: robust per-(suite, entry)
+    baselines and ``ok|regressed|improved|noisy|insufficient-data``
+    verdicts (``repro obs regress``, exit 5 on regression).
+
 Quickstart::
 
     from repro.obs import Tracer, span
@@ -80,6 +96,9 @@ from repro.obs.provenance import (
     verify_witness,
 )
 from repro.obs.report import render_html, render_text, witness_highlights
+from repro.obs.analyze import collapsed_stacks, summarize_files, summarize_traces
+from repro.obs.diff import diff_documents, diff_files
+from repro.obs.regress import evaluate_history
 
 __all__ = [
     "Counter",
@@ -97,9 +116,13 @@ __all__ = [
     "WitnessArc",
     "WitnessError",
     "add_event",
+    "collapsed_stacks",
     "current_span",
     "current_tracer",
     "default_registry",
+    "diff_documents",
+    "diff_files",
+    "evaluate_history",
     "profile_graph",
     "record_step",
     "recording",
@@ -107,6 +130,8 @@ __all__ = [
     "render_text",
     "set_default_registry",
     "span",
+    "summarize_files",
+    "summarize_traces",
     "verify_witness",
     "witness_highlights",
 ]

@@ -22,14 +22,28 @@ Dependency-free validators (no jsonschema in this environment) for:
   *independently* of the store's own read path;
 * the ``repro-store-verify-v1`` report written by ``repro cache verify
   --json`` and the ``repro-store-stats-v1`` census from ``repro cache
-  stats --json``.
+  stats --json``;
+* the ``repro-trace-summary-v1`` analytics document from ``repro obs
+  analyze`` (including its structural invariant: stage self-times
+  partition the forest, so they sum to at most the root durations);
+* the ``repro-trace-diff-v1`` A/B diff from ``repro obs diff``;
+* the ``repro-regress-v1`` sentinel verdict from ``repro obs regress``;
+* collapsed-stack flamegraph files from ``repro obs flame``
+  (``a;b;c <int>`` lines);
+* the benchmark history journal (``history.jsonl``), held to a
+  *stricter* standard than a lone baseline file: every line needs a
+  host stamp (trend tooling partitions on it) and, per suite, git_sha
+  runs must be contiguous — the same commit reappearing after a
+  different one means interleaved/rewritten history the sentinel
+  cannot order.
 
 Each ``validate_*`` function raises :class:`SchemaError` with a precise
 location on the first violation and returns a small summary dict on
-success.  CI runs the module as a script over the artefacts of the
-batch smoke::
+success.  CI runs these over the artefacts of the batch smoke via
+``repro obs check`` (``python -m repro.obs.check`` is kept as an
+alias)::
 
-    python -m repro.obs.check trace.json metrics.prom BENCH_obs.json
+    python -m repro obs check trace.json metrics.prom BENCH_obs.json
 
 File type is inferred from name/content; exit status is non-zero on the
 first invalid artefact.
@@ -38,23 +52,29 @@ first invalid artefact.
 from __future__ import annotations
 
 import json
+import pathlib
 import re
 import sys
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Union
 
 __all__ = [
     "SchemaError",
     "validate_bench",
     "validate_chrome_trace",
+    "validate_collapsed",
+    "validate_history",
     "validate_metrics_snapshot",
     "validate_profile",
     "validate_prometheus_text",
     "validate_provenance",
+    "validate_regress",
     "validate_sarif",
     "validate_span_jsonl",
     "validate_store_record",
     "validate_store_stats",
     "validate_store_verify",
+    "validate_trace_diff",
+    "validate_trace_summary",
 ]
 
 BENCH_SCHEMA = "repro-bench-v1"
@@ -65,6 +85,12 @@ PROFILE_SCHEMA = "repro-profile-v1"
 STORE_SCHEMA = "repro-store-v1"
 STORE_VERIFY_SCHEMA = "repro-store-verify-v1"
 STORE_STATS_SCHEMA = "repro-store-stats-v1"
+#: Kept in sync with repro.obs.analyze.TRACE_SUMMARY_SCHEMA (tested).
+TRACE_SUMMARY_SCHEMA = "repro-trace-summary-v1"
+#: Kept in sync with repro.obs.diff.TRACE_DIFF_SCHEMA (tested).
+TRACE_DIFF_SCHEMA = "repro-trace-diff-v1"
+#: Kept in sync with repro.obs.regress.REGRESS_SCHEMA (tested).
+REGRESS_SCHEMA = "repro-regress-v1"
 
 _PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
 _PROM_SAMPLE = re.compile(
@@ -683,12 +709,300 @@ def validate_bench(data: Any) -> Dict[str, int]:
     return {"entries": len(entries)}
 
 
+def validate_history(text: str) -> Dict[str, int]:
+    """Validate a benchmark history journal (``history.jsonl``).
+
+    Stricter than per-line :func:`validate_bench`: the journal is the
+    regression sentinel's feed, so every line additionally needs a
+    ``host`` stamp with non-null ``platform``/``python`` (verdicts are
+    computed per host — an unstamped line poisons every series in its
+    suite), and within each suite the ``git_sha`` sequence must be
+    *contiguous*: once a suite's runs move to a new commit, an earlier
+    commit must not reappear (that is interleaved or rewritten history
+    the journal order cannot date).  Unknown shas (``null``) are
+    exempt — a non-git environment still gets a usable journal.
+    """
+    runs = 0
+    seen_shas: Dict[str, set] = {}
+    current_sha: Dict[str, Any] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        where = f"line {lineno}"
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SchemaError(f"{where}: not valid JSON ({error})") from None
+        try:
+            validate_bench(doc)
+        except SchemaError as error:
+            raise SchemaError(f"{where}: {error}") from None
+        host = doc.get("host")
+        _need(isinstance(host, dict), where,
+              "history entries need a host stamp (see bench_common.host_stamp)")
+        for key in ("platform", "python"):
+            _need(isinstance(host.get(key), str) and host[key], where,
+                  f"host stamp needs a non-empty {key!r} "
+                  "(verdicts are computed per host)")
+        suite = doc["suite"]
+        sha = host.get("git_sha")
+        if sha is not None:
+            if current_sha.get(suite) != sha:
+                _need(sha not in seen_shas.setdefault(suite, set()), where,
+                      f"suite {suite!r}: git_sha {sha[:12]} reappears after "
+                      "a different commit (non-contiguous history)")
+                seen_shas[suite].add(sha)
+                current_sha[suite] = sha
+        runs += 1
+    return {"runs": runs}
+
+
+# ----------------------------------------------------------------------
+# trace analytics (repro obs analyze / flame / diff / regress)
+# ----------------------------------------------------------------------
+
+def _need_number(value: Any, where: str, what: str,
+                 minimum: float = None) -> None:
+    _need(isinstance(value, (int, float)) and not isinstance(value, bool),
+          where, f"{what} must be a number, got {value!r}")
+    if minimum is not None:
+        _need(value >= minimum, where,
+              f"{what} must be >= {minimum}, got {value!r}")
+
+
+def validate_trace_summary(data: Any) -> Dict[str, int]:
+    """Validate a ``repro-trace-summary-v1`` analytics document.
+
+    Beyond shape, this enforces the structural invariant the analyzer
+    guarantees: self times decompose total time, so the stage self-time
+    sum may not exceed the summed root durations (``wall_seconds``),
+    and the critical path is a root-to-leaf chain — depths consecutive
+    from 0 and each hop no longer than its parent.
+    """
+    _need(isinstance(data, dict), "trace-summary", "must be an object")
+    _need(data.get("schema") == TRACE_SUMMARY_SCHEMA, "trace-summary",
+          f"schema must be {TRACE_SUMMARY_SCHEMA!r}, got {data.get('schema')!r}")
+    sources = data.get("sources")
+    _need(isinstance(sources, list) and sources
+          and all(isinstance(s, str) for s in sources),
+          "trace-summary", "'sources' must be a non-empty array of strings")
+    for key in ("spans", "roots", "processes"):
+        value = data.get(key)
+        _need(isinstance(value, int) and not isinstance(value, bool)
+              and value >= 0, "trace-summary",
+              f"{key!r} must be a non-negative integer, got {value!r}")
+    _need_number(data.get("wall_seconds"), "trace-summary",
+                 "'wall_seconds'", minimum=0.0)
+
+    stages = data.get("stages")
+    _need(isinstance(stages, list), "trace-summary",
+          "'stages' must be an array")
+    self_sum = 0.0
+    for index, row in enumerate(stages):
+        where = f"trace-summary.stages[{index}]"
+        _need(isinstance(row, dict), where, "must be an object")
+        _need(isinstance(row.get("stage"), str) and row["stage"], where,
+              "needs a non-empty string 'stage'")
+        for key in ("graph", "kernel"):
+            _need(row.get(key) is None or isinstance(row[key], str), where,
+                  f"{key!r} must be a string or null")
+        _need(isinstance(row.get("count"), int) and row["count"] >= 1,
+              where, f"'count' must be a positive integer, got {row.get('count')!r}")
+        for key in ("total_seconds", "self_seconds", "p50_seconds",
+                    "p90_seconds", "p99_seconds", "max_seconds"):
+            _need_number(row.get(key), where, repr(key), minimum=0.0)
+        _need(row["self_seconds"] <= row["total_seconds"] + 1e-9, where,
+              "self time cannot exceed total time")
+        _need(row["p50_seconds"] <= row["p90_seconds"] + 1e-9
+              and row["p90_seconds"] <= row["p99_seconds"] + 1e-9
+              and row["p99_seconds"] <= row["max_seconds"] + 1e-9, where,
+              "percentiles must be non-decreasing (p50 <= p90 <= p99 <= max)")
+        self_sum += row["self_seconds"]
+    _need(self_sum <= data["wall_seconds"] + 1e-6, "trace-summary",
+          f"stage self-time sum {self_sum!r} exceeds the summed root "
+          f"durations {data['wall_seconds']!r}: self times must "
+          "partition the span forest")
+
+    lanes = data.get("lanes", [])
+    _need(isinstance(lanes, list), "trace-summary", "'lanes' must be an array")
+    for index, lane in enumerate(lanes):
+        where = f"trace-summary.lanes[{index}]"
+        _need(isinstance(lane, dict), where, "must be an object")
+        _need(isinstance(lane.get("pid"), int), where,
+              "needs an integer 'pid'")
+        _need(isinstance(lane.get("spans"), int) and lane["spans"] >= 1,
+              where, "'spans' must be a positive integer")
+        _need_number(lane.get("self_seconds"), where,
+                     "'self_seconds'", minimum=0.0)
+
+    path = data.get("critical_path")
+    _need(isinstance(path, list), "trace-summary",
+          "'critical_path' must be an array")
+    previous = None
+    for index, hop in enumerate(path):
+        where = f"trace-summary.critical_path[{index}]"
+        _need(isinstance(hop, dict), where, "must be an object")
+        _need(isinstance(hop.get("name"), str) and hop["name"], where,
+              "needs a non-empty string 'name'")
+        _need(hop.get("depth") == index, where,
+              f"depths must be consecutive from 0, got {hop.get('depth')!r}")
+        _need_number(hop.get("duration_seconds"), where,
+                     "'duration_seconds'", minimum=0.0)
+        _need_number(hop.get("self_seconds"), where,
+                     "'self_seconds'", minimum=0.0)
+        if previous is not None:
+            _need(hop["duration_seconds"] <= previous + 1e-9, where,
+                  "a child hop cannot outlast its parent")
+        previous = hop["duration_seconds"]
+    return {"stages": len(stages), "spans": data["spans"],
+            "critical_path": len(path)}
+
+
+_DIFF_DIRECTIONS = ("regressed", "improved", "unchanged", "added", "removed")
+
+
+def validate_trace_diff(data: Any) -> Dict[str, int]:
+    """Validate a ``repro-trace-diff-v1`` A/B diff document."""
+    _need(isinstance(data, dict), "trace-diff", "must be an object")
+    _need(data.get("schema") == TRACE_DIFF_SCHEMA, "trace-diff",
+          f"schema must be {TRACE_DIFF_SCHEMA!r}, got {data.get('schema')!r}")
+    _need(data.get("kind") in ("trace-summary", "metrics"), "trace-diff",
+          f"kind must be 'trace-summary' or 'metrics', got {data.get('kind')!r}")
+    for key in ("a", "b"):
+        _need(isinstance(data.get(key), str) and data[key], "trace-diff",
+              f"needs a non-empty string {key!r} label")
+    _need_number(data.get("noise_floor"), "trace-diff",
+                 "'noise_floor'", minimum=0.0)
+    rows = data.get("rows")
+    _need(isinstance(rows, list), "trace-diff", "'rows' must be an array")
+    for index, row in enumerate(rows):
+        where = f"trace-diff.rows[{index}]"
+        _need(isinstance(row, dict), where, "must be an object")
+        _need(isinstance(row.get("key"), str) and row["key"], where,
+              "needs a non-empty string 'key'")
+        direction = row.get("direction")
+        _need(direction in _DIFF_DIRECTIONS, where,
+              f"direction must be one of {_DIFF_DIRECTIONS}, got {direction!r}")
+        _need(direction != "added" or row.get("a") is None, where,
+              "an 'added' row cannot have an 'a' value")
+        _need(direction != "removed" or row.get("b") is None, where,
+              "a 'removed' row cannot have a 'b' value")
+        if direction not in ("added", "removed"):
+            for key in ("a", "b", "delta"):
+                _need_number(row.get(key), where, repr(key))
+        if row.get("noise_floored"):
+            _need(row.get("relative") == 0.0, where,
+                  "a noise-floored row must publish relative == 0")
+            _need_number(row.get("measured_relative"), where,
+                         "'measured_relative'")
+    counts = data.get("counts")
+    _need(isinstance(counts, dict), "trace-diff", "'counts' must be an object")
+    for direction in _DIFF_DIRECTIONS:
+        _need(isinstance(counts.get(direction), int), "trace-diff.counts",
+              f"missing integer count for {direction!r}")
+        _need(counts[direction]
+              == sum(1 for r in rows if r.get("direction") == direction),
+              "trace-diff.counts",
+              f"count for {direction!r} does not match the rows")
+    return {"rows": len(rows), "regressed": counts["regressed"]}
+
+
+_REGRESS_VERDICTS = ("ok", "regressed", "improved", "noisy",
+                     "insufficient-data")
+
+
+def validate_regress(data: Any) -> Dict[str, int]:
+    """Validate a ``repro-regress-v1`` sentinel verdict document,
+    including its internal consistency: counts match the results, and
+    ``regressed`` lists exactly the regressed ``suite/entry`` pairs."""
+    _need(isinstance(data, dict), "regress", "must be an object")
+    _need(data.get("schema") == REGRESS_SCHEMA, "regress",
+          f"schema must be {REGRESS_SCHEMA!r}, got {data.get('schema')!r}")
+    _need(isinstance(data.get("history"), str) and data["history"], "regress",
+          "needs a non-empty string 'history'")
+    params = data.get("params")
+    _need(isinstance(params, dict), "regress", "'params' must be an object")
+    for key in ("window", "min_samples"):
+        _need(isinstance(params.get(key), int) and params[key] >= 1,
+              "regress.params", f"{key!r} must be a positive integer")
+    for key in ("threshold", "noise_rel", "mad_mult"):
+        _need_number(params.get(key), "regress.params", repr(key), minimum=0.0)
+    results = data.get("results")
+    _need(isinstance(results, list), "regress", "'results' must be an array")
+    regressed = []
+    for index, result in enumerate(results):
+        where = f"regress.results[{index}]"
+        _need(isinstance(result, dict), where, "must be an object")
+        for key in ("suite", "entry", "unit"):
+            _need(isinstance(result.get(key), str) and result[key], where,
+                  f"needs a non-empty string {key!r}")
+        _need_number(result.get("value"), where, "'value'")
+        verdict = result.get("verdict")
+        _need(verdict in _REGRESS_VERDICTS, where,
+              f"verdict must be one of {_REGRESS_VERDICTS}, got {verdict!r}")
+        _need(verdict == "ok" or isinstance(result.get("reason"), str),
+              where, f"a {verdict!r} verdict needs a string 'reason'")
+        _need(result.get("direction") in ("higher-is-better",
+                                          "lower-is-better"), where,
+              f"bad direction {result.get('direction')!r}")
+        _need(isinstance(result.get("samples"), int)
+              and result["samples"] >= 0, where,
+              "'samples' must be a non-negative integer")
+        if verdict == "regressed":
+            regressed.append(f"{result['suite']}/{result['entry']}")
+    _need(data.get("entries") == len(results), "regress",
+          f"'entries' ({data.get('entries')!r}) must equal the number of "
+          f"results ({len(results)})")
+    counts = data.get("counts")
+    _need(isinstance(counts, dict), "regress", "'counts' must be an object")
+    for verdict in _REGRESS_VERDICTS:
+        _need(isinstance(counts.get(verdict), int), "regress.counts",
+              f"missing integer count for {verdict!r}")
+        _need(counts[verdict]
+              == sum(1 for r in results if r.get("verdict") == verdict),
+              "regress.counts", f"count for {verdict!r} does not match results")
+    _need(sorted(data.get("regressed", [])) == sorted(regressed), "regress",
+          "'regressed' must list exactly the regressed suite/entry pairs")
+    return {"entries": len(results), "regressed": len(regressed)}
+
+
+_COLLAPSED_LINE = re.compile(r"^(?P<stack>[^ ]+(?:;[^ ]+)*) (?P<count>\d+)$")
+
+
+def validate_collapsed(text: str) -> Dict[str, int]:
+    """Validate a collapsed-stack flamegraph file: every line is
+    ``frame;frame;... <positive int>`` (Brendan Gregg's format, the
+    input contract of ``flamegraph.pl`` and speedscope), no duplicate
+    stacks."""
+    stacks = 0
+    frames = 0
+    seen = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        where = f"line {lineno}"
+        match = _COLLAPSED_LINE.match(line)
+        _need(match is not None, where,
+              f"not a collapsed-stack line {line!r} "
+              "(expected 'a;b;c <integer>')")
+        _need(int(match.group("count")) > 0, where,
+              "sample count must be positive")
+        stack = match.group("stack")
+        _need(stack not in seen, where, f"duplicate stack {stack!r}")
+        seen.add(stack)
+        stacks += 1
+        frames += stack.count(";") + 1
+    _need(stacks > 0, "collapsed", "no stacks present")
+    return {"stacks": stacks, "frames": frames}
+
+
 # ----------------------------------------------------------------------
 # CLI driver (used by CI to gate the emitted artefacts)
 # ----------------------------------------------------------------------
 
-def check_file(path: str) -> Dict[str, int]:
+def check_file(path: Union[str, pathlib.Path]) -> Dict[str, int]:
     """Validate one artefact, inferring its kind from name/content."""
+    path = str(path)
     name = path.rsplit("/", 1)[-1]
     if name.endswith(".rec"):
         with open(path, "rb") as handle:
@@ -703,6 +1017,8 @@ def check_file(path: str) -> Dict[str, int]:
         text = handle.read()
     if name.endswith((".prom", ".txt")):
         return validate_prometheus_text(text)
+    if name.endswith((".folded", ".collapsed")):
+        return validate_collapsed(text)
     if name.endswith(".jsonl"):
         head = next((line for line in text.splitlines() if line.strip()), "")
         try:
@@ -710,21 +1026,10 @@ def check_file(path: str) -> Dict[str, int]:
         except json.JSONDecodeError:
             first = None
         if isinstance(first, dict) and first.get("schema") == BENCH_SCHEMA:
-            # A bench history: one repro-bench-v1 document per line.
-            runs = 0
-            for lineno, line in enumerate(text.splitlines(), 1):
-                if not line.strip():
-                    continue
-                try:
-                    validate_bench(json.loads(line))
-                except json.JSONDecodeError as error:
-                    raise SchemaError(
-                        f"line {lineno}: not valid JSON ({error})"
-                    ) from None
-                except SchemaError as error:
-                    raise SchemaError(f"line {lineno}: {error}") from None
-                runs += 1
-            return {"runs": runs}
+            # A bench history: one repro-bench-v1 document per line,
+            # plus the journal-level hygiene rules (host stamps,
+            # contiguous per-suite git_sha runs).
+            return validate_history(text)
         return validate_span_jsonl(text)
     try:
         data = json.loads(text)
@@ -743,6 +1048,12 @@ def check_file(path: str) -> Dict[str, int]:
             return validate_store_verify(data)
         if data.get("schema") == STORE_STATS_SCHEMA:
             return validate_store_stats(data)
+        if data.get("schema") == TRACE_SUMMARY_SCHEMA:
+            return validate_trace_summary(data)
+        if data.get("schema") == TRACE_DIFF_SCHEMA:
+            return validate_trace_diff(data)
+        if data.get("schema") == REGRESS_SCHEMA:
+            return validate_regress(data)
         if "metrics" in data and "schema" in data:
             return validate_metrics_snapshot(data)
         if "traceEvents" in data:

@@ -34,7 +34,13 @@ from repro.obs.provenance import (
     verify_witness,
 )
 
-__all__ = ["render_html", "render_text", "witness_highlights"]
+__all__ = [
+    "html_page",
+    "html_table",
+    "render_html",
+    "render_text",
+    "witness_highlights",
+]
 
 
 # ----------------------------------------------------------------------
@@ -264,13 +270,31 @@ th { font-weight: 600; }
 """
 
 
-def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+def html_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """One styled ``<table>``; every cell is escaped.  Shared by the
+    provenance report and the ``repro obs diff`` HTML rendering."""
     head = "".join(f"<th>{html.escape(h)}</th>" for h in headers)
     body = "\n".join(
         "<tr>" + "".join(f"<td>{html.escape(str(c))}</td>" for c in row) + "</tr>"
         for row in rows
     )
     return f"<table><tr>{head}</tr>\n{body}</table>"
+
+
+_table = html_table
+
+
+def html_page(title: str, parts: Sequence[str]) -> str:
+    """Wrap pre-rendered body fragments into one self-contained page
+    (inline CSS, no external assets) — the house style for every HTML
+    artefact the CLI emits."""
+    return "\n".join([
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        *parts,
+        "</body></html>",
+    ])
 
 
 def _timeline(spans) -> str:
@@ -321,9 +345,6 @@ def render_html(
         badge = f'<span class="badge ok">{html.escape(verdict)}</span>'
 
     parts = [
-        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
-        f"<title>repro explain: {html.escape(record.graph)}</title>",
-        f"<style>{_CSS}</style></head><body>",
         f"<h1>Analysis provenance: <code>{html.escape(record.graph)}</code></h1>",
         _table(
             ("", ""),
@@ -398,5 +419,4 @@ def render_html(
     if spans:
         parts.append(_timeline(spans))
 
-    parts.append("</body></html>")
-    return "\n".join(parts)
+    return html_page(f"repro explain: {record.graph}", parts)

@@ -65,6 +65,12 @@ _current: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
     "repro-obs-span", default=None
 )
 
+#: Monotonic tracer-instance serial, part of every span id: each job in
+#: a process-pool worker builds a fresh ``Tracer``, and merged exports
+#: must never see the same id twice (``repro obs check`` rejects it).
+_tracer_serial = 0
+_serial_lock = threading.Lock()
+
 
 class _NullSpan:
     """The shared no-op returned while tracing is disabled."""
@@ -193,7 +199,20 @@ class Tracer:
     def __init__(self, profile: bool = False) -> None:
         self.profile = profile
         self.pid = os.getpid()
+        # Span ids must stay unique when traces merge: across processes
+        # (the pid) *and* across tracer instances within one process —
+        # a process-pool worker builds a fresh tracer per job, so a
+        # per-tracer counter alone would collide on adoption.
+        with _serial_lock:
+            global _tracer_serial
+            _tracer_serial += 1
+            self._id_prefix = f"{self.pid:x}.{_tracer_serial:x}"
         self._epoch = time.perf_counter()
+        #: Wall-clock instant of the perf_counter epoch — the anchor
+        #: :meth:`adopt` uses to rebase spans from a foreign tracer
+        #: (whose relative clock starts at *its* construction) onto
+        #: this tracer's timeline.
+        self.epoch_wall = time.time()
         self._lock = threading.Lock()
         self._spans: List[Span] = []
         self._events: List[Dict[str, Any]] = []
@@ -244,9 +263,15 @@ class Tracer:
 
     def _begin_span(self, name: str, args: Dict[str, Any]) -> Span:
         parent = _current.get()
+        if parent is not None and parent._tracer is not self:
+            # A span from another tracer — a forked worker inheriting
+            # the coordinator's context, or a stale contextvar across
+            # install() cycles.  Its clock and id space are not ours;
+            # linking to it would corrupt the exported forest.
+            parent = None
         with self._lock:
             self._counter += 1
-            span_id = f"{self.pid:x}.{self._counter:x}"
+            span_id = f"{self._id_prefix}.{self._counter:x}"
             self._open += 1
         new = Span(self, span_id, name, args, parent, self._lane())
         if self.profile:
@@ -327,13 +352,31 @@ class Tracer:
         return sorted(rows, key=lambda r: (r["pid"], r["start"]))
 
     def adopt(self, spans: Iterable[Dict[str, Any]],
-              lane_name: Optional[str] = None) -> int:
+              lane_name: Optional[str] = None,
+              epoch: Optional[float] = None) -> int:
         """Merge span dicts exported by another tracer (typically a
         worker process) into this trace.  Foreign spans keep their own
         ``pid``, so Chrome/Perfetto shows each worker as its own process
         lane; ``lane_name`` labels that lane.  Returns the adopted count.
+
+        ``epoch`` is the foreign tracer's :attr:`epoch_wall`.  Span
+        times are relative to their own tracer's construction, so two
+        jobs traced by consecutive tracers in one worker would both sit
+        at t≈0 and overlap on the lane; rebasing through the wall clock
+        puts every adopted span where it actually ran on this tracer's
+        timeline.
         """
         adopted = list(spans)
+        if epoch is not None:
+            offset = epoch - self.epoch_wall
+            rebased = []
+            for row in adopted:
+                row = dict(row)
+                row["start"] = row["start"] + offset
+                if row.get("end") is not None:
+                    row["end"] = row["end"] + offset
+                rebased.append(row)
+            adopted = rebased
         with self._lock:
             self._foreign.extend(adopted)
             if lane_name:

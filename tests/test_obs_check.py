@@ -600,3 +600,207 @@ class TestStoreCheckFileDispatch:
         report_path = tmp_path / "verify.json"
         report_path.write_text(json.dumps(store.verify().as_dict()))
         assert main([str(report_path)]) == 0
+
+
+# ----------------------------------------------------------------------
+# trace analytics / diff / regress / collapsed validators
+# ----------------------------------------------------------------------
+
+def test_analytics_schema_constants_in_sync_with_the_emitters():
+    from repro.obs import analyze, diff, regress
+
+    assert check.TRACE_SUMMARY_SCHEMA == analyze.TRACE_SUMMARY_SCHEMA
+    assert check.TRACE_DIFF_SCHEMA == diff.TRACE_DIFF_SCHEMA
+    assert check.REGRESS_SCHEMA == regress.REGRESS_SCHEMA
+
+
+def _trace_summary():
+    from repro.obs.analyze import summarize_traces
+
+    rows = [
+        {"id": "a", "parent": None, "name": "root", "pid": 1, "tid": 0,
+         "start": 0.0, "end": 1.0, "dur": 1.0, "args": {}},
+        {"id": "b", "parent": "a", "name": "stage", "pid": 1, "tid": 0,
+         "start": 0.0, "end": 0.4, "dur": 0.4, "args": {}},
+    ]
+    return summarize_traces([("t", rows)])
+
+
+class TestTraceSummaryValidator:
+    def test_valid_summary(self):
+        verdict = check.validate_trace_summary(_trace_summary())
+        assert verdict["spans"] == 2 and verdict["stages"] == 2
+
+    def test_self_must_partition_the_roots(self):
+        doc = _trace_summary()
+        doc["stages"][0]["self_seconds"] = 5.0
+        doc["stages"][0]["total_seconds"] = 5.0
+        with pytest.raises(SchemaError, match="partition"):
+            check.validate_trace_summary(doc)
+
+    def test_self_cannot_exceed_total_per_row(self):
+        doc = _trace_summary()
+        row = doc["stages"][0]
+        row["self_seconds"] = row["total_seconds"] + 1.0
+        with pytest.raises(SchemaError, match="self"):
+            check.validate_trace_summary(doc)
+
+    def test_percentiles_must_be_non_decreasing(self):
+        doc = _trace_summary()
+        doc["stages"][0]["p90_seconds"] = 0.0
+        with pytest.raises(SchemaError, match="p90"):
+            check.validate_trace_summary(doc)
+
+    def test_critical_path_depths_consecutive(self):
+        doc = _trace_summary()
+        doc["critical_path"][1]["depth"] = 5
+        with pytest.raises(SchemaError, match="depth"):
+            check.validate_trace_summary(doc)
+
+    def test_critical_path_child_within_parent(self):
+        doc = _trace_summary()
+        doc["critical_path"][1]["duration_seconds"] = 99.0
+        with pytest.raises(SchemaError, match="critical"):
+            check.validate_trace_summary(doc)
+
+    def test_wrong_schema_tag(self):
+        doc = _trace_summary()
+        doc["schema"] = "repro-trace-summary-v0"
+        with pytest.raises(SchemaError, match="schema"):
+            check.validate_trace_summary(doc)
+
+
+class TestTraceDiffValidator:
+    def _diff(self):
+        from repro.obs.diff import diff_documents
+
+        return diff_documents(_trace_summary(), _trace_summary())
+
+    def test_valid_diff(self):
+        verdict = check.validate_trace_diff(self._diff())
+        assert verdict["rows"] == 2 and verdict["regressed"] == 0
+
+    def test_counts_must_match_rows(self):
+        doc = self._diff()
+        doc["counts"]["regressed"] = 7
+        with pytest.raises(SchemaError, match="count"):
+            check.validate_trace_diff(doc)
+
+    def test_unknown_direction(self):
+        doc = self._diff()
+        doc["rows"][0]["direction"] = "sideways"
+        with pytest.raises(SchemaError, match="direction"):
+            check.validate_trace_diff(doc)
+
+
+class TestRegressValidator:
+    def _report(self, tmp_path):
+        from repro.obs.regress import evaluate_history
+
+        host = {"platform": "linux", "python": "3.12", "git_sha": None}
+        lines = [json.dumps(_bench(host=host)) for _ in range(4)]
+        path = tmp_path / "history.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return evaluate_history(path)
+
+    def test_valid_report(self, tmp_path):
+        verdict = check.validate_regress(self._report(tmp_path))
+        assert verdict == {"entries": 1, "regressed": 0}
+
+    def test_counts_cross_checked(self, tmp_path):
+        doc = self._report(tmp_path)
+        doc["counts"]["ok"] = 9
+        with pytest.raises(SchemaError, match="count"):
+            check.validate_regress(doc)
+
+    def test_regressed_list_cross_checked(self, tmp_path):
+        doc = self._report(tmp_path)
+        doc["regressed"] = ["demo/t"]
+        with pytest.raises(SchemaError, match="regressed"):
+            check.validate_regress(doc)
+
+    def test_unknown_verdict(self, tmp_path):
+        doc = self._report(tmp_path)
+        doc["results"][0]["verdict"] = "maybe"
+        doc["counts"] = {"maybe": 1}
+        with pytest.raises(SchemaError, match="verdict"):
+            check.validate_regress(doc)
+
+
+class TestCollapsedValidator:
+    def test_valid_stacks(self):
+        verdict = check.validate_collapsed("a;b 10\nc 3\n")
+        assert verdict == {"stacks": 2, "frames": 3}
+
+    def test_malformed_line_is_located(self):
+        with pytest.raises(SchemaError, match="line 2"):
+            check.validate_collapsed("a 1\nnot a stack line\n")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(SchemaError, match="positive"):
+            check.validate_collapsed("a;b 0\n")
+
+    def test_duplicate_stack_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            check.validate_collapsed("a;b 1\na;b 2\n")
+
+    def test_check_file_routes_folded_extension(self, tmp_path):
+        path = tmp_path / "trace.folded"
+        path.write_text("root;leaf 120\n")
+        assert check_file(str(path)) == {"stacks": 1, "frames": 2}
+
+
+class TestHistoryHygiene:
+    def test_missing_host_stamp_rejected(self, tmp_path):
+        doc = _bench()
+        del doc["host"]
+        path = tmp_path / "history.jsonl"
+        path.write_text(json.dumps(doc) + "\n")
+        with pytest.raises(SchemaError, match="host"):
+            check_file(str(path))
+
+    def test_empty_platform_rejected(self, tmp_path):
+        doc = _bench(host={"platform": "", "python": "3.12", "git_sha": None})
+        path = tmp_path / "history.jsonl"
+        path.write_text(json.dumps(doc) + "\n")
+        with pytest.raises(SchemaError, match="platform"):
+            check_file(str(path))
+
+    def test_git_sha_runs_must_be_contiguous(self, tmp_path):
+        docs = [
+            _bench(host={"platform": "l", "python": "3", "git_sha": "aaa"}),
+            _bench(host={"platform": "l", "python": "3", "git_sha": "bbb"}),
+            _bench(host={"platform": "l", "python": "3", "git_sha": "aaa"}),
+        ]
+        path = tmp_path / "history.jsonl"
+        path.write_text("".join(json.dumps(d) + "\n" for d in docs))
+        with pytest.raises(SchemaError, match="aaa"):
+            check_file(str(path))
+
+    def test_interleaved_suites_are_fine(self, tmp_path):
+        # Contiguity is per suite: alternating suites at one sha, then
+        # both moving to the next sha, is the normal CI pattern.
+        def at(suite, sha):
+            return _bench(suite=suite,
+                          host={"platform": "l", "python": "3",
+                                "git_sha": sha})
+
+        docs = [at("a", "s1"), at("b", "s1"), at("a", "s2"), at("b", "s2")]
+        path = tmp_path / "history.jsonl"
+        path.write_text("".join(json.dumps(d) + "\n" for d in docs))
+        assert check_file(str(path)) == {"runs": 4}
+
+
+class TestAnalyticsCheckFileDispatch:
+    def test_trace_summary_json_is_inferred(self, tmp_path):
+        path = tmp_path / "summary.json"
+        path.write_text(json.dumps(_trace_summary()))
+        assert check_file(str(path))["spans"] == 2
+
+    def test_trace_diff_json_is_inferred(self, tmp_path):
+        from repro.obs.diff import diff_documents
+
+        path = tmp_path / "diff.json"
+        path.write_text(json.dumps(
+            diff_documents(_trace_summary(), _trace_summary())))
+        assert check_file(str(path))["rows"] == 2

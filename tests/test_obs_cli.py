@@ -224,3 +224,107 @@ class TestProfileJson:
         assert main(["profile", "builtin:figure3", "--format", "json"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert validate_profile(data)["rows"] > 0
+
+
+class TestObsFamily:
+    """The `repro obs ...` analytics subcommands, end to end."""
+
+    def _trace(self, tmp_path, name="trace.jsonl"):
+        path = tmp_path / name
+        assert main(["throughput", "builtin:figure3",
+                     "--trace", str(path)]) == 0
+        return path
+
+    def test_analyze_text_report(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        assert main(["obs", "analyze", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "self-time attribution" in out
+        assert "critical path" in out
+        assert "mcm-eigenvalue" in out
+
+    def test_analyze_json_artifact_validates(self, tmp_path, capsys):
+        from repro.obs.check import validate_trace_summary
+
+        trace = self._trace(tmp_path)
+        summary_path = tmp_path / "summary.json"
+        assert main(["obs", "analyze", str(trace),
+                     "--json", str(summary_path)]) == 0
+        summary = json.loads(summary_path.read_text())
+        verdict = validate_trace_summary(summary)
+        assert verdict["spans"] >= 3
+        # Stage self times never exceed the root wall time.
+        total_self = sum(r["self_seconds"] for r in summary["stages"])
+        assert total_self <= summary["wall_seconds"] + 1e-9
+
+    def test_analyze_folds_both_formats(self, tmp_path, capsys):
+        jsonl = self._trace(tmp_path, "a.jsonl")
+        chrome = tmp_path / "b.json"
+        assert main(["throughput", "builtin:figure3",
+                     "--trace", str(chrome)]) == 0
+        capsys.readouterr()  # drain the analysis output
+        assert main(["obs", "analyze", str(jsonl), str(chrome),
+                     "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert len(summary["sources"]) == 2
+
+    def test_flame_output_is_collapsed_stack_format(self, tmp_path):
+        import re
+
+        from repro.obs.check import validate_collapsed
+
+        trace = self._trace(tmp_path)
+        folded = tmp_path / "trace.folded"
+        assert main(["obs", "flame", str(trace),
+                     "--output", str(folded)]) == 0
+        text = folded.read_text()
+        validate_collapsed(text)
+        for line in text.splitlines():
+            assert re.fullmatch(r"[^ ]+(?:;[^ ]+)* \d+", line)
+        assert any(line.startswith("throughput;")
+                   for line in text.splitlines())
+
+    def test_diff_of_two_runs(self, tmp_path, capsys):
+        a = self._trace(tmp_path, "a.jsonl")
+        b = self._trace(tmp_path, "b.jsonl")
+        sa, sb = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["obs", "analyze", str(a), "--json", str(sa)]) == 0
+        assert main(["obs", "analyze", str(b), "--json", str(sb)]) == 0
+        assert main(["obs", "diff", str(sa), str(sb)]) == 0
+        out = capsys.readouterr().out
+        assert "trace-summary diff" in out
+        html_path = tmp_path / "diff.html"
+        assert main(["obs", "diff", str(sa), str(sb),
+                     "--format", "html", "--output", str(html_path)]) == 0
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_diff_rejects_mismatched_kinds(self, tmp_path, capsys):
+        summary = tmp_path / "s.json"
+        a = self._trace(tmp_path)
+        assert main(["obs", "analyze", str(a), "--json", str(summary)]) == 0
+        metrics = tmp_path / "m.json"
+        assert main(["throughput", "builtin:figure3",
+                     "--metrics", str(metrics)]) == 0
+        assert main(["obs", "diff", str(summary), str(metrics)]) == 1
+
+    def test_obs_check_is_the_cli_home_for_the_validator(self, tmp_path,
+                                                         capsys):
+        trace = self._trace(tmp_path)
+        assert main(["obs", "check", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"id": "1"}\n')
+        assert main(["obs", "check", str(bad)]) == 1
+
+    def test_module_entrypoint_stays_an_alias(self, tmp_path):
+        import subprocess
+        import sys
+
+        trace = self._trace(tmp_path)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.check", str(trace)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert "ok" in proc.stdout

@@ -257,3 +257,61 @@ class TestAnalysisIntegration:
         kinds = [e["name"] for e in tracer.events()]
         assert kinds.count("cache-miss") == 1
         assert kinds.count("cache-hit") == 1
+
+
+class TestIdUniquenessAcrossTracers:
+    def test_fresh_tracers_never_reuse_span_ids(self):
+        """A process-pool worker builds one tracer per job; merged
+        exports must still have globally unique ids (the span-JSONL
+        validator rejects duplicates)."""
+        rows = []
+        for _ in range(3):
+            with Tracer() as tracer:
+                with span("analyse"):
+                    with span("stage"):
+                        pass
+            rows.extend(tracer.export_spans())
+        ids = [r["id"] for r in rows]
+        assert len(ids) == len(set(ids)) == 6
+
+    def test_span_from_another_tracer_is_not_a_parent(self):
+        """A forked worker inherits the coordinator's innermost-span
+        contextvar; a fresh tracer must not link its spans to that
+        foreign span (different clock, different id space)."""
+        with Tracer():
+            with span("coordinator"):
+                with Tracer() as inner_tracer:
+                    with span("worker-job") as job:
+                        assert job.parent_id is None
+        (job_span,) = inner_tracer.spans()
+        assert job_span.name == "worker-job"
+        assert job_span.parent_id is None
+
+
+class TestAdoptRebasing:
+    def test_adopt_rebases_foreign_clocks_onto_the_parent_timeline(self):
+        parent = Tracer()
+        with parent:
+            with span("batch"):
+                pass
+        foreign = [{"id": "w.1.1", "parent": None, "name": "analyse",
+                    "pid": 9999, "tid": 0, "start": 0.0, "end": 0.5,
+                    "cpu": None, "mem_peak": 0, "args": {}}]
+        # The foreign tracer was built 10 wall-seconds after the parent:
+        # its t=0 is the parent's t=10.
+        parent.adopt(foreign, lane_name="worker[9999]",
+                     epoch=parent.epoch_wall + 10.0)
+        (row,) = [r for r in parent.export_spans() if r["pid"] == 9999]
+        assert row["start"] == pytest.approx(10.0)
+        assert row["end"] == pytest.approx(10.5)
+        # The caller's dict is not mutated.
+        assert foreign[0]["start"] == 0.0
+
+    def test_adopt_without_epoch_keeps_times_verbatim(self):
+        parent = Tracer()
+        foreign = [{"id": "w.1.1", "parent": None, "name": "analyse",
+                    "pid": 9999, "tid": 0, "start": 3.0, "end": 3.5,
+                    "cpu": None, "mem_peak": 0, "args": {}}]
+        parent.adopt(foreign)
+        (row,) = parent.export_spans()
+        assert row["start"] == 3.0
